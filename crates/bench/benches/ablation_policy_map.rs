@@ -1,0 +1,73 @@
+//! Ablation: how much of LBICA's benefit comes from each policy-map entry.
+//!
+//! Three variants are compared on the TPC-C and mail-server workloads:
+//! the paper's map, a map with WO disabled for random-read bursts (Group 1
+//! falls back to WB) and a map with RO disabled for mixed bursts (Group 2
+//! falls back to WB). Criterion reports the simulation cost of each variant;
+//! the resulting cache-load numbers are printed once per variant so the
+//! effect of the ablation is visible alongside the timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lbica_cache::WritePolicy;
+use lbica_core::{LbicaConfig, LbicaController, PolicyMap};
+use lbica_sim::Simulation;
+use lbica_bench::SuiteConfig;
+use lbica_trace::workload::WorkloadSpec;
+
+fn variants() -> Vec<(&'static str, PolicyMap)> {
+    let paper = PolicyMap::paper();
+    let mut no_wo = paper;
+    no_wo.random_read = WritePolicy::WriteBack;
+    let mut no_ro = paper;
+    no_ro.mixed_read_write = WritePolicy::WriteBack;
+    vec![("paper", paper), ("no-WO-for-group1", no_wo), ("no-RO-for-group2", no_ro)]
+}
+
+fn bench_policy_map_ablation(c: &mut Criterion) {
+    let config = SuiteConfig::tiny();
+    let specs = vec![
+        WorkloadSpec::tpcc_scaled(config.scale),
+        WorkloadSpec::mail_server_scaled(config.scale),
+    ];
+    let mut group = c.benchmark_group("ablation_policy_map");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for spec in &specs {
+        for (label, map) in variants() {
+            // Print the ablated result once so the report is self-contained.
+            let mut controller = LbicaController::with_config(LbicaConfig {
+                policy_map: map,
+                ..LbicaConfig::paper()
+            });
+            let report =
+                Simulation::new(config.sim, spec.clone(), config.seed).run(&mut controller);
+            eprintln!(
+                "[ablation_policy_map] {} / {}: avg cache load {:.0} us, avg latency {} us",
+                spec.name(),
+                label,
+                report.avg_cache_load_us(),
+                report.app_avg_latency_us
+            );
+
+            group.bench_with_input(
+                BenchmarkId::new(spec.name().to_string(), label),
+                &map,
+                |b, map| {
+                    b.iter(|| {
+                        let mut controller = LbicaController::with_config(LbicaConfig {
+                            policy_map: *map,
+                            ..LbicaConfig::paper()
+                        });
+                        Simulation::new(config.sim, spec.clone(), config.seed).run(&mut controller)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_map_ablation);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation: sensitivity of LBICA to the bottleneck-detection threshold.
+//!
+//! The paper flags a burst as soon as `cache_Qtime > disk_Qtime` (ratio 1.0).
+//! This bench sweeps the ratio from 0.5 (aggressive) to 4.0 (conservative)
+//! on the TPC-C workload, printing the number of detected bursts and the
+//! resulting cache load for each setting alongside the simulation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lbica_core::{LbicaConfig, LbicaController};
+use lbica_sim::Simulation;
+use lbica_bench::SuiteConfig;
+use lbica_trace::workload::WorkloadSpec;
+
+const RATIOS: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
+
+fn bench_threshold_sweep(c: &mut Criterion) {
+    let config = SuiteConfig::tiny();
+    let spec = WorkloadSpec::tpcc_scaled(config.scale);
+    let mut group = c.benchmark_group("ablation_threshold");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for ratio in RATIOS {
+        let mut controller = LbicaController::with_config(LbicaConfig {
+            threshold_ratio: ratio,
+            ..LbicaConfig::paper()
+        });
+        let report = Simulation::new(config.sim, spec.clone(), config.seed).run(&mut controller);
+        eprintln!(
+            "[ablation_threshold] ratio {:.1}: {} burst intervals, avg cache load {:.0} us",
+            ratio,
+            report.burst_intervals(),
+            report.avg_cache_load_us()
+        );
+
+        group.bench_with_input(BenchmarkId::from_parameter(ratio), &ratio, |b, ratio| {
+            b.iter(|| {
+                let mut controller = LbicaController::with_config(LbicaConfig {
+                    threshold_ratio: *ratio,
+                    ..LbicaConfig::paper()
+                });
+                Simulation::new(config.sim, spec.clone(), config.seed).run(&mut controller)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threshold_sweep);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 5 — disk-subsystem load (max latency per interval) under WB, SIB
+//! and LBICA for the three paper workloads.
+//!
+//! Publication-scale series: `cargo run -p lbica-bench --bin reproduce -- --fig 5`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lbica_bench::{run_controller, ControllerKind, SuiteConfig};
+use lbica_trace::workload::WorkloadSpec;
+
+fn bench_fig5(c: &mut Criterion) {
+    let config = SuiteConfig::tiny();
+    let specs = WorkloadSpec::paper_suite(config.scale);
+    let mut group = c.benchmark_group("fig5_disk_load");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for spec in &specs {
+        for kind in ControllerKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(spec.name().to_string(), kind.label()),
+                &kind,
+                |b, kind| {
+                    b.iter(|| {
+                        let report = run_controller(spec, *kind, &config);
+                        // The figure's series: per-interval disk max latency.
+                        report.disk_load_series()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

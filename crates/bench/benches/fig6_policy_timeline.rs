@@ -1,0 +1,31 @@
+//! Fig. 6 — LBICA's burst detection, workload characterization and
+//! per-interval policy assignment for the three paper workloads.
+//!
+//! Publication-scale series: `cargo run -p lbica-bench --bin reproduce -- --fig 6`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lbica_bench::csv::fig6_policy_timeline_csv;
+use lbica_bench::{run_workload, SuiteConfig};
+use lbica_trace::workload::WorkloadSpec;
+
+fn bench_fig6(c: &mut Criterion) {
+    let config = SuiteConfig::tiny();
+    let specs = WorkloadSpec::paper_suite(config.scale);
+    let mut group = c.benchmark_group("fig6_policy_timeline");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for spec in &specs {
+        group.bench_with_input(BenchmarkId::from_parameter(spec.name().to_string()), spec, |b, spec| {
+            b.iter(|| {
+                let result = run_workload(spec, &config);
+                fig6_policy_timeline_csv(&result)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 7 — average application latency per workload under WB, SIB and
+//! LBICA, plus the headline summary.
+//!
+//! Publication-scale numbers: `cargo run -p lbica-bench --bin reproduce -- --fig 7 --summary`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lbica_bench::csv::{fig7_avg_latency_csv, headline_table};
+use lbica_bench::{run_suite, SuiteConfig};
+
+fn bench_fig7(c: &mut Criterion) {
+    let config = SuiteConfig::tiny();
+    let mut group = c.benchmark_group("fig7_avg_latency");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("suite_and_summary", |b| {
+        b.iter(|| {
+            let suite = run_suite(&config);
+            (fig7_avg_latency_csv(&suite), headline_table(&suite))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! Micro-benchmarks of LBICA's building blocks: the bottleneck detector,
+//! the workload characterizer, the cache module's datapath decision, the
+//! device service-time models and the device queue.
+//!
+//! These quantify the per-interval and per-request overhead of the control
+//! loop — the paper argues LBICA's interval-granularity decisions are much
+//! cheaper than SIB's per-request victim selection, and these numbers back
+//! that up.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use lbica_cache::{CacheConfig, CacheModule};
+use lbica_core::{BottleneckDetector, RequestMix, SibController, WorkloadCharacterizer};
+use lbica_sim::{CacheController, ControllerContext};
+use lbica_storage::device::{DeviceModel, HddModel, SsdModel};
+use lbica_storage::queue::{DeviceQueue, QueueSnapshot};
+use lbica_storage::request::{IoRequest, RequestKind, RequestOrigin};
+use lbica_storage::time::{SimDuration, SimTime};
+
+fn bench_detector(c: &mut Criterion) {
+    let detector = BottleneckDetector::new();
+    c.bench_function("detector/evaluate", |b| {
+        b.iter(|| {
+            detector.evaluate(
+                std::hint::black_box(42),
+                SimDuration::from_micros(75),
+                std::hint::black_box(3),
+                SimDuration::from_micros(385),
+            )
+        })
+    });
+}
+
+fn bench_characterizer(c: &mut Criterion) {
+    let characterizer = WorkloadCharacterizer::new();
+    let mix = RequestMix::new(0.44, 0.022, 0.51, 0.028);
+    c.bench_function("characterizer/classify", |b| {
+        b.iter(|| characterizer.classify(std::hint::black_box(&mix)))
+    });
+}
+
+fn bench_cache_module(c: &mut Criterion) {
+    c.bench_function("cache_module/access_read_hit", |b| {
+        let mut cache = CacheModule::new(CacheConfig::enterprise());
+        cache.prewarm(0..1024);
+        let req = IoRequest::new(1, RequestKind::Read, RequestOrigin::Application, 0, 8);
+        b.iter(|| cache.access(std::hint::black_box(&req)))
+    });
+    c.bench_function("cache_module/access_write_allocate", |b| {
+        b.iter_batched(
+            || CacheModule::new(CacheConfig::small_test()),
+            |mut cache| {
+                for i in 0..64u64 {
+                    let req = IoRequest::new(
+                        i,
+                        RequestKind::Write,
+                        RequestOrigin::Application,
+                        i * 8,
+                        8,
+                    );
+                    cache.access(&req);
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_devices(c: &mut Criterion) {
+    let req = IoRequest::new(1, RequestKind::Read, RequestOrigin::Application, 123_456, 8);
+    c.bench_function("device/ssd_service_time", |b| {
+        let mut ssd = SsdModel::samsung_863a();
+        b.iter(|| ssd.service_time(std::hint::black_box(&req)))
+    });
+    c.bench_function("device/hdd_service_time", |b| {
+        let mut hdd = HddModel::seagate_7200_sas();
+        b.iter(|| hdd.service_time(std::hint::black_box(&req)))
+    });
+}
+
+fn bench_queue(c: &mut Criterion) {
+    c.bench_function("queue/enqueue_dispatch_64", |b| {
+        b.iter_batched(
+            DeviceQueue::default_for_bench,
+            |mut q| {
+                for i in 0..64u64 {
+                    q.enqueue(
+                        IoRequest::new(i, RequestKind::Write, RequestOrigin::Application, i * 64, 8)
+                            .with_arrival(SimTime::from_micros(i)),
+                    );
+                }
+                while q.dispatch(SimTime::from_millis(1)).is_some() {}
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// SIB's per-request victim selection over a deep queue — the overhead the
+/// paper criticises — compared against LBICA's O(1) interval decision above.
+fn bench_sib_selection(c: &mut Criterion) {
+    let mut queue = DeviceQueue::without_merging("ssd");
+    for i in 0..512u64 {
+        queue.enqueue(
+            IoRequest::new(i, RequestKind::Write, RequestOrigin::Application, i * 64, 8)
+                .with_arrival(SimTime::from_micros(i)),
+        );
+    }
+    c.bench_function("sib/victim_selection_512_deep_queue", |b| {
+        b.iter_batched(
+            SibController::new,
+            |mut sib| {
+                let ctx = ControllerContext {
+                    interval_index: 0,
+                    now: SimTime::from_millis(1),
+                    cache_queue_depth: queue.depth(),
+                    disk_queue_depth: 1,
+                    cache_avg_latency: SimDuration::from_micros(75),
+                    disk_avg_latency: SimDuration::from_micros(385),
+                    cache_queue_mix: QueueSnapshot::default(),
+                    current_policy: lbica_cache::WritePolicy::WriteThrough,
+                    cache_queue: &queue,
+                };
+                sib.on_interval(&ctx)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+trait BenchQueueExt {
+    fn default_for_bench() -> DeviceQueue;
+}
+
+impl BenchQueueExt for DeviceQueue {
+    fn default_for_bench() -> DeviceQueue {
+        DeviceQueue::without_merging("bench")
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_detector,
+    bench_characterizer,
+    bench_cache_module,
+    bench_devices,
+    bench_queue,
+    bench_sib_selection
+);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Regenerates every figure and table of the paper's evaluation.
+//!
+//! ```text
+//! reproduce [--scale tiny|harness] [--out DIR] [--fig 4|5|6|7] [--summary] [--all]
+//! ```
+//!
+//! With no figure selection, `--all` is assumed. CSV files are written to
+//! `--out` (default `target/repro`) and the headline table is printed to
+//! stdout.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lbica_bench::csv::{
+    fig4_cache_load_csv, fig5_disk_load_csv, fig6_policy_timeline_csv, fig7_avg_latency_csv,
+    headline_table,
+};
+use lbica_bench::{run_suite, SuiteConfig};
+
+#[derive(Debug)]
+struct Options {
+    scale: String,
+    out_dir: PathBuf,
+    figures: Vec<u8>,
+    summary: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        scale: "harness".to_string(),
+        out_dir: PathBuf::from("target/repro"),
+        figures: Vec::new(),
+        summary: false,
+    };
+    let mut args = env::args().skip(1);
+    let mut any_selection = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                opts.scale = args.next().ok_or("--scale needs a value (tiny|harness)")?;
+            }
+            "--out" => {
+                opts.out_dir = PathBuf::from(args.next().ok_or("--out needs a directory")?);
+            }
+            "--fig" => {
+                let n: u8 = args
+                    .next()
+                    .ok_or("--fig needs a number (4-7)")?
+                    .parse()
+                    .map_err(|_| "--fig needs a number (4-7)".to_string())?;
+                if !(4..=7).contains(&n) {
+                    return Err(format!("unknown figure {n}; the paper has figures 4-7"));
+                }
+                opts.figures.push(n);
+                any_selection = true;
+            }
+            "--summary" => {
+                opts.summary = true;
+                any_selection = true;
+            }
+            "--all" => {
+                opts.figures = vec![4, 5, 6, 7];
+                opts.summary = true;
+                any_selection = true;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: reproduce [--scale tiny|harness] [--out DIR] [--fig N]... [--summary] [--all]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if !any_selection {
+        opts.figures = vec![4, 5, 6, 7];
+        opts.summary = true;
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let config = match opts.scale.as_str() {
+        "tiny" => SuiteConfig::tiny(),
+        "harness" | "full" => SuiteConfig::harness(),
+        other => {
+            eprintln!("error: unknown scale `{other}` (expected tiny or harness)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "running the 3x3 evaluation matrix at `{}` scale (all three workloads under WB, SIB and LBICA)...",
+        opts.scale
+    );
+    let suite = run_suite(&config);
+
+    if let Err(e) = fs::create_dir_all(&opts.out_dir) {
+        eprintln!("error: cannot create {}: {e}", opts.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut written = Vec::new();
+    for fig in &opts.figures {
+        match fig {
+            4 | 5 | 6 => {
+                for w in &suite.workloads {
+                    let (name, data) = match fig {
+                        4 => (format!("fig4_cache_load_{}.csv", w.workload), fig4_cache_load_csv(w)),
+                        5 => (format!("fig5_disk_load_{}.csv", w.workload), fig5_disk_load_csv(w)),
+                        _ => (
+                            format!("fig6_policy_timeline_{}.csv", w.workload),
+                            fig6_policy_timeline_csv(w),
+                        ),
+                    };
+                    let path = opts.out_dir.join(name);
+                    if let Err(e) = fs::write(&path, data) {
+                        eprintln!("error: cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                    written.push(path);
+                }
+            }
+            7 => {
+                let path = opts.out_dir.join("fig7_avg_latency.csv");
+                if let Err(e) = fs::write(&path, fig7_avg_latency_csv(&suite)) {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                written.push(path);
+            }
+            _ => unreachable!("validated in parse_args"),
+        }
+    }
+
+    for path in &written {
+        println!("wrote {}", path.display());
+    }
+
+    if opts.summary {
+        println!();
+        println!("=== headline summary ===");
+        println!("(paper abstract: 48% avg / up to 70% cache-load reduction vs WB, ~30% vs SIB;");
+        println!(" 14% / 7% average latency improvement vs WB / SIB)");
+        println!();
+        println!("{}", headline_table(&suite));
+        for w in &suite.workloads {
+            println!(
+                "{}: LBICA policy changes: {}",
+                w.workload,
+                w.lbica
+                    .policy_changes
+                    .iter()
+                    .map(|p| format!("@{}->{}", p.interval, p.policy))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,202 @@
+//! Runs the 3 × 3 (workload × controller) evaluation matrix.
+
+use lbica_core::{HeadlineSummary, LbicaController, SibController, WbController, WorkloadComparison};
+use lbica_sim::{CacheController, Simulation, SimulationConfig, SimulationReport};
+use lbica_trace::workload::{WorkloadScale, WorkloadSpec};
+
+/// Which controller to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControllerKind {
+    /// The write-back baseline.
+    Wb,
+    /// Selective I/O Bypass.
+    Sib,
+    /// The paper's contribution.
+    Lbica,
+}
+
+impl ControllerKind {
+    /// All three schemes, in the order the paper plots them.
+    pub const ALL: [ControllerKind; 3] =
+        [ControllerKind::Wb, ControllerKind::Sib, ControllerKind::Lbica];
+
+    /// The scheme's display label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            ControllerKind::Wb => "WB",
+            ControllerKind::Sib => "SIB",
+            ControllerKind::Lbica => "LBICA",
+        }
+    }
+
+    /// Builds a fresh controller of this kind.
+    pub fn build(self) -> Box<dyn CacheController + Send> {
+        match self {
+            ControllerKind::Wb => Box::new(WbController::new()),
+            ControllerKind::Sib => Box::new(SibController::new()),
+            ControllerKind::Lbica => Box::new(LbicaController::new()),
+        }
+    }
+}
+
+/// Configuration of a full suite run.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteConfig {
+    /// Workload scale (interval counts, arrival rates, footprints).
+    pub scale: WorkloadScale,
+    /// Simulator configuration (cache geometry, device models).
+    pub sim: SimulationConfig,
+    /// Random seed shared by every run so the three schemes see identical
+    /// arrival streams.
+    pub seed: u64,
+}
+
+impl SuiteConfig {
+    /// The full-size configuration used for the published figures.
+    pub fn harness() -> Self {
+        SuiteConfig {
+            scale: WorkloadScale::harness(),
+            sim: SimulationConfig::harness(),
+            seed: 0x1b1c_a000,
+        }
+    }
+
+    /// A scaled-down configuration for tests and Criterion benches.
+    pub fn tiny() -> Self {
+        SuiteConfig {
+            scale: WorkloadScale::tiny(),
+            sim: SimulationConfig::tiny(),
+            seed: 0x1b1c_a000,
+        }
+    }
+}
+
+/// The three per-controller reports for one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadResult {
+    /// Workload name.
+    pub workload: String,
+    /// Report under the WB baseline.
+    pub wb: SimulationReport,
+    /// Report under SIB.
+    pub sib: SimulationReport,
+    /// Report under LBICA.
+    pub lbica: SimulationReport,
+}
+
+impl WorkloadResult {
+    /// The report for a given scheme.
+    pub fn report(&self, kind: ControllerKind) -> &SimulationReport {
+        match kind {
+            ControllerKind::Wb => &self.wb,
+            ControllerKind::Sib => &self.sib,
+            ControllerKind::Lbica => &self.lbica,
+        }
+    }
+
+    /// The per-workload comparison (load reductions, latency improvements).
+    pub fn comparison(&self) -> WorkloadComparison {
+        WorkloadComparison::from_reports(&self.wb, &self.sib, &self.lbica)
+    }
+}
+
+/// The full 3 × 3 evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteResult {
+    /// Per-workload results, in the paper's order (TPC-C, mail, web).
+    pub workloads: Vec<WorkloadResult>,
+}
+
+impl SuiteResult {
+    /// The cross-workload headline summary (abstract numbers).
+    pub fn headline(&self) -> HeadlineSummary {
+        HeadlineSummary::new(self.workloads.iter().map(|w| w.comparison()).collect())
+    }
+
+    /// Looks a workload up by name.
+    pub fn workload(&self, name: &str) -> Option<&WorkloadResult> {
+        self.workloads.iter().find(|w| w.workload == name)
+    }
+}
+
+/// Runs one workload under one controller.
+pub fn run_controller(
+    spec: &WorkloadSpec,
+    kind: ControllerKind,
+    config: &SuiteConfig,
+) -> SimulationReport {
+    let mut controller = kind.build();
+    Simulation::new(config.sim, spec.clone(), config.seed).run(controller.as_mut())
+}
+
+/// Runs one workload under all three controllers.
+pub fn run_workload(spec: &WorkloadSpec, config: &SuiteConfig) -> WorkloadResult {
+    let mut reports = [None, None, None];
+    // The three schemes are independent; run them on separate threads.
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = ControllerKind::ALL
+            .iter()
+            .map(|kind| scope.spawn(move |_| run_controller(spec, *kind, config)))
+            .collect();
+        for (slot, handle) in reports.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("controller run panicked"));
+        }
+    })
+    .expect("scoped controller threads panicked");
+    let [wb, sib, lbica] = reports;
+    WorkloadResult {
+        workload: spec.name().to_string(),
+        wb: wb.expect("WB report"),
+        sib: sib.expect("SIB report"),
+        lbica: lbica.expect("LBICA report"),
+    }
+}
+
+/// Runs the full paper suite (TPC-C, mail server, web server × WB, SIB,
+/// LBICA).
+pub fn run_suite(config: &SuiteConfig) -> SuiteResult {
+    let specs = WorkloadSpec::paper_suite(config.scale);
+    let workloads = specs.iter().map(|spec| run_workload(spec, config)).collect();
+    SuiteResult { workloads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controller_kinds_build_correctly_named_controllers() {
+        for kind in ControllerKind::ALL {
+            let c = kind.build();
+            assert_eq!(c.name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn tiny_suite_runs_and_produces_reports_for_all_workloads() {
+        let result = run_suite(&SuiteConfig::tiny());
+        assert_eq!(result.workloads.len(), 3);
+        for w in &result.workloads {
+            assert_eq!(w.wb.controller, "WB");
+            assert_eq!(w.sib.controller, "SIB");
+            assert_eq!(w.lbica.controller, "LBICA");
+            assert!(w.wb.app_completed > 0);
+            assert_eq!(w.wb.intervals.len(), w.lbica.intervals.len());
+        }
+        assert!(result.workload("tpcc").is_some());
+        assert!(result.workload("nope").is_none());
+        let headline = result.headline();
+        assert_eq!(headline.comparisons.len(), 3);
+    }
+
+    #[test]
+    fn report_accessor_matches_kind() {
+        let result = run_workload(
+            &WorkloadSpec::web_server_scaled(WorkloadScale::tiny()),
+            &SuiteConfig::tiny(),
+        );
+        assert_eq!(result.report(ControllerKind::Wb).controller, "WB");
+        assert_eq!(result.report(ControllerKind::Sib).controller, "SIB");
+        assert_eq!(result.report(ControllerKind::Lbica).controller, "LBICA");
+    }
+}

@@ -1,0 +1,205 @@
+//! Watermark-based background flushing of dirty blocks.
+//!
+//! A write-back cache accumulates dirty blocks; EnhanceIO (and every
+//! production cache) drains them in the background so that future
+//! evictions find clean victims and a crash does not strand too much dirty
+//! data. [`FlushPolicy`] decides *how many* blocks to flush given the
+//! current dirty occupancy and how busy the cache device is — staying out
+//! of the way during the bursts LBICA cares about, and catching up during
+//! calm intervals.
+
+use serde::{Deserialize, Serialize};
+
+use crate::module::CacheModule;
+use crate::outcome::DerivedOp;
+
+/// Configuration of the background flusher.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlushPolicy {
+    /// Dirty fraction (0–1) below which the flusher stays idle.
+    pub low_watermark: f64,
+    /// Dirty fraction above which the flusher drains aggressively even if
+    /// the device is busy.
+    pub high_watermark: f64,
+    /// Maximum number of blocks flushed per invocation when between the
+    /// watermarks.
+    pub batch_blocks: usize,
+    /// Maximum number of blocks flushed per invocation above the high
+    /// watermark.
+    pub urgent_batch_blocks: usize,
+    /// Cache-device queue depth above which the flusher backs off entirely
+    /// (unless above the high watermark).
+    pub busy_queue_depth: usize,
+}
+
+impl FlushPolicy {
+    /// The defaults used by the reproduction: flush lazily below 25 % dirty,
+    /// urgently above 75 %.
+    pub const fn new() -> Self {
+        FlushPolicy {
+            low_watermark: 0.25,
+            high_watermark: 0.75,
+            batch_blocks: 32,
+            urgent_batch_blocks: 256,
+            busy_queue_depth: 8,
+        }
+    }
+
+    /// How many dirty blocks to flush right now.
+    ///
+    /// `dirty_fraction` is the dirty share of the cache's capacity and
+    /// `cache_queue_depth` the current depth of the cache device queue.
+    pub fn blocks_to_flush(&self, dirty_fraction: f64, cache_queue_depth: usize) -> usize {
+        if dirty_fraction >= self.high_watermark {
+            return self.urgent_batch_blocks;
+        }
+        if dirty_fraction < self.low_watermark {
+            return 0;
+        }
+        if cache_queue_depth > self.busy_queue_depth {
+            // The cache is under pressure; background flushing would add to
+            // exactly the load LBICA is trying to shed.
+            return 0;
+        }
+        self.batch_blocks
+    }
+}
+
+impl Default for FlushPolicy {
+    fn default() -> Self {
+        FlushPolicy::new()
+    }
+}
+
+/// Drives a [`CacheModule`]'s dirty-block flushing according to a
+/// [`FlushPolicy`].
+///
+/// ```
+/// use lbica_cache::{CacheConfig, CacheModule};
+/// use lbica_cache::flusher::{FlushPolicy, Flusher};
+/// use lbica_storage::request::{IoRequest, RequestKind, RequestOrigin};
+///
+/// let mut cache = CacheModule::new(CacheConfig::small_test());
+/// for i in 0..16u64 {
+///     let w = IoRequest::new(i, RequestKind::Write, RequestOrigin::Application, i * 8, 8);
+///     cache.access(&w);
+/// }
+/// let mut flusher = Flusher::new(FlushPolicy::new());
+/// // The cache is 100% dirty: the flusher drains urgently.
+/// let ops = flusher.maybe_flush(&mut cache, 0);
+/// assert!(!ops.is_empty());
+/// assert_eq!(cache.dirty_blocks(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Flusher {
+    policy: FlushPolicy,
+    invocations: u64,
+    flushed_blocks: u64,
+}
+
+impl Flusher {
+    /// Creates a flusher with the given policy.
+    pub fn new(policy: FlushPolicy) -> Self {
+        Flusher { policy, invocations: 0, flushed_blocks: 0 }
+    }
+
+    /// The policy in use.
+    pub const fn policy(&self) -> &FlushPolicy {
+        &self.policy
+    }
+
+    /// Total blocks flushed so far.
+    pub const fn flushed_blocks(&self) -> u64 {
+        self.flushed_blocks
+    }
+
+    /// Number of times the flusher was consulted.
+    pub const fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Consults the policy and, if warranted, flushes dirty blocks from the
+    /// cache. Returns the derived device operations (an SSD read plus a
+    /// disk write per flushed block) for the caller to enqueue.
+    pub fn maybe_flush(
+        &mut self,
+        cache: &mut CacheModule,
+        cache_queue_depth: usize,
+    ) -> Vec<DerivedOp> {
+        self.invocations += 1;
+        let capacity = cache.capacity_blocks().max(1);
+        let dirty_fraction = cache.dirty_blocks() as f64 / capacity as f64;
+        let batch = self.policy.blocks_to_flush(dirty_fraction, cache_queue_depth);
+        if batch == 0 {
+            return Vec::new();
+        }
+        let ops = cache.flush_dirty(batch);
+        self.flushed_blocks += (ops.len() / 2) as u64;
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::CacheConfig;
+    use lbica_storage::request::{IoRequest, RequestKind, RequestOrigin};
+
+    fn dirty_cache(blocks: u64) -> CacheModule {
+        let mut cache = CacheModule::new(CacheConfig::small_test()); // 16 blocks
+        for i in 0..blocks {
+            let w = IoRequest::new(i, RequestKind::Write, RequestOrigin::Application, i * 8, 8);
+            cache.access(&w);
+        }
+        cache
+    }
+
+    #[test]
+    fn below_low_watermark_nothing_is_flushed() {
+        let policy = FlushPolicy::new();
+        assert_eq!(policy.blocks_to_flush(0.1, 0), 0);
+        let mut flusher = Flusher::new(policy);
+        let mut cache = dirty_cache(2); // 2/16 = 12.5% dirty
+        assert!(flusher.maybe_flush(&mut cache, 0).is_empty());
+        assert_eq!(cache.dirty_blocks(), 2);
+        assert_eq!(flusher.invocations(), 1);
+    }
+
+    #[test]
+    fn between_watermarks_flushes_a_batch_when_idle() {
+        let mut flusher = Flusher::new(FlushPolicy { batch_blocks: 3, ..FlushPolicy::new() });
+        let mut cache = dirty_cache(8); // 50% dirty
+        let ops = flusher.maybe_flush(&mut cache, 0);
+        assert_eq!(ops.len(), 6); // 3 blocks x (SSD read + disk write)
+        assert_eq!(cache.dirty_blocks(), 5);
+        assert_eq!(flusher.flushed_blocks(), 3);
+    }
+
+    #[test]
+    fn between_watermarks_backs_off_when_the_cache_is_busy() {
+        let mut flusher = Flusher::new(FlushPolicy::new());
+        let mut cache = dirty_cache(8);
+        let ops = flusher.maybe_flush(&mut cache, 100);
+        assert!(ops.is_empty(), "flusher must yield to foreground burst traffic");
+        assert_eq!(cache.dirty_blocks(), 8);
+    }
+
+    #[test]
+    fn above_high_watermark_flushes_even_when_busy() {
+        let mut flusher = Flusher::new(FlushPolicy::new());
+        let mut cache = dirty_cache(16); // 100% dirty
+        let ops = flusher.maybe_flush(&mut cache, 100);
+        assert!(!ops.is_empty());
+        assert_eq!(cache.dirty_blocks(), 0);
+    }
+
+    #[test]
+    fn policy_thresholds_are_respected_exactly() {
+        let p = FlushPolicy::new();
+        assert_eq!(p.blocks_to_flush(0.75, 0), p.urgent_batch_blocks);
+        assert_eq!(p.blocks_to_flush(0.74, 0), p.batch_blocks);
+        assert_eq!(p.blocks_to_flush(0.24, 0), 0);
+        assert_eq!(p.blocks_to_flush(0.5, 9), 0);
+        assert_eq!(p.blocks_to_flush(0.5, 8), p.batch_blocks);
+    }
+}

@@ -1,0 +1,171 @@
+//! The result of pushing an application request through the cache module.
+
+use serde::{Deserialize, Serialize};
+
+use lbica_storage::block::BlockRange;
+use lbica_storage::request::{RequestClass, RequestKind, RequestOrigin};
+
+/// Which physical device a derived operation is destined for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TargetDevice {
+    /// The SSD acting as the I/O cache.
+    Ssd,
+    /// The HDD disk subsystem.
+    Hdd,
+}
+
+/// One device-level operation derived from an application request by the
+/// cache module (e.g. a promote write on the SSD, or the disk read that
+/// services a miss).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DerivedOp {
+    /// Device the operation must be queued at.
+    pub target: TargetDevice,
+    /// Transfer direction on that device.
+    pub kind: RequestKind,
+    /// Origin (application / promote / evict / flush) — determines the
+    /// R/W/P/E class seen by the monitors.
+    pub origin: RequestOrigin,
+    /// Sector range of the operation.
+    pub range: BlockRange,
+}
+
+impl DerivedOp {
+    /// Creates a derived operation.
+    pub fn new(
+        target: TargetDevice,
+        kind: RequestKind,
+        origin: RequestOrigin,
+        range: BlockRange,
+    ) -> Self {
+        DerivedOp { target, kind, origin, range }
+    }
+
+    /// The paper's R/W/P/E class of the operation.
+    pub fn class(&self) -> RequestClass {
+        RequestClass::classify(self.kind, self.origin)
+    }
+}
+
+/// Everything the cache decided for one application request.
+///
+/// The simulator turns each [`DerivedOp`] into an [`lbica_storage::IoRequest`]
+/// and enqueues it at the right device; the `read_hit` / `write_hit` flags
+/// feed the cache statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheOutcome {
+    ops: Vec<DerivedOp>,
+    read_hit: bool,
+    write_hit: bool,
+    served_by_cache: bool,
+}
+
+impl CacheOutcome {
+    /// Creates an empty outcome.
+    pub fn new() -> Self {
+        CacheOutcome::default()
+    }
+
+    /// Appends a derived operation.
+    pub fn push(&mut self, op: DerivedOp) {
+        self.ops.push(op);
+    }
+
+    /// Marks the request as a read hit.
+    pub fn set_read_hit(&mut self, hit: bool) {
+        self.read_hit = hit;
+    }
+
+    /// Marks the request as a write absorbed by the cache.
+    pub fn set_write_hit(&mut self, hit: bool) {
+        self.write_hit = hit;
+    }
+
+    /// Marks whether the application-visible completion is governed by the
+    /// cache device (as opposed to the disk subsystem).
+    pub fn set_served_by_cache(&mut self, by_cache: bool) {
+        self.served_by_cache = by_cache;
+    }
+
+    /// Whether the read was served from the cache.
+    pub fn read_hit(&self) -> bool {
+        self.read_hit
+    }
+
+    /// Whether the write was absorbed by the cache.
+    pub fn write_hit(&self) -> bool {
+        self.write_hit
+    }
+
+    /// Whether the application-visible latency is determined by the cache
+    /// device.
+    pub fn served_by_cache(&self) -> bool {
+        self.served_by_cache
+    }
+
+    /// All derived operations, in issue order.
+    pub fn ops(&self) -> &[DerivedOp] {
+        &self.ops
+    }
+
+    /// The derived operations destined for the SSD cache device.
+    pub fn ssd_ops(&self) -> Vec<&DerivedOp> {
+        self.ops.iter().filter(|op| op.target == TargetDevice::Ssd).collect()
+    }
+
+    /// The derived operations destined for the disk subsystem.
+    pub fn hdd_ops(&self) -> Vec<&DerivedOp> {
+        self.ops.iter().filter(|op| op.target == TargetDevice::Hdd).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbica_storage::block::Lba;
+
+    fn range() -> BlockRange {
+        BlockRange::new(Lba::new(0), 8)
+    }
+
+    #[test]
+    fn derived_op_class_follows_origin() {
+        let promote =
+            DerivedOp::new(TargetDevice::Ssd, RequestKind::Write, RequestOrigin::Promote, range());
+        assert_eq!(promote.class(), RequestClass::Promote);
+        let evict =
+            DerivedOp::new(TargetDevice::Hdd, RequestKind::Write, RequestOrigin::Evict, range());
+        assert_eq!(evict.class(), RequestClass::Evict);
+    }
+
+    #[test]
+    fn outcome_partitions_ops_by_target() {
+        let mut o = CacheOutcome::new();
+        o.push(DerivedOp::new(
+            TargetDevice::Ssd,
+            RequestKind::Read,
+            RequestOrigin::Application,
+            range(),
+        ));
+        o.push(DerivedOp::new(
+            TargetDevice::Hdd,
+            RequestKind::Write,
+            RequestOrigin::Evict,
+            range(),
+        ));
+        assert_eq!(o.ops().len(), 2);
+        assert_eq!(o.ssd_ops().len(), 1);
+        assert_eq!(o.hdd_ops().len(), 1);
+    }
+
+    #[test]
+    fn flags_default_false_and_are_settable() {
+        let mut o = CacheOutcome::new();
+        assert!(!o.read_hit() && !o.write_hit() && !o.served_by_cache());
+        o.set_read_hit(true);
+        o.set_served_by_cache(true);
+        assert!(o.read_hit() && o.served_by_cache());
+        o.set_write_hit(true);
+        assert!(o.write_hit());
+    }
+}

@@ -1,0 +1,166 @@
+//! Cache write policies.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// The four cache write policies the paper assigns (Section III-C).
+///
+/// | Policy | Reads | Writes | Promotes read misses? |
+/// |---|---|---|---|
+/// | `WriteBack` | served by cache on hit | buffered in cache (dirty) | yes |
+/// | `WriteThrough` | served by cache on hit | written to cache **and** disk | yes |
+/// | `ReadOnly` | served by cache on hit | bypassed to disk (cached copy invalidated) | yes |
+/// | `WriteOnly` | served by cache on hit | buffered in cache (dirty) | **no** |
+///
+/// LBICA's load balancer maps workload groups onto policies:
+/// Group 1 (random read) → `WriteOnly`, Group 2 (mixed read/write) →
+/// `ReadOnly`, Groups 3 and 4 → `WriteBack`.
+///
+/// ```
+/// use lbica_cache::WritePolicy;
+/// assert!(WritePolicy::WriteBack.buffers_writes());
+/// assert!(!WritePolicy::ReadOnly.buffers_writes());
+/// assert!(!WritePolicy::WriteOnly.promotes_read_misses());
+/// assert_eq!("RO".parse::<WritePolicy>().unwrap(), WritePolicy::ReadOnly);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum WritePolicy {
+    /// Write-back: reads and writes are cached; dirty data is written back
+    /// lazily. The enterprise default and the paper's baseline policy.
+    #[default]
+    WriteBack,
+    /// Write-through: writes go to both the cache and the disk subsystem
+    /// synchronously; reads are cached. The policy SIB assumes.
+    WriteThrough,
+    /// Read-only: only reads are cached; writes bypass the cache entirely
+    /// (and invalidate any cached copy).
+    ReadOnly,
+    /// Write-only: writes are buffered in the cache, reads are served on a
+    /// hit, but read misses are *not* promoted.
+    WriteOnly,
+}
+
+impl WritePolicy {
+    /// All policies in a stable order.
+    pub const ALL: [WritePolicy; 4] = [
+        WritePolicy::WriteBack,
+        WritePolicy::WriteThrough,
+        WritePolicy::ReadOnly,
+        WritePolicy::WriteOnly,
+    ];
+
+    /// Whether application writes are absorbed by the cache device.
+    pub const fn buffers_writes(self) -> bool {
+        matches!(
+            self,
+            WritePolicy::WriteBack | WritePolicy::WriteThrough | WritePolicy::WriteOnly
+        )
+    }
+
+    /// Whether application writes additionally reach the disk subsystem
+    /// synchronously.
+    pub const fn writes_through(self) -> bool {
+        matches!(self, WritePolicy::WriteThrough | WritePolicy::ReadOnly)
+    }
+
+    /// Whether buffered writes leave dirty blocks that must eventually be
+    /// written back.
+    pub const fn leaves_dirty_blocks(self) -> bool {
+        matches!(self, WritePolicy::WriteBack | WritePolicy::WriteOnly)
+    }
+
+    /// Whether a read miss installs (promotes) the missed block in the
+    /// cache.
+    pub const fn promotes_read_misses(self) -> bool {
+        matches!(
+            self,
+            WritePolicy::WriteBack | WritePolicy::WriteThrough | WritePolicy::ReadOnly
+        )
+    }
+
+    /// The short label the paper uses (WB / WT / RO / WO).
+    pub const fn label(self) -> &'static str {
+        match self {
+            WritePolicy::WriteBack => "WB",
+            WritePolicy::WriteThrough => "WT",
+            WritePolicy::ReadOnly => "RO",
+            WritePolicy::WriteOnly => "WO",
+        }
+    }
+}
+
+impl fmt::Display for WritePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing a [`WritePolicy`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError(String);
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown write policy `{}` (expected WB, WT, RO or WO)", self.0)
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for WritePolicy {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "WB" | "WRITEBACK" | "WRITE-BACK" => Ok(WritePolicy::WriteBack),
+            "WT" | "WRITETHROUGH" | "WRITE-THROUGH" => Ok(WritePolicy::WriteThrough),
+            "RO" | "READONLY" | "READ-ONLY" => Ok(WritePolicy::ReadOnly),
+            "WO" | "WRITEONLY" | "WRITE-ONLY" => Ok(WritePolicy::WriteOnly),
+            other => Err(ParsePolicyError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_truth_table_matches_paper() {
+        use WritePolicy::*;
+        // buffers_writes, writes_through, dirty, promotes
+        let expect = [
+            (WriteBack, true, false, true, true),
+            (WriteThrough, true, true, false, true),
+            (ReadOnly, false, true, false, true),
+            (WriteOnly, true, false, true, false),
+        ];
+        for (p, buf, through, dirty, promote) in expect {
+            assert_eq!(p.buffers_writes(), buf, "{p} buffers_writes");
+            assert_eq!(p.writes_through(), through, "{p} writes_through");
+            assert_eq!(p.leaves_dirty_blocks(), dirty, "{p} leaves_dirty_blocks");
+            assert_eq!(p.promotes_read_misses(), promote, "{p} promotes_read_misses");
+        }
+    }
+
+    #[test]
+    fn labels_and_default() {
+        assert_eq!(WritePolicy::default(), WritePolicy::WriteBack);
+        let labels: Vec<&str> = WritePolicy::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, vec!["WB", "WT", "RO", "WO"]);
+    }
+
+    #[test]
+    fn parse_round_trips_all_labels() {
+        for p in WritePolicy::ALL {
+            assert_eq!(p.label().parse::<WritePolicy>().unwrap(), p);
+            assert_eq!(p.to_string().parse::<WritePolicy>().unwrap(), p);
+        }
+        assert_eq!("write-back".parse::<WritePolicy>().unwrap(), WritePolicy::WriteBack);
+        assert!("XX".parse::<WritePolicy>().is_err());
+        let err = "XX".parse::<WritePolicy>().unwrap_err();
+        assert!(err.to_string().contains("XX"));
+    }
+}

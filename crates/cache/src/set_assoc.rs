@@ -1,0 +1,409 @@
+//! Set-associative block-to-slot mapping.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::replacement::{RecencyList, ReplacementKind};
+
+/// The state of one cache slot (one way of one set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlotState {
+    /// The slot holds a clean copy of a block.
+    Clean,
+    /// The slot holds a modified copy that must be written back before it
+    /// can be discarded.
+    Dirty,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Slot {
+    block: u64,
+    state: SlotState,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CacheSet {
+    ways: Vec<Option<Slot>>,
+    recency: RecencyList,
+}
+
+impl CacheSet {
+    fn new(associativity: usize, replacement: ReplacementKind) -> Self {
+        CacheSet {
+            ways: vec![None; associativity],
+            recency: RecencyList::new(replacement),
+        }
+    }
+
+    fn find(&self, block: u64) -> Option<usize> {
+        self.ways
+            .iter()
+            .position(|slot| slot.as_ref().map(|s| s.block == block).unwrap_or(false))
+    }
+
+    fn free_way(&self) -> Option<usize> {
+        self.ways.iter().position(|slot| slot.is_none())
+    }
+}
+
+/// What happened when a block was inserted into the map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InsertOutcome {
+    /// The block was already cached; its state was updated in place.
+    AlreadyPresent,
+    /// The block went into a free slot.
+    Inserted,
+    /// A clean victim was discarded to make room.
+    EvictedClean {
+        /// Block index of the discarded victim.
+        victim: u64,
+    },
+    /// A dirty victim must be written back to the disk subsystem.
+    EvictedDirty {
+        /// Block index of the victim that needs writing back.
+        victim: u64,
+    },
+}
+
+/// A set-associative map from cache-block indices to slots, with dirty-bit
+/// tracking — the metadata structure of the EnhanceIO-like cache.
+///
+/// ```
+/// use lbica_cache::{SetAssociativeMap, SlotState, ReplacementKind};
+///
+/// let mut map = SetAssociativeMap::new(4, 2, ReplacementKind::Lru);
+/// map.insert(1, SlotState::Dirty);
+/// assert!(map.contains(1));
+/// assert_eq!(map.state(1), Some(SlotState::Dirty));
+/// assert_eq!(map.dirty_blocks(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SetAssociativeMap {
+    sets: Vec<CacheSet>,
+    associativity: usize,
+    len: usize,
+    dirty: usize,
+}
+
+impl SetAssociativeMap {
+    /// Creates a map with `num_sets` sets of `associativity` ways each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` or `associativity` is zero.
+    pub fn new(num_sets: usize, associativity: usize, replacement: ReplacementKind) -> Self {
+        assert!(num_sets > 0, "a cache needs at least one set");
+        assert!(associativity > 0, "a cache needs at least one way per set");
+        SetAssociativeMap {
+            sets: (0..num_sets).map(|_| CacheSet::new(associativity, replacement)).collect(),
+            associativity,
+            len: 0,
+            dirty: 0,
+        }
+    }
+
+    /// Total number of slots (blocks the cache can hold).
+    pub fn capacity_blocks(&self) -> usize {
+        self.sets.len() * self.associativity
+    }
+
+    /// Number of blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of dirty blocks awaiting write-back.
+    pub fn dirty_blocks(&self) -> usize {
+        self.dirty
+    }
+
+    fn set_index(&self, block: u64) -> usize {
+        (block % self.sets.len() as u64) as usize
+    }
+
+    /// Whether `block` is cached.
+    pub fn contains(&self, block: u64) -> bool {
+        let set = &self.sets[self.set_index(block)];
+        set.find(block).is_some()
+    }
+
+    /// The state of `block` if cached.
+    pub fn state(&self, block: u64) -> Option<SlotState> {
+        let set = &self.sets[self.set_index(block)];
+        set.find(block).and_then(|way| set.ways[way].as_ref().map(|s| s.state))
+    }
+
+    /// Records a hit on `block` (recency update). Returns `false` when the
+    /// block is not cached.
+    pub fn touch(&mut self, block: u64) -> bool {
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        match set.find(block) {
+            Some(way) => {
+                set.recency.touch(way);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts `block` with the given state, evicting a victim when the set
+    /// is full. Inserting an already-present block updates its state
+    /// (clean→dirty transitions are recorded; dirty blocks stay dirty).
+    pub fn insert(&mut self, block: u64, state: SlotState) -> InsertOutcome {
+        let idx = self.set_index(block);
+        let set_len = self.sets.len();
+        debug_assert!(idx < set_len);
+        let set = &mut self.sets[idx];
+
+        if let Some(way) = set.find(block) {
+            set.recency.touch(way);
+            if let Some(slot) = set.ways[way].as_mut() {
+                if slot.state == SlotState::Clean && state == SlotState::Dirty {
+                    slot.state = SlotState::Dirty;
+                    self.dirty += 1;
+                }
+            }
+            return InsertOutcome::AlreadyPresent;
+        }
+
+        if let Some(way) = set.free_way() {
+            set.ways[way] = Some(Slot { block, state });
+            set.recency.touch(way);
+            self.len += 1;
+            if state == SlotState::Dirty {
+                self.dirty += 1;
+            }
+            return InsertOutcome::Inserted;
+        }
+
+        // Set is full: evict the recency victim.
+        let victim_way = set.recency.victim().expect("full set has a victim");
+        let victim = set.ways[victim_way].take().expect("victim way is occupied");
+        set.recency.remove(victim_way);
+        set.ways[victim_way] = Some(Slot { block, state });
+        set.recency.touch(victim_way);
+
+        if state == SlotState::Dirty {
+            self.dirty += 1;
+        }
+        match victim.state {
+            SlotState::Dirty => {
+                self.dirty -= 1;
+                InsertOutcome::EvictedDirty { victim: victim.block }
+            }
+            SlotState::Clean => InsertOutcome::EvictedClean { victim: victim.block },
+        }
+    }
+
+    /// Marks a cached block dirty. Returns `false` when the block is not
+    /// cached.
+    pub fn mark_dirty(&mut self, block: u64) -> bool {
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        if let Some(way) = set.find(block) {
+            if let Some(slot) = set.ways[way].as_mut() {
+                if slot.state == SlotState::Clean {
+                    slot.state = SlotState::Dirty;
+                    self.dirty += 1;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Marks a cached block clean (after a flush). Returns `false` when the
+    /// block is not cached.
+    pub fn mark_clean(&mut self, block: u64) -> bool {
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        if let Some(way) = set.find(block) {
+            if let Some(slot) = set.ways[way].as_mut() {
+                if slot.state == SlotState::Dirty {
+                    slot.state = SlotState::Clean;
+                    self.dirty -= 1;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes `block` from the cache, returning its state if it was cached.
+    pub fn invalidate(&mut self, block: u64) -> Option<SlotState> {
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        let way = set.find(block)?;
+        let slot = set.ways[way].take()?;
+        set.recency.remove(way);
+        self.len -= 1;
+        if slot.state == SlotState::Dirty {
+            self.dirty -= 1;
+        }
+        Some(slot.state)
+    }
+
+    /// Returns up to `max` dirty block indices, coldest sets first, for the
+    /// background flusher.
+    pub fn dirty_candidates(&self, max: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        'outer: for set in &self.sets {
+            for slot in set.ways.iter().flatten() {
+                if slot.state == SlotState::Dirty {
+                    out.push(slot.block);
+                    if out.len() >= max {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates all cached block indices.
+    pub fn blocks(&self) -> impl Iterator<Item = u64> + '_ {
+        self.sets.iter().flat_map(|set| set.ways.iter().flatten().map(|s| s.block))
+    }
+}
+
+impl fmt::Display for SetAssociativeMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "set-assoc cache: {}/{} blocks cached, {} dirty",
+            self.len,
+            self.capacity_blocks(),
+            self.dirty
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> SetAssociativeMap {
+        SetAssociativeMap::new(4, 2, ReplacementKind::Lru)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn zero_sets_panics() {
+        let _ = SetAssociativeMap::new(0, 2, ReplacementKind::Lru);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_panics() {
+        let _ = SetAssociativeMap::new(2, 0, ReplacementKind::Lru);
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut m = map();
+        assert_eq!(m.insert(1, SlotState::Clean), InsertOutcome::Inserted);
+        assert!(m.contains(1));
+        assert_eq!(m.state(1), Some(SlotState::Clean));
+        assert_eq!(m.len(), 1);
+        assert!(!m.contains(2));
+        assert_eq!(m.state(2), None);
+    }
+
+    #[test]
+    fn reinsert_upgrades_clean_to_dirty() {
+        let mut m = map();
+        m.insert(1, SlotState::Clean);
+        assert_eq!(m.insert(1, SlotState::Dirty), InsertOutcome::AlreadyPresent);
+        assert_eq!(m.state(1), Some(SlotState::Dirty));
+        assert_eq!(m.dirty_blocks(), 1);
+        // A later clean insert does not silently lose the dirty bit.
+        m.insert(1, SlotState::Clean);
+        assert_eq!(m.state(1), Some(SlotState::Dirty));
+        assert_eq!(m.dirty_blocks(), 1);
+    }
+
+    #[test]
+    fn full_set_evicts_lru_victim() {
+        let mut m = map(); // 4 sets, 2 ways; blocks 0,4,8 all map to set 0
+        m.insert(0, SlotState::Clean);
+        m.insert(4, SlotState::Clean);
+        m.touch(0); // 4 becomes LRU
+        let outcome = m.insert(8, SlotState::Clean);
+        assert_eq!(outcome, InsertOutcome::EvictedClean { victim: 4 });
+        assert!(m.contains(0));
+        assert!(m.contains(8));
+        assert!(!m.contains(4));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn dirty_victim_is_reported_for_writeback() {
+        let mut m = map();
+        m.insert(0, SlotState::Dirty);
+        m.insert(4, SlotState::Dirty);
+        let outcome = m.insert(8, SlotState::Clean);
+        assert_eq!(outcome, InsertOutcome::EvictedDirty { victim: 0 });
+        assert_eq!(m.dirty_blocks(), 1);
+    }
+
+    #[test]
+    fn mark_dirty_and_clean_round_trip() {
+        let mut m = map();
+        m.insert(3, SlotState::Clean);
+        assert!(m.mark_dirty(3));
+        assert_eq!(m.dirty_blocks(), 1);
+        assert!(m.mark_clean(3));
+        assert_eq!(m.dirty_blocks(), 0);
+        assert!(!m.mark_dirty(99));
+        assert!(!m.mark_clean(99));
+    }
+
+    #[test]
+    fn invalidate_removes_and_reports_state() {
+        let mut m = map();
+        m.insert(5, SlotState::Dirty);
+        assert_eq!(m.invalidate(5), Some(SlotState::Dirty));
+        assert_eq!(m.invalidate(5), None);
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.dirty_blocks(), 0);
+    }
+
+    #[test]
+    fn dirty_candidates_lists_dirty_blocks_up_to_max() {
+        let mut m = SetAssociativeMap::new(8, 2, ReplacementKind::Lru);
+        for b in 0..6 {
+            m.insert(b, SlotState::Dirty);
+        }
+        let some = m.dirty_candidates(4);
+        assert_eq!(some.len(), 4);
+        let all = m.dirty_candidates(100);
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn len_never_exceeds_capacity() {
+        let mut m = SetAssociativeMap::new(2, 2, ReplacementKind::Fifo);
+        for b in 0..100 {
+            m.insert(b, SlotState::Clean);
+            assert!(m.len() <= m.capacity_blocks());
+        }
+        assert_eq!(m.len(), m.capacity_blocks());
+        assert_eq!(m.blocks().count(), 4);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut m = map();
+        m.insert(1, SlotState::Dirty);
+        let s = m.to_string();
+        assert!(s.contains("1/8"));
+        assert!(s.contains("1 dirty"));
+    }
+}

@@ -1,0 +1,321 @@
+//! The LBICA controller: detection → characterization → balancing, once per
+//! monitoring interval (paper Fig. 2).
+
+use serde::{Deserialize, Serialize};
+
+use lbica_cache::WritePolicy;
+use lbica_sim::{BypassDirective, CacheController, ControllerContext, ControllerDecision};
+
+use crate::balancer::{LoadBalancer, PolicyMap};
+use crate::characterizer::{RequestMix, WorkloadCharacterizer, WorkloadGroup};
+use crate::detector::BottleneckDetector;
+use crate::history::{DecisionLog, DecisionRecord};
+
+/// Tunables of the [`LbicaController`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LbicaConfig {
+    /// Bottleneck threshold ratio (1.0 = the paper's `cache_Qtime >
+    /// disk_Qtime`).
+    pub threshold_ratio: f64,
+    /// Minimum cache queue depth before a burst can be declared.
+    pub min_cache_queue: usize,
+    /// Group → policy assignment.
+    pub policy_map: PolicyMap,
+    /// Number of consecutive calm intervals required before the policy
+    /// reverts to the fallback (hysteresis so a single quiet interval in the
+    /// middle of a burst does not flap the policy).
+    pub calm_intervals_to_revert: u32,
+}
+
+impl LbicaConfig {
+    /// The configuration used throughout the paper reproduction.
+    pub fn paper() -> Self {
+        LbicaConfig {
+            threshold_ratio: 1.0,
+            min_cache_queue: 4,
+            policy_map: PolicyMap::paper(),
+            calm_intervals_to_revert: 2,
+        }
+    }
+}
+
+impl Default for LbicaConfig {
+    fn default() -> Self {
+        LbicaConfig::paper()
+    }
+}
+
+/// The paper's contribution: an adaptive write-policy load balancer for the
+/// I/O cache.
+///
+/// Per interval it (1) checks Eq. 1 to decide whether the cache is the
+/// bottleneck, (2) characterizes the workload from the R/W/P/E mix observed
+/// in the cache queue, and (3) assigns the group's write policy, bypassing
+/// the queue tail for write-intensive bursts. Outside bursts the policy
+/// reverts (with hysteresis) to write-back, matching Fig. 6 where the WB
+/// label returns between bursts.
+///
+/// ```
+/// use lbica_core::LbicaController;
+/// use lbica_sim::CacheController;
+///
+/// let controller = LbicaController::new();
+/// assert_eq!(controller.name(), "LBICA");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LbicaController {
+    config: LbicaConfig,
+    detector: BottleneckDetector,
+    characterizer: WorkloadCharacterizer,
+    balancer: LoadBalancer,
+    calm_streak: u32,
+    last_group: Option<WorkloadGroup>,
+    bursts_detected: u64,
+    log: DecisionLog,
+}
+
+impl LbicaController {
+    /// Creates a controller with the paper's configuration.
+    pub fn new() -> Self {
+        LbicaController::with_config(LbicaConfig::paper())
+    }
+
+    /// Creates a controller with an explicit configuration.
+    pub fn with_config(config: LbicaConfig) -> Self {
+        LbicaController {
+            detector: BottleneckDetector::with_threshold_ratio(config.threshold_ratio)
+                .with_min_cache_queue(config.min_cache_queue),
+            characterizer: WorkloadCharacterizer::new(),
+            balancer: LoadBalancer::with_policy_map(config.policy_map),
+            config,
+            calm_streak: 0,
+            last_group: None,
+            bursts_detected: 0,
+            log: DecisionLog::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub const fn config(&self) -> &LbicaConfig {
+        &self.config
+    }
+
+    /// The workload group detected at the most recent burst interval.
+    pub const fn last_group(&self) -> Option<WorkloadGroup> {
+        self.last_group
+    }
+
+    /// How many intervals have been flagged as bursts so far.
+    pub const fn bursts_detected(&self) -> u64 {
+        self.bursts_detected
+    }
+
+    /// The per-interval decision log (the controller's own Fig. 6 view).
+    pub const fn decision_log(&self) -> &DecisionLog {
+        &self.log
+    }
+}
+
+impl Default for LbicaController {
+    fn default() -> Self {
+        LbicaController::new()
+    }
+}
+
+impl CacheController for LbicaController {
+    fn name(&self) -> &str {
+        "LBICA"
+    }
+
+    fn initial_policy(&self) -> WritePolicy {
+        // The paper starts every experiment with a write-back cache.
+        self.config.policy_map.fallback
+    }
+
+    fn on_interval(&mut self, ctx: &ControllerContext<'_>) -> ControllerDecision {
+        // Step 1 — bottleneck detection (Eq. 1).
+        let verdict = self.detector.evaluate(
+            ctx.cache_queue_depth,
+            ctx.cache_avg_latency,
+            ctx.disk_queue_depth,
+            ctx.disk_avg_latency,
+        );
+
+        if !verdict.cache_is_bottleneck {
+            // Calm interval: after enough consecutive calm intervals revert
+            // to the fallback policy; otherwise hold the current one.
+            self.calm_streak += 1;
+            let policy = if self.calm_streak >= self.config.calm_intervals_to_revert {
+                self.config.policy_map.fallback
+            } else {
+                ctx.current_policy
+            };
+            self.log.push(DecisionRecord {
+                interval: ctx.interval_index,
+                burst: false,
+                cache_qtime: verdict.cache_qtime,
+                disk_qtime: verdict.disk_qtime,
+                group: None,
+                policy,
+                tail_bypass: 0,
+            });
+            return ControllerDecision {
+                policy,
+                bypass: BypassDirective::None,
+                burst_detected: false,
+            };
+        }
+
+        // Step 2 — workload characterization from the in-queue class mix.
+        self.calm_streak = 0;
+        self.bursts_detected += 1;
+        let mix = RequestMix::from_snapshot(&ctx.cache_queue_mix);
+        let group = self.characterizer.classify(&mix);
+        self.last_group = Some(group);
+
+        // Step 3 — load balancing: assign the group's policy and, for
+        // write-intensive bursts, bypass the queue tail.
+        let action = self.balancer.action_for_burst(
+            group,
+            ctx.cache_queue_depth,
+            ctx.cache_avg_latency,
+            verdict.disk_qtime,
+        );
+        let bypass = if action.tail_bypass > 0 {
+            BypassDirective::TailWrites { max_requests: action.tail_bypass }
+        } else {
+            BypassDirective::None
+        };
+        self.log.push(DecisionRecord {
+            interval: ctx.interval_index,
+            burst: true,
+            cache_qtime: verdict.cache_qtime,
+            disk_qtime: verdict.disk_qtime,
+            group: Some(group),
+            policy: action.policy,
+            tail_bypass: action.tail_bypass,
+        });
+        ControllerDecision { policy: action.policy, bypass, burst_detected: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbica_storage::queue::{DeviceQueue, QueueSnapshot};
+    use lbica_storage::time::{SimDuration, SimTime};
+
+    fn ctx<'a>(
+        queue: &'a DeviceQueue,
+        cache_depth: usize,
+        disk_depth: usize,
+        mix: QueueSnapshot,
+        current: WritePolicy,
+    ) -> ControllerContext<'a> {
+        ControllerContext {
+            interval_index: 0,
+            now: SimTime::ZERO,
+            cache_queue_depth: cache_depth,
+            disk_queue_depth: disk_depth,
+            cache_avg_latency: SimDuration::from_micros(75),
+            disk_avg_latency: SimDuration::from_micros(385),
+            cache_queue_mix: mix,
+            current_policy: current,
+            cache_queue: queue,
+        }
+    }
+
+    #[test]
+    fn random_read_burst_gets_write_only_policy() {
+        let queue = DeviceQueue::new("ssd");
+        let mut lbica = LbicaController::new();
+        // Fig. 6a's mix: R 44, W 2, P 51, E 3 with a deep cache queue.
+        let mix = QueueSnapshot { reads: 440, writes: 22, promotes: 510, evicts: 28 };
+        let d = lbica.on_interval(&ctx(&queue, 60, 1, mix, WritePolicy::WriteBack));
+        assert!(d.burst_detected);
+        assert_eq!(d.policy, WritePolicy::WriteOnly);
+        assert_eq!(d.bypass, BypassDirective::None);
+        assert_eq!(lbica.last_group(), Some(WorkloadGroup::RandomRead));
+        assert_eq!(lbica.bursts_detected(), 1);
+    }
+
+    #[test]
+    fn mixed_read_write_burst_gets_read_only_policy() {
+        let queue = DeviceQueue::new("ssd");
+        let mut lbica = LbicaController::new();
+        let mix = QueueSnapshot { reads: 139, writes: 704, promotes: 39, evicts: 118 };
+        let d = lbica.on_interval(&ctx(&queue, 80, 2, mix, WritePolicy::WriteBack));
+        assert_eq!(d.policy, WritePolicy::ReadOnly);
+        assert!(d.burst_detected);
+    }
+
+    #[test]
+    fn write_intensive_burst_keeps_wb_and_bypasses_the_tail() {
+        let queue = DeviceQueue::new("ssd");
+        let mut lbica = LbicaController::new();
+        let mix = QueueSnapshot { reads: 20, writes: 650, promotes: 30, evicts: 300 };
+        let d = lbica.on_interval(&ctx(&queue, 100, 1, mix, WritePolicy::WriteBack));
+        assert_eq!(d.policy, WritePolicy::WriteBack);
+        assert!(matches!(d.bypass, BypassDirective::TailWrites { max_requests } if max_requests > 0));
+    }
+
+    #[test]
+    fn no_bottleneck_means_no_burst_and_eventual_revert() {
+        let queue = DeviceQueue::new("ssd");
+        let mut lbica = LbicaController::new();
+        let mix = QueueSnapshot { reads: 10, writes: 10, promotes: 0, evicts: 0 };
+        // Cache queue shallower than the disk queue: not a bottleneck.
+        let d1 = lbica.on_interval(&ctx(&queue, 2, 10, mix, WritePolicy::WriteOnly));
+        assert!(!d1.burst_detected);
+        // First calm interval holds the current (WO) policy...
+        assert_eq!(d1.policy, WritePolicy::WriteOnly);
+        // ...the second reverts to WB.
+        let d2 = lbica.on_interval(&ctx(&queue, 2, 10, mix, WritePolicy::WriteOnly));
+        assert_eq!(d2.policy, WritePolicy::WriteBack);
+    }
+
+    #[test]
+    fn unknown_mix_in_a_burst_falls_back_to_wb() {
+        let queue = DeviceQueue::new("ssd");
+        let mut lbica = LbicaController::new();
+        let mix = QueueSnapshot { reads: 25, writes: 25, promotes: 25, evicts: 25 };
+        let d = lbica.on_interval(&ctx(&queue, 60, 1, mix, WritePolicy::WriteBack));
+        assert!(d.burst_detected);
+        assert_eq!(d.policy, WritePolicy::WriteBack);
+        assert_eq!(lbica.last_group(), Some(WorkloadGroup::Unknown));
+    }
+
+    #[test]
+    fn shallow_cache_queue_never_triggers_a_burst() {
+        let queue = DeviceQueue::new("ssd");
+        let mut lbica = LbicaController::new();
+        let mix = QueueSnapshot { reads: 2, writes: 0, promotes: 1, evicts: 0 };
+        let d = lbica.on_interval(&ctx(&queue, 2, 0, mix, WritePolicy::WriteBack));
+        assert!(!d.burst_detected, "min_cache_queue suppresses idle-system detections");
+    }
+
+    #[test]
+    fn initial_policy_is_write_back() {
+        let lbica = LbicaController::new();
+        assert_eq!(lbica.initial_policy(), WritePolicy::WriteBack);
+        assert_eq!(lbica.config().threshold_ratio, 1.0);
+    }
+
+    #[test]
+    fn decision_log_records_every_interval() {
+        let queue = DeviceQueue::new("ssd");
+        let mut lbica = LbicaController::new();
+        let burst_mix = QueueSnapshot { reads: 440, writes: 22, promotes: 510, evicts: 28 };
+        let calm_mix = QueueSnapshot { reads: 5, writes: 5, promotes: 0, evicts: 0 };
+        lbica.on_interval(&ctx(&queue, 60, 1, burst_mix, WritePolicy::WriteBack));
+        lbica.on_interval(&ctx(&queue, 1, 10, calm_mix, WritePolicy::WriteOnly));
+        let log = lbica.decision_log();
+        assert_eq!(log.len(), 2);
+        assert!(log.records()[0].burst);
+        assert!(!log.records()[1].burst);
+        let summary = log.summarize();
+        assert_eq!(summary.total_intervals, 2);
+        assert_eq!(summary.burst_intervals, 1);
+        assert_eq!(summary.group_counts["random-read"], 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Bottleneck detection (paper Section III-A, Eq. 1).
+
+use serde::{Deserialize, Serialize};
+
+use lbica_storage::time::SimDuration;
+
+/// The outcome of one bottleneck check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BottleneckVerdict {
+    /// `cache_Qtime = ssdQSize × ssdLatency`.
+    pub cache_qtime: SimDuration,
+    /// `disk_Qtime = hddQSize × hddLatency`.
+    pub disk_qtime: SimDuration,
+    /// Whether the I/O cache is the performance bottleneck.
+    pub cache_is_bottleneck: bool,
+}
+
+/// Implements Eq. 1 of the paper: the I/O cache is flagged as the
+/// performance bottleneck when the maximum queue time of its pending
+/// requests exceeds that of the disk subsystem.
+///
+/// A `threshold_ratio` of 1.0 reproduces the paper's condition exactly
+/// (`cache_Qtime > disk_Qtime`); larger values make the detector more
+/// conservative and are exercised by the threshold-sweep ablation.
+///
+/// ```
+/// use lbica_core::BottleneckDetector;
+/// use lbica_storage::time::SimDuration;
+///
+/// let detector = BottleneckDetector::new();
+/// let verdict = detector.evaluate(
+///     40,                               // ssdQSize
+///     SimDuration::from_micros(75),     // ssdLatency
+///     2,                                // hddQSize
+///     SimDuration::from_micros(385),    // hddLatency
+/// );
+/// assert!(verdict.cache_is_bottleneck);
+/// assert_eq!(verdict.cache_qtime.as_micros(), 3_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BottleneckDetector {
+    threshold_ratio: f64,
+    min_cache_queue: usize,
+}
+
+impl BottleneckDetector {
+    /// Creates a detector with the paper's condition
+    /// (`cache_Qtime > disk_Qtime`).
+    pub fn new() -> Self {
+        BottleneckDetector { threshold_ratio: 1.0, min_cache_queue: 1 }
+    }
+
+    /// Creates a detector that only flags a bottleneck when the cache queue
+    /// time exceeds `ratio ×` the disk queue time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not finite and positive.
+    pub fn with_threshold_ratio(ratio: f64) -> Self {
+        assert!(ratio.is_finite() && ratio > 0.0, "threshold ratio must be positive");
+        BottleneckDetector { threshold_ratio: ratio, min_cache_queue: 1 }
+    }
+
+    /// Requires at least `depth` pending cache requests before a bottleneck
+    /// can be declared (suppresses spurious detections on idle systems).
+    pub fn with_min_cache_queue(mut self, depth: usize) -> Self {
+        self.min_cache_queue = depth;
+        self
+    }
+
+    /// The configured threshold ratio.
+    pub const fn threshold_ratio(&self) -> f64 {
+        self.threshold_ratio
+    }
+
+    /// Maximum queue time of the I/O cache per Eq. 1.
+    pub fn cache_qtime(&self, ssd_queue_size: usize, ssd_latency: SimDuration) -> SimDuration {
+        ssd_latency.saturating_mul(ssd_queue_size as u64)
+    }
+
+    /// Maximum queue time of the disk subsystem per Eq. 1.
+    pub fn disk_qtime(&self, hdd_queue_size: usize, hdd_latency: SimDuration) -> SimDuration {
+        hdd_latency.saturating_mul(hdd_queue_size as u64)
+    }
+
+    /// Evaluates the bottleneck condition for the current queue sizes and
+    /// average device latencies.
+    pub fn evaluate(
+        &self,
+        ssd_queue_size: usize,
+        ssd_latency: SimDuration,
+        hdd_queue_size: usize,
+        hdd_latency: SimDuration,
+    ) -> BottleneckVerdict {
+        let cache_qtime = self.cache_qtime(ssd_queue_size, ssd_latency);
+        let disk_qtime = self.disk_qtime(hdd_queue_size, hdd_latency);
+        let cache_is_bottleneck = ssd_queue_size >= self.min_cache_queue
+            && cache_qtime.as_micros() as f64 > disk_qtime.as_micros() as f64 * self.threshold_ratio;
+        BottleneckVerdict { cache_qtime, disk_qtime, cache_is_bottleneck }
+    }
+}
+
+impl Default for BottleneckDetector {
+    fn default() -> Self {
+        BottleneckDetector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SSD: SimDuration = SimDuration::from_micros(75);
+    const HDD: SimDuration = SimDuration::from_micros(385);
+
+    #[test]
+    fn eq1_products_are_exact() {
+        let d = BottleneckDetector::new();
+        assert_eq!(d.cache_qtime(12, SSD).as_micros(), 900);
+        assert_eq!(d.disk_qtime(3, HDD).as_micros(), 1_155);
+    }
+
+    #[test]
+    fn cache_longer_than_disk_is_a_bottleneck() {
+        let d = BottleneckDetector::new();
+        assert!(d.evaluate(40, SSD, 2, HDD).cache_is_bottleneck);
+        assert!(!d.evaluate(2, SSD, 40, HDD).cache_is_bottleneck);
+    }
+
+    #[test]
+    fn equal_queue_times_are_not_a_bottleneck() {
+        let d = BottleneckDetector::new();
+        // 385*75 µs on both sides.
+        let v = d.evaluate(385, SimDuration::from_micros(75), 75, SimDuration::from_micros(385));
+        assert_eq!(v.cache_qtime, v.disk_qtime);
+        assert!(!v.cache_is_bottleneck);
+    }
+
+    #[test]
+    fn empty_cache_queue_is_never_a_bottleneck() {
+        let d = BottleneckDetector::new();
+        let v = d.evaluate(0, SSD, 0, HDD);
+        assert!(!v.cache_is_bottleneck);
+        assert_eq!(v.cache_qtime, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn threshold_ratio_makes_detection_stricter() {
+        let strict = BottleneckDetector::with_threshold_ratio(4.0);
+        // Cache qtime is 2x disk qtime: flagged by the default, not by 4x.
+        assert!(BottleneckDetector::new().evaluate(20, SSD, 2, SSD).cache_is_bottleneck);
+        assert!(!strict.evaluate(4, SSD, 2, SSD).cache_is_bottleneck);
+        assert!(strict.evaluate(20, SSD, 2, SSD).cache_is_bottleneck);
+        assert_eq!(strict.threshold_ratio(), 4.0);
+    }
+
+    #[test]
+    fn min_cache_queue_suppresses_idle_detections() {
+        let d = BottleneckDetector::new().with_min_cache_queue(8);
+        assert!(!d.evaluate(3, SSD, 0, HDD).cache_is_bottleneck);
+        assert!(d.evaluate(8, SSD, 0, HDD).cache_is_bottleneck);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_threshold_panics() {
+        let _ = BottleneckDetector::with_threshold_ratio(0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! The cache-controller interface.
+//!
+//! A controller is consulted once per monitoring interval with everything
+//! the paper's LBICA daemon reads from `iostat` and `blktrace`
+//! ([`ControllerContext`]) and answers with a [`ControllerDecision`]: which
+//! write policy the cache should use for the next interval and which queued
+//! requests, if any, should be bypassed to the disk subsystem.
+//!
+//! The LBICA and SIB controllers live in the `lbica-core` crate; this module
+//! only defines the interface plus [`StaticPolicyController`], the
+//! no-load-balancing baseline.
+
+use lbica_cache::WritePolicy;
+use lbica_storage::queue::{DeviceQueue, QueueSnapshot};
+use lbica_storage::request::RequestId;
+use lbica_storage::time::{SimDuration, SimTime};
+
+/// Everything a controller can observe at an interval boundary.
+#[derive(Debug)]
+pub struct ControllerContext<'a> {
+    /// Index of the interval that just ended.
+    pub interval_index: u32,
+    /// Simulated time at the boundary.
+    pub now: SimTime,
+    /// Current depth of the SSD cache queue (`ssdQSize`).
+    pub cache_queue_depth: usize,
+    /// Current depth of the disk-subsystem queue (`hddQSize`).
+    pub disk_queue_depth: usize,
+    /// Average service latency of the cache device (`ssdLatency`).
+    pub cache_avg_latency: SimDuration,
+    /// Average service latency of the disk subsystem (`hddLatency`).
+    pub disk_avg_latency: SimDuration,
+    /// Class mix of the requests that passed through the cache queue during
+    /// the interval (the `blktrace` channel).
+    pub cache_queue_mix: QueueSnapshot,
+    /// The policy that was in force during the interval.
+    pub current_policy: WritePolicy,
+    /// Read-only view of the cache queue, for per-request wait estimation
+    /// (used by SIB).
+    pub cache_queue: &'a DeviceQueue,
+}
+
+/// Which queued requests the controller wants redirected to the disk
+/// subsystem before the next interval starts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum BypassDirective {
+    /// Leave the cache queue untouched.
+    #[default]
+    None,
+    /// Remove up to `max_requests` application writes from the tail of the
+    /// cache queue and serve them from the disk subsystem (LBICA's Group 3
+    /// action).
+    TailWrites {
+        /// Upper bound on how many requests to move.
+        max_requests: usize,
+    },
+    /// Remove the specific requests (selected by the controller, e.g. SIB's
+    /// highest-estimated-wait victims) and serve the application ones from
+    /// the disk subsystem.
+    Requests(Vec<RequestId>),
+}
+
+/// A controller's answer for the next interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControllerDecision {
+    /// The write policy to assign to the cache.
+    pub policy: WritePolicy,
+    /// Which queued requests to bypass.
+    pub bypass: BypassDirective,
+    /// Whether the controller considered the interval a burst / bottleneck
+    /// interval (recorded in the interval report, plotted in Fig. 6).
+    pub burst_detected: bool,
+}
+
+impl ControllerDecision {
+    /// A decision that keeps `policy` and changes nothing else.
+    pub fn keep(policy: WritePolicy) -> Self {
+        ControllerDecision { policy, bypass: BypassDirective::None, burst_detected: false }
+    }
+}
+
+/// A cache load-balancing controller.
+pub trait CacheController {
+    /// Short name used in reports and plots ("WB", "SIB", "LBICA", ...).
+    fn name(&self) -> &str;
+
+    /// The policy the cache should start the run with.
+    fn initial_policy(&self) -> WritePolicy {
+        WritePolicy::WriteBack
+    }
+
+    /// Called at the end of every monitoring interval.
+    fn on_interval(&mut self, ctx: &ControllerContext<'_>) -> ControllerDecision;
+}
+
+/// The no-load-balancing baseline: a fixed write policy, never bypasses.
+///
+/// With [`WritePolicy::WriteBack`] this is the paper's "WB cache" baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticPolicyController {
+    name: String,
+    policy: WritePolicy,
+}
+
+impl StaticPolicyController {
+    /// Creates a baseline that pins `policy` for the whole run.
+    pub fn new(policy: WritePolicy) -> Self {
+        StaticPolicyController { name: format!("static-{}", policy.label()), policy }
+    }
+
+    /// The paper's WB baseline.
+    pub fn write_back() -> Self {
+        StaticPolicyController { name: "WB".to_string(), policy: WritePolicy::WriteBack }
+    }
+
+    /// The pinned policy.
+    pub const fn policy(&self) -> WritePolicy {
+        self.policy
+    }
+}
+
+impl CacheController for StaticPolicyController {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn initial_policy(&self) -> WritePolicy {
+        self.policy
+    }
+
+    fn on_interval(&mut self, _ctx: &ControllerContext<'_>) -> ControllerDecision {
+        ControllerDecision::keep(self.policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(queue: &DeviceQueue) -> ControllerContext<'_> {
+        ControllerContext {
+            interval_index: 0,
+            now: SimTime::ZERO,
+            cache_queue_depth: 10,
+            disk_queue_depth: 1,
+            cache_avg_latency: SimDuration::from_micros(75),
+            disk_avg_latency: SimDuration::from_micros(385),
+            cache_queue_mix: QueueSnapshot::default(),
+            current_policy: WritePolicy::WriteBack,
+            cache_queue: queue,
+        }
+    }
+
+    #[test]
+    fn static_controller_never_changes_anything() {
+        let queue = DeviceQueue::new("ssd");
+        let mut wb = StaticPolicyController::write_back();
+        assert_eq!(wb.name(), "WB");
+        assert_eq!(wb.initial_policy(), WritePolicy::WriteBack);
+        let d = wb.on_interval(&ctx(&queue));
+        assert_eq!(d.policy, WritePolicy::WriteBack);
+        assert_eq!(d.bypass, BypassDirective::None);
+        assert!(!d.burst_detected);
+    }
+
+    #[test]
+    fn static_controller_can_pin_other_policies() {
+        let c = StaticPolicyController::new(WritePolicy::WriteThrough);
+        assert_eq!(c.policy(), WritePolicy::WriteThrough);
+        assert_eq!(c.name(), "static-WT");
+    }
+
+    #[test]
+    fn decision_keep_is_a_no_op() {
+        let d = ControllerDecision::keep(WritePolicy::ReadOnly);
+        assert_eq!(d.policy, WritePolicy::ReadOnly);
+        assert_eq!(d.bypass, BypassDirective::None);
+    }
+}

@@ -1,0 +1,162 @@
+//! The discrete-event core: events and the time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use lbica_storage::request::IoRequest;
+use lbica_storage::time::SimTime;
+
+use crate::system::TierId;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// An application request arrives at the cache module.
+    Arrival(IoRequest),
+    /// A device finishes servicing a request.
+    Completion {
+        /// Which tier finished the request.
+        tier: TierId,
+        /// The serviced request (dispatch timestamp already set).
+        request: IoRequest,
+    },
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Monotonic tie-breaker so simultaneous events fire in insertion order.
+    pub seq: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered queue of pending events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty event queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `kind` to fire at `time`.
+    pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the earliest pending event if it fires at or before `limit`.
+    pub fn pop_until(&mut self, limit: SimTime) -> Option<Event> {
+        match self.heap.peek() {
+            Some(e) if e.time <= limit => self.heap.pop(),
+            _ => None,
+        }
+    }
+
+    /// Pops the earliest pending event unconditionally.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbica_storage::request::{RequestKind, RequestOrigin};
+
+    fn arrival(id: u64, t: u64) -> (SimTime, EventKind) {
+        (
+            SimTime::from_micros(t),
+            EventKind::Arrival(IoRequest::new(
+                id,
+                RequestKind::Read,
+                RequestOrigin::Application,
+                0,
+                8,
+            )),
+        )
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        for (id, t) in [(1u64, 300u64), (2, 100), (3, 200)] {
+            let (time, kind) = arrival(id, t);
+            q.schedule(time, kind);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Arrival(r) => r.id(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for id in 0..5u64 {
+            let (time, kind) = arrival(id, 50);
+            q.schedule(time, kind);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Arrival(r) => r.id(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pop_until_respects_limit() {
+        let mut q = EventQueue::new();
+        let (t1, k1) = arrival(1, 100);
+        let (t2, k2) = arrival(2, 500);
+        q.schedule(t1, k1);
+        q.schedule(t2, k2);
+        assert!(q.pop_until(SimTime::from_micros(200)).is_some());
+        assert!(q.pop_until(SimTime::from_micros(200)).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_time(), Some(SimTime::from_micros(500)));
+        assert!(q.pop_until(SimTime::from_micros(500)).is_some());
+        assert!(q.is_empty());
+    }
+}

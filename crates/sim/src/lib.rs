@@ -1,0 +1,53 @@
+//! Discrete-event simulator of a two-tier (SSD cache + disk subsystem)
+//! storage hierarchy.
+//!
+//! The paper evaluates LBICA on a physical server; this crate provides the
+//! deterministic, seedable stand-in: an event-driven model of
+//!
+//! * an application issuing the open-loop request stream of a
+//!   [`lbica_trace::workload::WorkloadSpec`],
+//! * the EnhanceIO-like [`lbica_cache::CacheModule`] that turns each
+//!   application request into derived SSD / disk operations under the
+//!   current write policy,
+//! * two [`DeviceStation`]s — the SSD cache device and the disk subsystem —
+//!   each a FIFO [`lbica_storage::queue::DeviceQueue`] in front of a
+//!   configurable number of service slots, and
+//! * the `iostat` / `blktrace` monitors sampled once per interval.
+//!
+//! A [`CacheController`] (the WB baseline, SIB, or LBICA from
+//! `lbica-core`) is consulted at every monitoring-interval boundary and may
+//! switch the cache write policy and/or bypass queued requests to the disk
+//! subsystem — exactly the two knobs the paper's Fig. 2 gives LBICA.
+//!
+//! # Example
+//!
+//! ```
+//! use lbica_sim::{Simulation, SimulationConfig, StaticPolicyController};
+//! use lbica_trace::workload::{WorkloadScale, WorkloadSpec};
+//!
+//! let spec = WorkloadSpec::tpcc_scaled(WorkloadScale::tiny());
+//! let mut sim = Simulation::new(SimulationConfig::tiny(), spec, 42);
+//! let report = sim.run(&mut StaticPolicyController::write_back());
+//! assert_eq!(report.intervals.len() as u32, report.total_intervals);
+//! assert!(report.app_completed > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod controller;
+pub mod event;
+pub mod report;
+pub mod runner;
+pub mod system;
+
+pub use config::{DiskDeviceConfig, SimulationConfig};
+pub use controller::{
+    BypassDirective, CacheController, ControllerContext, ControllerDecision,
+    StaticPolicyController,
+};
+pub use event::{Event, EventKind, EventQueue};
+pub use report::{PolicyChange, SimulationReport};
+pub use runner::Simulation;
+pub use system::{DeviceStation, StorageSystem};

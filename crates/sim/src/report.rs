@@ -1,0 +1,172 @@
+//! Simulation output.
+
+use serde::{Deserialize, Serialize};
+
+use lbica_cache::CacheStats;
+use lbica_trace::monitor::IntervalReport;
+
+/// A recorded write-policy change (interval index at which the new policy
+/// took effect, and its label) — the annotations of Fig. 6.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyChange {
+    /// First interval governed by the new policy.
+    pub interval: u32,
+    /// The policy's label (WB / WT / RO / WO).
+    pub policy: String,
+}
+
+/// Everything measured during one simulation run: the per-interval series
+/// of Figures 4–6 plus the aggregate latency of Fig. 7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Workload name (tpcc / mail-server / web-server / custom).
+    pub workload: String,
+    /// Controller name (WB / SIB / LBICA / ...).
+    pub controller: String,
+    /// Number of monitoring intervals the workload defines.
+    pub total_intervals: u32,
+    /// Per-interval measurements, in interval order.
+    pub intervals: Vec<IntervalReport>,
+    /// Write-policy changes applied by the controller.
+    pub policy_changes: Vec<PolicyChange>,
+    /// Number of application requests that completed.
+    pub app_completed: u64,
+    /// Mean end-to-end application latency, µs (Fig. 7's y-axis).
+    pub app_avg_latency_us: u64,
+    /// Maximum end-to-end application latency, µs.
+    pub app_max_latency_us: u64,
+    /// Requests the controller bypassed from the cache queue to the disk.
+    pub bypassed_requests: u64,
+    /// Final cache statistics.
+    pub cache_stats: CacheStats,
+}
+
+impl SimulationReport {
+    /// Mean of the per-interval *maximum* cache latency — the average height
+    /// of the Fig. 4 curve, used as the paper's "I/O load on the cache"
+    /// metric.
+    pub fn avg_cache_load_us(&self) -> f64 {
+        mean(self.intervals.iter().map(|i| i.cache.max_latency_us))
+    }
+
+    /// Mean of the per-interval maximum disk-subsystem latency (Fig. 5).
+    pub fn avg_disk_load_us(&self) -> f64 {
+        mean(self.intervals.iter().map(|i| i.disk.max_latency_us))
+    }
+
+    /// Mean of the per-interval cache queue depth.
+    pub fn avg_cache_queue_depth(&self) -> f64 {
+        mean(self.intervals.iter().map(|i| i.cache.queue_depth as u64))
+    }
+
+    /// Mean cache load restricted to the intervals the controller flagged as
+    /// bursts (or all intervals when none were flagged).
+    pub fn avg_cache_load_in_bursts_us(&self) -> f64 {
+        let burst: Vec<u64> = self
+            .intervals
+            .iter()
+            .filter(|i| i.burst_detected)
+            .map(|i| i.cache.max_latency_us)
+            .collect();
+        if burst.is_empty() {
+            self.avg_cache_load_us()
+        } else {
+            mean(burst.into_iter())
+        }
+    }
+
+    /// Number of intervals the controller flagged as bursts.
+    pub fn burst_intervals(&self) -> usize {
+        self.intervals.iter().filter(|i| i.burst_detected).count()
+    }
+
+    /// The per-interval cache max-latency series (the Fig. 4 curve).
+    pub fn cache_load_series(&self) -> Vec<u64> {
+        self.intervals.iter().map(|i| i.cache.max_latency_us).collect()
+    }
+
+    /// The per-interval disk max-latency series (the Fig. 5 curve).
+    pub fn disk_load_series(&self) -> Vec<u64> {
+        self.intervals.iter().map(|i| i.disk.max_latency_us).collect()
+    }
+
+    /// The policy label in force at every interval (the Fig. 6 annotation).
+    pub fn policy_series(&self) -> Vec<&str> {
+        self.intervals.iter().map(|i| i.policy_label.as_str()).collect()
+    }
+}
+
+fn mean(values: impl Iterator<Item = u64>) -> f64 {
+    let mut sum = 0u128;
+    let mut count = 0u64;
+    for v in values {
+        sum += v as u128;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum as f64 / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbica_trace::monitor::TierReport;
+
+    fn report_with_loads(cache: &[u64], disk: &[u64], bursts: &[bool]) -> SimulationReport {
+        let intervals = cache
+            .iter()
+            .zip(disk)
+            .zip(bursts)
+            .enumerate()
+            .map(|(i, ((c, d), b))| IntervalReport {
+                index: i as u32,
+                cache: TierReport { max_latency_us: *c, queue_depth: 2, ..TierReport::default() },
+                disk: TierReport { max_latency_us: *d, ..TierReport::default() },
+                burst_detected: *b,
+                policy_label: "WB".to_string(),
+                ..IntervalReport::default()
+            })
+            .collect();
+        SimulationReport {
+            workload: "test".into(),
+            controller: "WB".into(),
+            total_intervals: cache.len() as u32,
+            intervals,
+            policy_changes: Vec::new(),
+            app_completed: 0,
+            app_avg_latency_us: 0,
+            app_max_latency_us: 0,
+            bypassed_requests: 0,
+            cache_stats: CacheStats::default(),
+        }
+    }
+
+    #[test]
+    fn averages_and_series_are_consistent() {
+        let r = report_with_loads(&[100, 300, 200], &[10, 20, 30], &[false, true, true]);
+        assert!((r.avg_cache_load_us() - 200.0).abs() < 1e-9);
+        assert!((r.avg_disk_load_us() - 20.0).abs() < 1e-9);
+        assert!((r.avg_cache_queue_depth() - 2.0).abs() < 1e-9);
+        assert_eq!(r.cache_load_series(), vec![100, 300, 200]);
+        assert_eq!(r.disk_load_series(), vec![10, 20, 30]);
+        assert_eq!(r.policy_series(), vec!["WB", "WB", "WB"]);
+        assert_eq!(r.burst_intervals(), 2);
+        assert!((r.avg_cache_load_in_bursts_us() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn burst_average_falls_back_to_overall_when_no_bursts() {
+        let r = report_with_loads(&[100, 200], &[0, 0], &[false, false]);
+        assert!((r.avg_cache_load_in_bursts_us() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_yields_zero_averages() {
+        let r = report_with_loads(&[], &[], &[]);
+        assert_eq!(r.avg_cache_load_us(), 0.0);
+        assert_eq!(r.burst_intervals(), 0);
+    }
+}

@@ -1,0 +1,554 @@
+//! The simulated storage system: cache module + two device stations.
+
+use std::collections::HashMap;
+
+use lbica_cache::{CacheModule, CacheOutcome, TargetDevice, WritePolicy};
+use lbica_storage::device::{DeviceModel, HddModel, SsdModel};
+use lbica_storage::queue::DeviceQueue;
+use lbica_storage::request::{IoRequest, RequestClass, RequestId, RequestOrigin};
+use lbica_storage::time::{SimDuration, SimTime};
+use lbica_trace::monitor::{BlktraceProbe, IostatCollector, Tier};
+use lbica_trace::record::TraceRecord;
+
+use crate::config::{DiskDeviceConfig, SimulationConfig};
+use crate::controller::BypassDirective;
+use crate::event::{EventKind, EventQueue};
+
+/// Identifies one of the two device stations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TierId {
+    /// The SSD cache device.
+    Ssd,
+    /// The disk subsystem.
+    Disk,
+}
+
+impl TierId {
+    fn monitor_tier(self) -> Tier {
+        match self {
+            TierId::Ssd => Tier::Cache,
+            TierId::Disk => Tier::Disk,
+        }
+    }
+}
+
+/// A device and the queue in front of it, with a fixed number of concurrent
+/// service slots.
+pub struct DeviceStation {
+    queue: DeviceQueue,
+    model: Box<dyn DeviceModel + Send>,
+    parallelism: usize,
+    in_service: usize,
+}
+
+impl std::fmt::Debug for DeviceStation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceStation")
+            .field("queue_depth", &self.queue.depth())
+            .field("parallelism", &self.parallelism)
+            .field("in_service", &self.in_service)
+            .finish()
+    }
+}
+
+impl DeviceStation {
+    /// Creates a station with the given service model and parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallelism` is zero.
+    pub fn new(
+        name: impl Into<String>,
+        model: Box<dyn DeviceModel + Send>,
+        parallelism: usize,
+    ) -> Self {
+        assert!(parallelism > 0, "a device needs at least one service slot");
+        // Merging is disabled at the station level: each derived request is
+        // tied to the application request it serves, and coalescing two
+        // requests would conflate their completions.
+        DeviceStation {
+            queue: DeviceQueue::without_merging(name),
+            model,
+            parallelism,
+            in_service: 0,
+        }
+    }
+
+    /// The pending-request queue.
+    pub fn queue(&self) -> &DeviceQueue {
+        &self.queue
+    }
+
+    /// Number of requests currently being serviced.
+    pub const fn in_service(&self) -> usize {
+        self.in_service
+    }
+
+    /// Total outstanding work: queued plus in service.
+    pub fn outstanding(&self) -> usize {
+        self.queue.depth() + self.in_service
+    }
+
+    /// The device's blended average latency (Eq. 1's `ssdLatency` /
+    /// `hddLatency`).
+    pub fn avg_latency(&self) -> SimDuration {
+        self.model.avg_latency()
+    }
+}
+
+#[derive(Debug, Default)]
+struct AppTracker {
+    outstanding: HashMap<RequestId, AppEntry>,
+    completed: u64,
+    total_latency_us: u64,
+    max_latency_us: u64,
+}
+
+#[derive(Debug)]
+struct AppEntry {
+    arrival: SimTime,
+    pending_ops: u32,
+}
+
+impl AppTracker {
+    fn register(&mut self, id: RequestId, arrival: SimTime, pending_ops: u32) {
+        if pending_ops == 0 {
+            // Nothing in the datapath (cannot normally happen) — count as an
+            // instantaneous completion.
+            self.completed += 1;
+            return;
+        }
+        self.outstanding.insert(id, AppEntry { arrival, pending_ops });
+    }
+
+    fn complete_op(&mut self, parent: RequestId, now: SimTime) {
+        if let Some(entry) = self.outstanding.get_mut(&parent) {
+            entry.pending_ops -= 1;
+            if entry.pending_ops == 0 {
+                let latency = now.saturating_since(entry.arrival).as_micros();
+                self.completed += 1;
+                self.total_latency_us += latency;
+                self.max_latency_us = self.max_latency_us.max(latency);
+                self.outstanding.remove(&parent);
+            }
+        }
+    }
+}
+
+/// The full simulated system: application entry point, cache module, SSD and
+/// disk stations, monitors and the event queue.
+#[derive(Debug)]
+pub struct StorageSystem {
+    cache: CacheModule,
+    ssd: DeviceStation,
+    disk: DeviceStation,
+    events: EventQueue,
+    clock: SimTime,
+    iostat: IostatCollector,
+    probe: BlktraceProbe,
+    app: AppTracker,
+    next_id: RequestId,
+}
+
+impl StorageSystem {
+    /// Builds a system from a [`SimulationConfig`].
+    pub fn new(config: &SimulationConfig) -> Self {
+        let mut cache = CacheModule::new(config.cache);
+        if config.prewarm_cache {
+            cache.prewarm(0..config.cache.capacity_blocks() as u64);
+        }
+        let ssd_model: Box<dyn DeviceModel + Send> =
+            Box::new(SsdModel::new(config.cache_device));
+        let disk_model: Box<dyn DeviceModel + Send> = match config.disk_device {
+            DiskDeviceConfig::MidrangeSsd(cfg) => Box::new(SsdModel::new(cfg)),
+            DiskDeviceConfig::Hdd(cfg) => Box::new(HddModel::new(cfg)),
+        };
+        StorageSystem {
+            cache,
+            ssd: DeviceStation::new("ssd-cache", ssd_model, config.ssd_parallelism),
+            disk: DeviceStation::new("disk-subsystem", disk_model, config.disk_parallelism),
+            events: EventQueue::new(),
+            clock: SimTime::ZERO,
+            iostat: IostatCollector::new(),
+            probe: BlktraceProbe::new(),
+            app: AppTracker::default(),
+            next_id: 1,
+        }
+    }
+
+    /// The current simulated time.
+    pub const fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The cache module (policy, stats, contents).
+    pub fn cache(&self) -> &CacheModule {
+        &self.cache
+    }
+
+    /// The SSD cache station.
+    pub fn ssd(&self) -> &DeviceStation {
+        &self.ssd
+    }
+
+    /// The disk-subsystem station.
+    pub fn disk(&self) -> &DeviceStation {
+        &self.disk
+    }
+
+    /// Number of application requests fully completed so far.
+    pub fn app_completed(&self) -> u64 {
+        self.app.completed
+    }
+
+    /// Mean end-to-end latency of completed application requests, µs.
+    pub fn app_avg_latency_us(&self) -> u64 {
+        if self.app.completed == 0 {
+            0
+        } else {
+            self.app.total_latency_us / self.app.completed
+        }
+    }
+
+    /// Maximum end-to-end latency of completed application requests, µs.
+    pub const fn app_max_latency_us(&self) -> u64 {
+        self.app.max_latency_us
+    }
+
+    fn fresh_id(&mut self) -> RequestId {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Schedules the arrival of an application request described by a trace
+    /// record.
+    pub fn schedule_record(&mut self, record: &TraceRecord) {
+        let id = self.fresh_id();
+        let request = record.to_request(id);
+        self.events.schedule(request.arrival(), EventKind::Arrival(request));
+    }
+
+    /// Runs the event loop until every event at or before `limit` has been
+    /// processed, then advances the clock to `limit`.
+    pub fn run_until(&mut self, limit: SimTime) {
+        while let Some(event) = self.events.pop_until(limit) {
+            self.clock = event.time;
+            match event.kind {
+                EventKind::Arrival(request) => self.handle_arrival(request),
+                EventKind::Completion { tier, request } => self.handle_completion(tier, request),
+            }
+        }
+        self.clock = limit;
+    }
+
+    fn handle_arrival(&mut self, request: IoRequest) {
+        let now = self.clock;
+        let outcome = self.cache.access(&request);
+        let datapath_ops = outcome
+            .ops()
+            .iter()
+            .filter(|op| op.origin == RequestOrigin::Application)
+            .count() as u32;
+        self.app.register(request.id(), now, datapath_ops);
+        self.enqueue_outcome(request.id(), &outcome, now);
+    }
+
+    fn enqueue_outcome(&mut self, parent: RequestId, outcome: &CacheOutcome, now: SimTime) {
+        for op in outcome.ops() {
+            let id = self.fresh_id();
+            let derived = IoRequest::from_range(id, op.kind, op.origin, op.range)
+                .with_arrival(now)
+                .with_parent(parent);
+            let tier = match op.target {
+                TargetDevice::Ssd => TierId::Ssd,
+                TargetDevice::Hdd => TierId::Disk,
+            };
+            self.enqueue_at(tier, derived);
+        }
+        self.try_dispatch(TierId::Ssd);
+        self.try_dispatch(TierId::Disk);
+    }
+
+    fn enqueue_at(&mut self, tier: TierId, request: IoRequest) {
+        self.iostat.record_enqueue(tier.monitor_tier());
+        if tier == TierId::Ssd {
+            // The blktrace-style probe counts every request that enters the
+            // cache queue during the interval.
+            let mut single = lbica_storage::queue::QueueSnapshot::default();
+            single.record(request.class());
+            self.probe.observe_snapshot(&single);
+        }
+        let station = self.station_mut(tier);
+        station.queue.enqueue(request);
+        let depth = station.queue.depth();
+        self.iostat.observe_queue_depth(tier.monitor_tier(), depth);
+    }
+
+    fn station_mut(&mut self, tier: TierId) -> &mut DeviceStation {
+        match tier {
+            TierId::Ssd => &mut self.ssd,
+            TierId::Disk => &mut self.disk,
+        }
+    }
+
+    fn try_dispatch(&mut self, tier: TierId) {
+        let now = self.clock;
+        loop {
+            let station = self.station_mut(tier);
+            if station.in_service >= station.parallelism || station.queue.is_empty() {
+                break;
+            }
+            let mut request = match station.queue.dispatch(now) {
+                Some(r) => r,
+                None => break,
+            };
+            let service = station.model.service_time(&request);
+            station.in_service += 1;
+            let completion_time = now + service;
+            request.mark_completed(completion_time);
+            self.events.schedule(completion_time, EventKind::Completion { tier, request });
+        }
+    }
+
+    fn handle_completion(&mut self, tier: TierId, request: IoRequest) {
+        let now = self.clock;
+        {
+            let station = self.station_mut(tier);
+            station.in_service -= 1;
+        }
+        let latency =
+            request.latency().map(|d| d.as_micros()).unwrap_or_default();
+        self.iostat.record_completion(tier.monitor_tier(), latency);
+        if request.origin() == RequestOrigin::Application {
+            if let Some(parent) = request.parent() {
+                self.app.complete_op(parent, now);
+            }
+        }
+        self.try_dispatch(tier);
+    }
+
+    /// Closes monitoring interval `index`, returning its report (queue
+    /// depths, latencies and the interval's cache-queue class mix).
+    pub fn end_interval(&mut self, index: u32) -> lbica_trace::monitor::IntervalReport {
+        let cache_depth = self.ssd.outstanding();
+        let disk_depth = self.disk.outstanding();
+        let mut report = self.iostat.finish_interval(index, cache_depth, disk_depth);
+        report.cache_queue_mix = self.probe.take();
+        report.policy_label = self.cache.policy().label().to_string();
+        report
+    }
+
+    /// The cache device's blended average latency (`ssdLatency`).
+    pub fn cache_avg_latency(&self) -> SimDuration {
+        self.ssd.avg_latency()
+    }
+
+    /// The disk subsystem's blended average latency (`hddLatency`).
+    pub fn disk_avg_latency(&self) -> SimDuration {
+        self.disk.avg_latency()
+    }
+
+    /// The current write policy of the cache.
+    pub fn policy(&self) -> WritePolicy {
+        self.cache.policy()
+    }
+
+    /// Assigns a new write policy to the cache module.
+    pub fn set_policy(&mut self, policy: WritePolicy) {
+        self.cache.set_policy(policy);
+    }
+
+    /// Applies a controller's bypass directive: moves the selected requests
+    /// out of the cache queue and serves them from the disk subsystem.
+    /// Returns how many requests were moved or cancelled.
+    pub fn apply_bypass(&mut self, directive: &BypassDirective) -> usize {
+        let moved = match directive {
+            BypassDirective::None => Vec::new(),
+            BypassDirective::TailWrites { max_requests } => self
+                .ssd
+                .queue
+                .drain_tail(*max_requests, |r| r.class() == RequestClass::Write),
+            BypassDirective::Requests(ids) => self.ssd.queue.remove_by_ids(ids),
+        };
+        let count = moved.len();
+        for request in moved {
+            self.redirect_to_disk(request);
+        }
+        if count > 0 {
+            self.try_dispatch(TierId::Disk);
+        }
+        count
+    }
+
+    fn redirect_to_disk(&mut self, request: IoRequest) {
+        match request.class() {
+            RequestClass::Write | RequestClass::Read => {
+                // The block's cached copy (if any) is stale or redundant once
+                // the request is served by the disk subsystem.
+                for block in request.range().block_indices() {
+                    if request.class() == RequestClass::Write {
+                        self.cache.invalidate_block(block);
+                    }
+                }
+                self.enqueue_at(TierId::Disk, request);
+            }
+            RequestClass::Promote => {
+                // Cancelling a promotion: the block never makes it into the
+                // cache, so drop the metadata entry that was pre-created.
+                for block in request.range().block_indices() {
+                    self.cache.invalidate_block(block);
+                }
+            }
+            RequestClass::Evict => {
+                // Evictions carry dirty victim data; they must stay on the
+                // cache device. Put the request back.
+                self.ssd.queue.enqueue(request);
+            }
+        }
+    }
+
+    /// Read-only access to the cache queue (for controller contexts).
+    pub fn cache_queue(&self) -> &DeviceQueue {
+        self.ssd.queue()
+    }
+
+    /// Number of events still pending (for drain loops at the end of a run).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbica_storage::request::RequestKind;
+
+    fn record(ts: u64, sector: u64, kind: RequestKind) -> TraceRecord {
+        TraceRecord::new(ts, sector, 8, kind)
+    }
+
+    fn tiny_system() -> StorageSystem {
+        StorageSystem::new(&SimulationConfig::tiny())
+    }
+
+    #[test]
+    fn prewarmed_read_hits_complete_on_the_ssd_only() {
+        let mut sys = tiny_system();
+        sys.schedule_record(&record(0, 0, RequestKind::Read));
+        sys.run_until(SimTime::from_millis(10));
+        assert_eq!(sys.app_completed(), 1);
+        let report = sys.end_interval(0);
+        assert_eq!(report.cache.completed, 1);
+        assert_eq!(report.disk.completed, 0);
+        // A single uncontended SSD read: latency equals the device's read
+        // latency.
+        assert_eq!(report.cache.max_latency_us, 90);
+    }
+
+    #[test]
+    fn read_miss_touches_both_tiers() {
+        let mut sys = tiny_system();
+        // Address far outside the prewarmed region.
+        sys.schedule_record(&record(0, 10_000_000, RequestKind::Read));
+        sys.run_until(SimTime::from_millis(50));
+        let report = sys.end_interval(0);
+        assert_eq!(report.disk.completed, 1, "miss data comes from the disk subsystem");
+        assert!(report.cache.completed >= 1, "the promote lands on the SSD");
+        assert_eq!(sys.app_completed(), 1);
+        assert_eq!(sys.cache().stats().read_misses, 1);
+    }
+
+    #[test]
+    fn app_latency_tracks_slowest_datapath_leg() {
+        let mut sys = tiny_system();
+        sys.schedule_record(&record(0, 10_000_000, RequestKind::Read));
+        sys.run_until(SimTime::from_millis(50));
+        // Miss served by the mid-range-SSD disk tier: ~350 µs.
+        assert!(sys.app_avg_latency_us() >= 300, "got {}", sys.app_avg_latency_us());
+        assert!(sys.app_max_latency_us() >= sys.app_avg_latency_us());
+    }
+
+    #[test]
+    fn queue_builds_up_when_arrivals_exceed_service_rate() {
+        let mut sys = tiny_system();
+        // 200 writes arriving in the same microsecond: the single-slot SSD
+        // cannot keep up.
+        for i in 0..200u64 {
+            sys.schedule_record(&record(1, (i % 500) * 8, RequestKind::Write));
+        }
+        sys.run_until(SimTime::from_micros(2_000));
+        assert!(sys.ssd().outstanding() > 50, "outstanding {}", sys.ssd().outstanding());
+        let report = sys.end_interval(0);
+        assert!(report.cache.queue_depth > 50);
+        assert!(report.cache_queue_mix.writes >= 150);
+    }
+
+    #[test]
+    fn bypass_tail_writes_moves_load_to_the_disk() {
+        let mut sys = tiny_system();
+        for i in 0..100u64 {
+            sys.schedule_record(&record(1, (i % 500) * 8, RequestKind::Write));
+        }
+        sys.run_until(SimTime::from_micros(1_000));
+        let before = sys.ssd().outstanding();
+        let moved = sys.apply_bypass(&BypassDirective::TailWrites { max_requests: 40 });
+        assert!(moved > 0);
+        assert!(sys.ssd().outstanding() < before);
+        assert!(sys.disk().outstanding() > 0);
+        // Invalidations were recorded for the redirected writes.
+        assert!(sys.cache().stats().invalidations > 0);
+    }
+
+    #[test]
+    fn bypass_none_is_a_no_op() {
+        let mut sys = tiny_system();
+        sys.schedule_record(&record(0, 0, RequestKind::Write));
+        sys.run_until(SimTime::from_micros(10));
+        assert_eq!(sys.apply_bypass(&BypassDirective::None), 0);
+    }
+
+    #[test]
+    fn policy_switch_takes_effect_for_future_accesses() {
+        let mut sys = tiny_system();
+        sys.set_policy(WritePolicy::ReadOnly);
+        assert_eq!(sys.policy(), WritePolicy::ReadOnly);
+        sys.schedule_record(&record(0, 0, RequestKind::Write));
+        sys.run_until(SimTime::from_millis(10));
+        let report = sys.end_interval(0);
+        // The write bypassed the cache entirely.
+        assert_eq!(report.disk.completed, 1);
+        assert_eq!(report.cache.completed, 0);
+    }
+
+    #[test]
+    fn interval_reports_reset_between_intervals() {
+        let mut sys = tiny_system();
+        sys.schedule_record(&record(0, 0, RequestKind::Read));
+        sys.run_until(SimTime::from_millis(1));
+        let r0 = sys.end_interval(0);
+        assert_eq!(r0.cache.completed, 1);
+        sys.run_until(SimTime::from_millis(2));
+        let r1 = sys.end_interval(1);
+        assert_eq!(r1.cache.completed, 0);
+        assert_eq!(r1.index, 1);
+    }
+
+    #[test]
+    fn conservation_all_scheduled_requests_eventually_complete() {
+        let mut sys = tiny_system();
+        for i in 0..300u64 {
+            sys.schedule_record(&record(i * 20, (i % 2_000) * 8, if i % 3 == 0 {
+                RequestKind::Write
+            } else {
+                RequestKind::Read
+            }));
+        }
+        // Run far past the last arrival so every queue drains.
+        sys.run_until(SimTime::from_secs(10));
+        assert_eq!(sys.app_completed(), 300);
+        assert_eq!(sys.pending_events(), 0);
+        assert_eq!(sys.ssd().outstanding(), 0);
+        assert_eq!(sys.disk().outstanding(), 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! HDD service-time model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::SECTOR_SIZE;
+use crate::device::{DeviceKind, DeviceModel};
+use crate::request::IoRequest;
+use crate::time::SimDuration;
+
+/// Configuration of an [`HddModel`].
+///
+/// The defaults ([`HddConfig::seagate_7200_sas`]) approximate the 4 TB
+/// 7.2K RPM SAS drive in the paper's testbed: ~8.5 ms average seek, ~4.2 ms
+/// average rotational delay (half a revolution at 7200 RPM) and ~200 MB/s
+/// media transfer rate. Sequential streams skip the seek and most of the
+/// rotational delay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HddConfig {
+    /// Device capacity in sectors.
+    pub capacity_sectors: u64,
+    /// Average seek time for a random access, in microseconds.
+    pub avg_seek_us: u64,
+    /// Spindle speed in RPM; determines the average rotational delay.
+    pub rpm: u32,
+    /// Media transfer rate in MiB/s.
+    pub transfer_mib_s: u64,
+    /// How close (in sectors) a request must start to the previous request's
+    /// end to be treated as part of a sequential stream.
+    pub sequential_window: u64,
+    /// Fraction (0..=100) of the rotational delay still paid by sequential
+    /// accesses (head settling, skew).
+    pub sequential_rotation_pct: u8,
+}
+
+impl HddConfig {
+    /// Parameters approximating the Seagate 7.2K SAS drive in the paper.
+    pub const fn seagate_7200_sas() -> Self {
+        HddConfig {
+            capacity_sectors: 4_000_000_000 * 2, // ~4 TB in 512 B sectors
+            avg_seek_us: 8_500,
+            rpm: 7_200,
+            transfer_mib_s: 200,
+            sequential_window: 256,
+            sequential_rotation_pct: 10,
+        }
+    }
+
+    /// Average rotational delay (half a revolution), in microseconds.
+    pub fn avg_rotation_us(&self) -> u64 {
+        if self.rpm == 0 {
+            return 0;
+        }
+        // One revolution in µs = 60e6 / rpm; average wait is half of that.
+        (60_000_000 / self.rpm as u64) / 2
+    }
+}
+
+impl Default for HddConfig {
+    fn default() -> Self {
+        HddConfig::seagate_7200_sas()
+    }
+}
+
+/// Analytical HDD model: seek + rotational delay + media transfer, with
+/// sequential-stream detection that elides the mechanical components for
+/// accesses contiguous with the previous one.
+///
+/// ```
+/// use lbica_storage::device::{DeviceModel, HddModel};
+/// use lbica_storage::request::{IoRequest, RequestKind, RequestOrigin};
+///
+/// let mut hdd = HddModel::seagate_7200_sas();
+/// let random = IoRequest::new(0, RequestKind::Read, RequestOrigin::Application, 1_000_000, 8);
+/// let first = hdd.service_time(&random);
+/// // The immediately following sectors stream without a seek.
+/// let next = IoRequest::new(1, RequestKind::Read, RequestOrigin::Application, 1_000_008, 8);
+/// assert!(hdd.service_time(&next) < first);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HddModel {
+    config: HddConfig,
+    last_end_sector: Option<u64>,
+}
+
+impl HddModel {
+    /// Creates an HDD from an explicit configuration.
+    pub fn new(config: HddConfig) -> Self {
+        HddModel { config, last_end_sector: None }
+    }
+
+    /// The 7.2K RPM SAS drive used in the paper's testbed.
+    pub fn seagate_7200_sas() -> Self {
+        HddModel::new(HddConfig::seagate_7200_sas())
+    }
+
+    /// The configuration this model was built from.
+    pub const fn config(&self) -> &HddConfig {
+        &self.config
+    }
+
+    fn is_sequential(&self, start_sector: u64) -> bool {
+        match self.last_end_sector {
+            Some(end) => {
+                start_sector >= end.saturating_sub(self.config.sequential_window)
+                    && start_sector <= end.saturating_add(self.config.sequential_window)
+            }
+            None => false,
+        }
+    }
+
+    fn transfer_time(&self, sectors: u64) -> SimDuration {
+        let bytes = sectors * SECTOR_SIZE;
+        let bw_bytes_per_us = (self.config.transfer_mib_s as f64 * 1024.0 * 1024.0) / 1e6;
+        SimDuration::from_micros_f64(bytes as f64 / bw_bytes_per_us)
+    }
+}
+
+impl DeviceModel for HddModel {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::DiskSubsystem
+    }
+
+    fn capacity_sectors(&self) -> u64 {
+        self.config.capacity_sectors
+    }
+
+    fn service_time(&mut self, request: &IoRequest) -> SimDuration {
+        let range = request.range();
+        let sequential = self.is_sequential(range.start().sector());
+        self.last_end_sector = Some(range.end().sector());
+
+        let mechanical = if sequential {
+            let rot = self.config.avg_rotation_us() * self.config.sequential_rotation_pct as u64
+                / 100;
+            SimDuration::from_micros(rot)
+        } else {
+            SimDuration::from_micros(self.config.avg_seek_us + self.config.avg_rotation_us())
+        };
+        mechanical + self.transfer_time(range.sectors())
+    }
+
+    fn avg_read_latency(&self) -> SimDuration {
+        // A random 4 KiB access: seek + rotation + negligible transfer.
+        SimDuration::from_micros(self.config.avg_seek_us + self.config.avg_rotation_us())
+    }
+
+    fn avg_write_latency(&self) -> SimDuration {
+        self.avg_read_latency()
+    }
+
+    fn reset_history(&mut self) {
+        self.last_end_sector = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{RequestKind, RequestOrigin};
+
+    fn read_at(sector: u64, sectors: u64) -> IoRequest {
+        IoRequest::new(0, RequestKind::Read, RequestOrigin::Application, sector, sectors)
+    }
+
+    #[test]
+    fn rotation_matches_rpm() {
+        let cfg = HddConfig::seagate_7200_sas();
+        // 7200 RPM -> 8.33 ms per revolution -> ~4.16 ms average wait.
+        assert_eq!(cfg.avg_rotation_us(), 4_166);
+        let zero_rpm = HddConfig { rpm: 0, ..cfg };
+        assert_eq!(zero_rpm.avg_rotation_us(), 0);
+    }
+
+    #[test]
+    fn random_access_pays_seek_and_rotation() {
+        let mut hdd = HddModel::seagate_7200_sas();
+        let t = hdd.service_time(&read_at(5_000_000, 8));
+        assert!(t.as_micros() >= 8_500 + 4_166);
+    }
+
+    #[test]
+    fn sequential_stream_is_much_cheaper() {
+        let mut hdd = HddModel::seagate_7200_sas();
+        let first = hdd.service_time(&read_at(1_000_000, 128));
+        let second = hdd.service_time(&read_at(1_000_128, 128));
+        assert!(second.as_micros() * 5 < first.as_micros());
+    }
+
+    #[test]
+    fn far_jump_breaks_the_stream() {
+        let mut hdd = HddModel::seagate_7200_sas();
+        hdd.service_time(&read_at(1_000_000, 8));
+        let far = hdd.service_time(&read_at(900_000_000, 8));
+        assert!(far.as_micros() >= 8_500);
+    }
+
+    #[test]
+    fn reset_history_forgets_stream() {
+        let mut hdd = HddModel::seagate_7200_sas();
+        hdd.service_time(&read_at(1_000_000, 8));
+        hdd.reset_history();
+        let t = hdd.service_time(&read_at(1_000_008, 8));
+        assert!(t.as_micros() >= 8_500);
+    }
+
+    #[test]
+    fn avg_latencies_are_symmetric_and_milliseconds_scale() {
+        let hdd = HddModel::seagate_7200_sas();
+        assert_eq!(hdd.avg_read_latency(), hdd.avg_write_latency());
+        assert!(hdd.avg_read_latency().as_micros() > 10_000);
+        assert_eq!(hdd.kind(), DeviceKind::DiskSubsystem);
+    }
+}

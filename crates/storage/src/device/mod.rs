@@ -1,0 +1,134 @@
+//! Analytical device service-time models.
+//!
+//! The paper's testbed pairs a 1 TB Samsung 863a SATA SSD (the I/O cache
+//! device) with a 4 TB 7.2K RPM SAS Seagate HDD (the disk subsystem). LBICA
+//! never looks inside the devices — it only needs their *queue sizes* and
+//! *average service latencies* (Eq. 1) — so an analytical model that captures
+//! the latency gap, read/write asymmetry and sequential-vs-random behaviour
+//! of each device class is sufficient to reproduce the queueing dynamics.
+//!
+//! [`SsdModel`] and [`HddModel`] both implement [`DeviceModel`]. Service
+//! times are deterministic functions of the request and of the device's
+//! recent history (sequential-stream detection), which keeps whole-system
+//! simulations reproducible.
+
+mod hdd;
+mod ssd;
+
+pub use hdd::{HddConfig, HddModel};
+pub use ssd::{SsdConfig, SsdModel};
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::request::IoRequest;
+use crate::time::SimDuration;
+
+/// Which tier of the storage hierarchy a device belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// The SSD used as the I/O cache.
+    SsdCache,
+    /// The HDD (or mid-range SSD) disk subsystem.
+    DiskSubsystem,
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceKind::SsdCache => write!(f, "ssd-cache"),
+            DeviceKind::DiskSubsystem => write!(f, "disk-subsystem"),
+        }
+    }
+}
+
+/// A device that can estimate how long it takes to service a request.
+///
+/// Implementations may keep internal history (e.g. the last accessed LBA for
+/// sequential-stream detection), hence `service_time` takes `&mut self`.
+pub trait DeviceModel {
+    /// Which tier this device models.
+    fn kind(&self) -> DeviceKind;
+
+    /// Device capacity in sectors.
+    fn capacity_sectors(&self) -> u64;
+
+    /// Time the device needs to service `request` once dispatched,
+    /// excluding any queueing delay.
+    fn service_time(&mut self, request: &IoRequest) -> SimDuration;
+
+    /// The average service time of a small random read, used by monitoring
+    /// tools (and by LBICA's Eq. 1) as the per-request latency estimate.
+    fn avg_read_latency(&self) -> SimDuration;
+
+    /// The average service time of a small random write.
+    fn avg_write_latency(&self) -> SimDuration;
+
+    /// The blended average latency used in Eq. 1
+    /// (`Qtime = QSize × latency`). By default the mean of the read and
+    /// write averages.
+    fn avg_latency(&self) -> SimDuration {
+        SimDuration::from_micros(
+            (self.avg_read_latency().as_micros() + self.avg_write_latency().as_micros()) / 2,
+        )
+    }
+
+    /// Resets any access history (e.g. sequential-stream state).
+    fn reset_history(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{RequestKind, RequestOrigin};
+
+    fn read_at(sector: u64, sectors: u64) -> IoRequest {
+        IoRequest::new(0, RequestKind::Read, RequestOrigin::Application, sector, sectors)
+    }
+
+    fn write_at(sector: u64, sectors: u64) -> IoRequest {
+        IoRequest::new(0, RequestKind::Write, RequestOrigin::Application, sector, sectors)
+    }
+
+    #[test]
+    fn ssd_is_much_faster_than_hdd_for_random_io() {
+        let mut ssd = SsdModel::samsung_863a();
+        let mut hdd = HddModel::seagate_7200_sas();
+        let r = read_at(1_000_000, 8);
+        let ssd_t = ssd.service_time(&r);
+        let hdd_t = hdd.service_time(&r);
+        assert!(
+            hdd_t.as_micros() > 20 * ssd_t.as_micros(),
+            "expected >20x gap, got ssd={ssd_t} hdd={hdd_t}"
+        );
+    }
+
+    #[test]
+    fn avg_latency_is_between_read_and_write_latency() {
+        let ssd = SsdModel::samsung_863a();
+        let lo = ssd.avg_read_latency().min(ssd.avg_write_latency());
+        let hi = ssd.avg_read_latency().max(ssd.avg_write_latency());
+        let avg = ssd.avg_latency();
+        assert!(avg >= lo && avg <= hi);
+    }
+
+    #[test]
+    fn larger_requests_take_longer_on_both_devices() {
+        let mut ssd = SsdModel::samsung_863a();
+        let mut hdd = HddModel::seagate_7200_sas();
+        for dev in [&mut ssd as &mut dyn DeviceModel, &mut hdd as &mut dyn DeviceModel] {
+            dev.reset_history();
+            let small = dev.service_time(&write_at(10_000_000, 8));
+            dev.reset_history();
+            let large = dev.service_time(&write_at(10_000_000, 2048));
+            assert!(large > small, "{}: large {large} <= small {small}", dev.kind());
+        }
+    }
+
+    #[test]
+    fn device_kind_display_is_nonempty() {
+        assert_eq!(DeviceKind::SsdCache.to_string(), "ssd-cache");
+        assert_eq!(DeviceKind::DiskSubsystem.to_string(), "disk-subsystem");
+    }
+}

@@ -1,0 +1,53 @@
+//! Error types for the storage substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StorageError {
+    /// A request addressed sectors beyond the configured device capacity.
+    OutOfCapacity {
+        /// The last sector the request touches.
+        requested_end: u64,
+        /// The device capacity in sectors.
+        capacity: u64,
+    },
+    /// A device or queue was configured with an invalid parameter.
+    InvalidConfig(String),
+    /// A request id was not found where it was expected (e.g. completing a
+    /// request that was never dispatched).
+    UnknownRequest(u64),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::OutOfCapacity { requested_end, capacity } => write!(
+                f,
+                "request ends at sector {requested_end} but device capacity is {capacity} sectors"
+            ),
+            StorageError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            StorageError::UnknownRequest(id) => write!(f, "unknown request id {id}"),
+        }
+    }
+}
+
+impl Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StorageError>();
+
+        let e = StorageError::OutOfCapacity { requested_end: 100, capacity: 50 };
+        assert!(e.to_string().contains("capacity"));
+        assert!(StorageError::InvalidConfig("x".into()).to_string().contains('x'));
+        assert!(StorageError::UnknownRequest(9).to_string().contains('9'));
+    }
+}

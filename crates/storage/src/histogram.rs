@@ -1,0 +1,236 @@
+//! Latency histograms with percentile queries.
+//!
+//! The paper plots per-interval *maximum* latencies; a production monitor
+//! additionally wants tail percentiles (p95/p99) without storing every
+//! sample. [`LatencyHistogram`] is a log-bucketed histogram over
+//! microsecond latencies: constant memory, O(1) insertion, and percentile
+//! queries with bounded relative error (one bucket ≈ ×1.25).
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Growth factor between consecutive bucket boundaries.
+const BUCKET_GROWTH: f64 = 1.25;
+/// Number of buckets; covers 1 µs … > 1 hour at ×1.25 growth.
+const BUCKETS: usize = 128;
+
+/// A log-bucketed latency histogram.
+///
+/// ```
+/// use lbica_storage::histogram::LatencyHistogram;
+/// use lbica_storage::time::SimDuration;
+///
+/// let mut hist = LatencyHistogram::new();
+/// for us in [100, 200, 300, 400, 1_000] {
+///     hist.record(SimDuration::from_micros(us));
+/// }
+/// assert_eq!(hist.count(), 5);
+/// assert_eq!(hist.max().as_micros(), 1_000);
+/// assert!(hist.percentile(50.0).as_micros() >= 200);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total_us: u64,
+    max_us: u64,
+    min_us: u64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            total_us: 0,
+            max_us: 0,
+            min_us: u64::MAX,
+        }
+    }
+
+    fn bucket_index(latency_us: u64) -> usize {
+        if latency_us <= 1 {
+            return 0;
+        }
+        let idx = (latency_us as f64).ln() / BUCKET_GROWTH.ln();
+        (idx.floor() as usize).min(BUCKETS - 1)
+    }
+
+    /// Upper bound (µs) of the bucket with the given index.
+    fn bucket_upper_bound(index: usize) -> u64 {
+        BUCKET_GROWTH.powi(index as i32 + 1).ceil() as u64
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        let us = latency.as_micros();
+        self.buckets[Self::bucket_index(us)] += 1;
+        self.count += 1;
+        self.total_us += us;
+        self.max_us = self.max_us.max(us);
+        self.min_us = self.min_us.min(us);
+    }
+
+    /// Number of recorded samples.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been recorded.
+    pub const fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The largest recorded latency (exact, not bucketed).
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_micros(self.max_us)
+    }
+
+    /// The smallest recorded latency (exact), or zero when empty.
+    pub fn min(&self) -> SimDuration {
+        if self.is_empty() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(self.min_us)
+        }
+    }
+
+    /// The mean latency (exact sum / count), or zero when empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(self.total_us / self.count)
+        }
+    }
+
+    /// The latency at the given percentile (0–100), approximated by the
+    /// upper bound of the bucket containing that rank. Returns zero when
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is not in `[0, 100]`.
+    pub fn percentile(&self, pct: f64) -> SimDuration {
+        assert!((0.0..=100.0).contains(&pct), "percentile must be in [0, 100]");
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let rank = ((pct / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // The bucket holding the observed maximum reports the exact
+                // maximum; every other bucket reports its upper bound,
+                // clamped so estimates never exceed the true maximum.
+                if idx == Self::bucket_index(self.max_us) {
+                    return self.max();
+                }
+                return SimDuration::from_micros(Self::bucket_upper_bound(idx).min(self.max_us));
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_us += other.total_us;
+        self.max_us = self.max_us.max(other.max_us);
+        self.min_us = self.min_us.min(other.min_us);
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        *self = LatencyHistogram::new();
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(values: &[u64]) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for &v in values {
+            h.record(SimDuration::from_micros(v));
+        }
+        h
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.percentile(99.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn count_mean_min_max_are_exact() {
+        let h = filled(&[100, 200, 300]);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean().as_micros(), 200);
+        assert_eq!(h.min().as_micros(), 100);
+        assert_eq!(h.max().as_micros(), 300);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bounded() {
+        let values: Vec<u64> = (1..=1_000).map(|i| i * 10).collect();
+        let h = filled(&values);
+        let p50 = h.percentile(50.0).as_micros();
+        let p95 = h.percentile(95.0).as_micros();
+        let p99 = h.percentile(99.0).as_micros();
+        let p100 = h.percentile(100.0).as_micros();
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= p100);
+        assert_eq!(p100, 10_000);
+        // Bucketed approximation stays within the ×1.25 bucket width.
+        assert!((p50 as f64) >= 5_000.0 * 0.8 && (p50 as f64) <= 5_000.0 * 1.3, "p50 {p50}");
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn out_of_range_percentile_panics() {
+        let _ = filled(&[1]).percentile(150.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = filled(&[100, 200]);
+        let b = filled(&[400, 800]);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.max().as_micros(), 800);
+        assert_eq!(a.min().as_micros(), 100);
+        assert_eq!(a.mean().as_micros(), 375);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut h = filled(&[10, 20, 30]);
+        h.reset();
+        assert!(h.is_empty());
+        assert_eq!(h.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn extreme_values_saturate_into_the_last_bucket() {
+        let h = filled(&[u64::MAX / 2]);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile(100.0).as_micros(), u64::MAX / 2);
+    }
+}

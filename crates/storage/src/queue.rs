@@ -1,0 +1,415 @@
+//! Device queues.
+//!
+//! [`DeviceQueue`] models the pending-request queue in front of a device —
+//! the structure whose depth `iostat` reports as `avgqu-sz` and which the
+//! paper calls `ssdQSize` / `hddQSize`. It is a FIFO with optional
+//! block-layer-style merging of adjacent requests, and it tracks everything
+//! the monitors need: current depth, per-request wait, the class mix of
+//! in-queue requests and cumulative statistics.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::request::{IoRequest, RequestClass, RequestId};
+use crate::time::{SimDuration, SimTime};
+
+/// A point-in-time view of a [`DeviceQueue`], as a `blktrace`-style probe
+/// would capture it: how many requests of each class are waiting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QueueSnapshot {
+    /// Number of in-queue application reads (**R**).
+    pub reads: usize,
+    /// Number of in-queue application writes (**W**).
+    pub writes: usize,
+    /// Number of in-queue promotes (**P**).
+    pub promotes: usize,
+    /// Number of in-queue evictions / flushes (**E**).
+    pub evicts: usize,
+}
+
+impl QueueSnapshot {
+    /// Total number of in-queue requests.
+    pub fn total(&self) -> usize {
+        self.reads + self.writes + self.promotes + self.evicts
+    }
+
+    /// Count for a specific class.
+    pub fn count(&self, class: RequestClass) -> usize {
+        match class {
+            RequestClass::Read => self.reads,
+            RequestClass::Write => self.writes,
+            RequestClass::Promote => self.promotes,
+            RequestClass::Evict => self.evicts,
+        }
+    }
+
+    /// Adds one request of `class` to the snapshot.
+    pub fn record(&mut self, class: RequestClass) {
+        match class {
+            RequestClass::Read => self.reads += 1,
+            RequestClass::Write => self.writes += 1,
+            RequestClass::Promote => self.promotes += 1,
+            RequestClass::Evict => self.evicts += 1,
+        }
+    }
+
+    /// Merges another snapshot into this one.
+    pub fn merge(&mut self, other: &QueueSnapshot) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.promotes += other.promotes;
+        self.evicts += other.evicts;
+    }
+}
+
+/// Cumulative statistics of a [`DeviceQueue`] over its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Requests ever enqueued.
+    pub enqueued: u64,
+    /// Requests dispatched to the device.
+    pub dispatched: u64,
+    /// Requests absorbed by merging into an already-queued request.
+    pub merged: u64,
+    /// Requests removed by a controller bypass decision before dispatch.
+    pub bypassed: u64,
+    /// Sum of queue-wait times of dispatched requests, in microseconds.
+    pub total_wait_us: u64,
+    /// Largest queue depth ever observed.
+    pub peak_depth: usize,
+}
+
+impl QueueStats {
+    /// Average queueing delay of dispatched requests.
+    pub fn avg_wait(&self) -> SimDuration {
+        if self.dispatched == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(self.total_wait_us / self.dispatched)
+        }
+    }
+}
+
+/// A FIFO device queue with block-layer-style request merging.
+///
+/// ```
+/// use lbica_storage::queue::DeviceQueue;
+/// use lbica_storage::request::{IoRequest, RequestKind, RequestOrigin};
+/// use lbica_storage::time::SimTime;
+///
+/// let mut q = DeviceQueue::new("ssd");
+/// let r = IoRequest::new(1, RequestKind::Read, RequestOrigin::Application, 0, 8)
+///     .with_arrival(SimTime::ZERO);
+/// q.enqueue(r);
+/// assert_eq!(q.depth(), 1);
+/// let dispatched = q.dispatch(SimTime::from_micros(50)).expect("one pending request");
+/// assert_eq!(dispatched.queue_time().map(|d| d.as_micros()), Some(50));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeviceQueue {
+    name: String,
+    pending: VecDeque<IoRequest>,
+    merge_enabled: bool,
+    stats: QueueStats,
+}
+
+impl DeviceQueue {
+    /// Creates an empty queue with merging enabled.
+    pub fn new(name: impl Into<String>) -> Self {
+        DeviceQueue {
+            name: name.into(),
+            pending: VecDeque::new(),
+            merge_enabled: true,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Creates an empty queue with merging disabled (every request is
+    /// dispatched individually).
+    pub fn without_merging(name: impl Into<String>) -> Self {
+        let mut q = DeviceQueue::new(name);
+        q.merge_enabled = false;
+        q
+    }
+
+    /// The queue's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of requests currently waiting (the paper's `QSize`).
+    pub fn depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Cumulative statistics.
+    pub const fn stats(&self) -> &QueueStats {
+        &self.stats
+    }
+
+    /// Adds a request to the back of the queue. If merging is enabled and an
+    /// already-queued request of the same kind and class addresses an
+    /// adjacent range, the new request is merged into it instead and `true`
+    /// is returned.
+    pub fn enqueue(&mut self, request: IoRequest) -> bool {
+        self.stats.enqueued += 1;
+        if self.merge_enabled {
+            if let Some(existing) = self.pending.iter_mut().find(|q| {
+                q.kind() == request.kind()
+                    && q.class() == request.class()
+                    && q.range().is_adjacent_to(&request.range())
+            }) {
+                if let Some(merged_range) = existing.range().merged(&request.range()) {
+                    let merged = IoRequest::from_range(
+                        existing.id(),
+                        existing.kind(),
+                        existing.origin(),
+                        merged_range,
+                    )
+                    .with_arrival(existing.arrival().min(request.arrival()));
+                    *existing = merged;
+                    self.stats.merged += 1;
+                    return true;
+                }
+            }
+        }
+        self.pending.push_back(request);
+        self.stats.peak_depth = self.stats.peak_depth.max(self.pending.len());
+        false
+    }
+
+    /// Removes and returns the request at the head of the queue, stamping
+    /// its dispatch time.
+    pub fn dispatch(&mut self, now: SimTime) -> Option<IoRequest> {
+        let mut request = self.pending.pop_front()?;
+        request.mark_dispatched(now);
+        self.stats.dispatched += 1;
+        if let Some(wait) = request.queue_time() {
+            self.stats.total_wait_us += wait.as_micros();
+        }
+        Some(request)
+    }
+
+    /// Removes from the *tail* of the queue up to `count` requests that
+    /// satisfy `predicate`, returning them (newest first). This implements
+    /// the controller-driven tail bypass of Section III-C: the requests past
+    /// the bottleneck threshold are pulled out of the cache queue and
+    /// redirected to the disk subsystem.
+    pub fn drain_tail<F>(&mut self, count: usize, mut predicate: F) -> Vec<IoRequest>
+    where
+        F: FnMut(&IoRequest) -> bool,
+    {
+        let mut taken = Vec::new();
+        let mut idx = self.pending.len();
+        while idx > 0 && taken.len() < count {
+            idx -= 1;
+            if predicate(&self.pending[idx]) {
+                if let Some(req) = self.pending.remove(idx) {
+                    taken.push(req);
+                }
+            }
+        }
+        self.stats.bypassed += taken.len() as u64;
+        taken
+    }
+
+    /// Removes specific requests by id, returning them in queue order. Used
+    /// by SIB, which selects individual victims after estimating their wait
+    /// times.
+    pub fn remove_by_ids(&mut self, ids: &[RequestId]) -> Vec<IoRequest> {
+        let mut taken = Vec::new();
+        let mut idx = 0;
+        while idx < self.pending.len() {
+            if ids.contains(&self.pending[idx].id()) {
+                if let Some(req) = self.pending.remove(idx) {
+                    taken.push(req);
+                    continue;
+                }
+            }
+            idx += 1;
+        }
+        self.stats.bypassed += taken.len() as u64;
+        taken
+    }
+
+    /// Iterates the pending requests from head (oldest) to tail (newest).
+    pub fn iter(&self) -> impl Iterator<Item = &IoRequest> {
+        self.pending.iter()
+    }
+
+    /// A `blktrace`-style class histogram of the in-queue requests.
+    pub fn snapshot(&self) -> QueueSnapshot {
+        let mut snap = QueueSnapshot::default();
+        for req in &self.pending {
+            snap.record(req.class());
+        }
+        snap
+    }
+
+    /// The age of the oldest in-queue request at `now`, or zero when empty.
+    pub fn oldest_age(&self, now: SimTime) -> SimDuration {
+        self.pending.front().map(|r| r.age(now)).unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Discards every pending request (used when tearing a simulation down).
+    pub fn clear(&mut self) {
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{RequestKind, RequestOrigin};
+
+    fn req(id: u64, kind: RequestKind, origin: RequestOrigin, sector: u64) -> IoRequest {
+        IoRequest::new(id, kind, origin, sector, 8).with_arrival(SimTime::from_micros(id * 10))
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut q = DeviceQueue::without_merging("hdd");
+        for i in 0..5 {
+            q.enqueue(req(i, RequestKind::Read, RequestOrigin::Application, i * 1000));
+        }
+        for i in 0..5 {
+            let r = q.dispatch(SimTime::from_secs(1)).expect("request available");
+            assert_eq!(r.id(), i);
+        }
+        assert!(q.dispatch(SimTime::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn adjacent_same_class_requests_merge() {
+        let mut q = DeviceQueue::new("ssd");
+        q.enqueue(req(1, RequestKind::Read, RequestOrigin::Application, 0));
+        let merged = q.enqueue(req(2, RequestKind::Read, RequestOrigin::Application, 8));
+        assert!(merged);
+        assert_eq!(q.depth(), 1);
+        assert_eq!(q.stats().merged, 1);
+        let r = q.dispatch(SimTime::from_secs(1)).expect("request available");
+        assert_eq!(r.range().sectors(), 16);
+    }
+
+    #[test]
+    fn different_classes_never_merge() {
+        let mut q = DeviceQueue::new("ssd");
+        q.enqueue(req(1, RequestKind::Write, RequestOrigin::Application, 0));
+        let merged = q.enqueue(req(2, RequestKind::Write, RequestOrigin::Promote, 8));
+        assert!(!merged);
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn non_adjacent_requests_never_merge() {
+        let mut q = DeviceQueue::new("ssd");
+        q.enqueue(req(1, RequestKind::Read, RequestOrigin::Application, 0));
+        assert!(!q.enqueue(req(2, RequestKind::Read, RequestOrigin::Application, 64)));
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn snapshot_counts_classes() {
+        let mut q = DeviceQueue::without_merging("ssd");
+        q.enqueue(req(1, RequestKind::Read, RequestOrigin::Application, 0));
+        q.enqueue(req(2, RequestKind::Write, RequestOrigin::Application, 100));
+        q.enqueue(req(3, RequestKind::Write, RequestOrigin::Promote, 200));
+        q.enqueue(req(4, RequestKind::Write, RequestOrigin::Evict, 300));
+        q.enqueue(req(5, RequestKind::Write, RequestOrigin::Evict, 400));
+        let snap = q.snapshot();
+        assert_eq!(snap.reads, 1);
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.promotes, 1);
+        assert_eq!(snap.evicts, 2);
+        assert_eq!(snap.total(), 5);
+        assert_eq!(snap.count(RequestClass::Evict), 2);
+    }
+
+    #[test]
+    fn drain_tail_takes_newest_matching_requests() {
+        let mut q = DeviceQueue::without_merging("ssd");
+        for i in 0..6 {
+            q.enqueue(req(i, RequestKind::Write, RequestOrigin::Application, i * 1000));
+        }
+        let taken = q.drain_tail(2, |r| r.kind().is_write());
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[0].id(), 5);
+        assert_eq!(taken[1].id(), 4);
+        assert_eq!(q.depth(), 4);
+        assert_eq!(q.stats().bypassed, 2);
+    }
+
+    #[test]
+    fn drain_tail_respects_predicate() {
+        let mut q = DeviceQueue::without_merging("ssd");
+        q.enqueue(req(1, RequestKind::Read, RequestOrigin::Application, 0));
+        q.enqueue(req(2, RequestKind::Write, RequestOrigin::Application, 100));
+        let taken = q.drain_tail(5, |r| r.kind().is_read());
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken[0].id(), 1);
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn remove_by_ids_extracts_requested() {
+        let mut q = DeviceQueue::without_merging("ssd");
+        for i in 0..5 {
+            q.enqueue(req(i, RequestKind::Read, RequestOrigin::Application, i * 1000));
+        }
+        let taken = q.remove_by_ids(&[1, 3]);
+        assert_eq!(taken.iter().map(|r| r.id()).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn stats_track_wait_and_peak_depth() {
+        let mut q = DeviceQueue::without_merging("ssd");
+        q.enqueue(
+            IoRequest::new(1, RequestKind::Read, RequestOrigin::Application, 0, 8)
+                .with_arrival(SimTime::from_micros(0)),
+        );
+        q.enqueue(
+            IoRequest::new(2, RequestKind::Read, RequestOrigin::Application, 100, 8)
+                .with_arrival(SimTime::from_micros(0)),
+        );
+        assert_eq!(q.stats().peak_depth, 2);
+        q.dispatch(SimTime::from_micros(100));
+        q.dispatch(SimTime::from_micros(300));
+        assert_eq!(q.stats().dispatched, 2);
+        assert_eq!(q.stats().avg_wait().as_micros(), 200);
+    }
+
+    #[test]
+    fn oldest_age_reflects_head_request() {
+        let mut q = DeviceQueue::without_merging("ssd");
+        assert_eq!(q.oldest_age(SimTime::from_secs(1)), SimDuration::ZERO);
+        q.enqueue(
+            IoRequest::new(1, RequestKind::Read, RequestOrigin::Application, 0, 8)
+                .with_arrival(SimTime::from_micros(500)),
+        );
+        assert_eq!(q.oldest_age(SimTime::from_micros(700)).as_micros(), 200);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = DeviceQueue::new("ssd");
+        q.enqueue(req(1, RequestKind::Read, RequestOrigin::Application, 0));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn snapshot_merge_accumulates() {
+        let mut a = QueueSnapshot { reads: 1, writes: 2, promotes: 3, evicts: 4 };
+        let b = QueueSnapshot { reads: 10, writes: 20, promotes: 30, evicts: 40 };
+        a.merge(&b);
+        assert_eq!(a.total(), 110);
+    }
+}

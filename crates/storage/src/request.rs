@@ -1,0 +1,408 @@
+//! The I/O request taxonomy.
+//!
+//! The paper classifies every operation that can sit in the I/O cache queue
+//! into four classes (Fig. 1 and Section III-B):
+//!
+//! * **R** — an application read served by the cache,
+//! * **W** — an application write buffered by the cache,
+//! * **P** — a *promote*: the write into the cache that installs the data of
+//!   a missed read, and
+//! * **E** — an *evict*: the write-back of a dirty victim block to the disk
+//!   subsystem (plus the bookkeeping write on the cache device).
+//!
+//! [`RequestClass`] captures that taxonomy; [`IoRequest`] is the concrete
+//! unit of work that moves through the device queues and carries the
+//! timestamps the monitors need (arrival, dispatch, completion).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::{BlockRange, Lba};
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically increasing request identifier.
+pub type RequestId = u64;
+
+/// The data-transfer direction of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Data flows from the device to the host.
+    Read,
+    /// Data flows from the host to the device.
+    Write,
+}
+
+impl RequestKind {
+    /// Whether this is a read.
+    pub const fn is_read(self) -> bool {
+        matches!(self, RequestKind::Read)
+    }
+
+    /// Whether this is a write.
+    pub const fn is_write(self) -> bool {
+        matches!(self, RequestKind::Write)
+    }
+}
+
+impl fmt::Display for RequestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestKind::Read => write!(f, "read"),
+            RequestKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// Why a request exists: issued by the application, or generated internally
+/// by the cache module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestOrigin {
+    /// Issued by the running workload.
+    Application,
+    /// A cache-internal write that installs missed read data in the cache
+    /// (the paper's **P**).
+    Promote,
+    /// A cache-internal operation that writes a victim block back to the
+    /// disk subsystem (the paper's **E**).
+    Evict,
+    /// A background flush of dirty data performed by the write-back flusher.
+    Flush,
+}
+
+impl fmt::Display for RequestOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestOrigin::Application => write!(f, "app"),
+            RequestOrigin::Promote => write!(f, "promote"),
+            RequestOrigin::Evict => write!(f, "evict"),
+            RequestOrigin::Flush => write!(f, "flush"),
+        }
+    }
+}
+
+/// The paper's four in-queue request classes (R / W / P / E).
+///
+/// `blktrace`-style probes report the class mix of the requests currently
+/// waiting in the I/O cache queue; LBICA's workload characterizer consumes
+/// exactly this histogram.
+///
+/// ```
+/// use lbica_storage::request::{RequestClass, RequestKind, RequestOrigin};
+/// let class = RequestClass::classify(RequestKind::Read, RequestOrigin::Application);
+/// assert_eq!(class, RequestClass::Read);
+/// assert_eq!(class.symbol(), 'R');
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestClass {
+    /// Application read (**R**).
+    Read,
+    /// Application write (**W**).
+    Write,
+    /// Cache promotion of missed read data (**P**).
+    Promote,
+    /// Eviction / write-back of a victim block (**E**).
+    Evict,
+}
+
+impl RequestClass {
+    /// All four classes, in the paper's R, W, P, E order.
+    pub const ALL: [RequestClass; 4] = [
+        RequestClass::Read,
+        RequestClass::Write,
+        RequestClass::Promote,
+        RequestClass::Evict,
+    ];
+
+    /// Derives the class from a request's direction and origin.
+    ///
+    /// Flush traffic is accounted as **E**: like an eviction it is a
+    /// cache-generated transfer of dirty data toward the disk subsystem.
+    pub fn classify(kind: RequestKind, origin: RequestOrigin) -> RequestClass {
+        match origin {
+            RequestOrigin::Application => match kind {
+                RequestKind::Read => RequestClass::Read,
+                RequestKind::Write => RequestClass::Write,
+            },
+            RequestOrigin::Promote => RequestClass::Promote,
+            RequestOrigin::Evict | RequestOrigin::Flush => RequestClass::Evict,
+        }
+    }
+
+    /// The single-letter symbol the paper uses (R, W, P or E).
+    pub const fn symbol(self) -> char {
+        match self {
+            RequestClass::Read => 'R',
+            RequestClass::Write => 'W',
+            RequestClass::Promote => 'P',
+            RequestClass::Evict => 'E',
+        }
+    }
+
+    /// Index of the class in [`RequestClass::ALL`]; handy for histograms.
+    pub const fn index(self) -> usize {
+        match self {
+            RequestClass::Read => 0,
+            RequestClass::Write => 1,
+            RequestClass::Promote => 2,
+            RequestClass::Evict => 3,
+        }
+    }
+}
+
+impl fmt::Display for RequestClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// A single I/O operation queued at a device.
+///
+/// The request carries its full lifecycle timestamps so both the iostat-like
+/// monitor (queue sizes, await) and the latency plots of Figures 4–7 can be
+/// computed from completed requests alone.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoRequest {
+    id: RequestId,
+    kind: RequestKind,
+    origin: RequestOrigin,
+    range: BlockRange,
+    /// Id of the application request this internal request was derived from,
+    /// if any (promotes/evictions/flushes point back at their trigger).
+    parent: Option<RequestId>,
+    arrival: SimTime,
+    dispatch: Option<SimTime>,
+    completion: Option<SimTime>,
+}
+
+impl IoRequest {
+    /// Creates a request for `sectors` sectors starting at sector
+    /// `start_sector`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sectors` is zero (see [`BlockRange::new`]).
+    pub fn new(
+        id: RequestId,
+        kind: RequestKind,
+        origin: RequestOrigin,
+        start_sector: u64,
+        sectors: u64,
+    ) -> Self {
+        IoRequest {
+            id,
+            kind,
+            origin,
+            range: BlockRange::new(Lba::new(start_sector), sectors),
+            parent: None,
+            arrival: SimTime::ZERO,
+            dispatch: None,
+            completion: None,
+        }
+    }
+
+    /// Creates a request over an existing [`BlockRange`].
+    pub fn from_range(
+        id: RequestId,
+        kind: RequestKind,
+        origin: RequestOrigin,
+        range: BlockRange,
+    ) -> Self {
+        IoRequest {
+            id,
+            kind,
+            origin,
+            range,
+            parent: None,
+            arrival: SimTime::ZERO,
+            dispatch: None,
+            completion: None,
+        }
+    }
+
+    /// Sets the arrival timestamp (builder style).
+    pub fn with_arrival(mut self, at: SimTime) -> Self {
+        self.arrival = at;
+        self
+    }
+
+    /// Records the parent application request this internal request serves.
+    pub fn with_parent(mut self, parent: RequestId) -> Self {
+        self.parent = Some(parent);
+        self
+    }
+
+    /// The request identifier.
+    pub const fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// The transfer direction.
+    pub const fn kind(&self) -> RequestKind {
+        self.kind
+    }
+
+    /// The origin (application / promote / evict / flush).
+    pub const fn origin(&self) -> RequestOrigin {
+        self.origin
+    }
+
+    /// The addressed sector range.
+    pub const fn range(&self) -> BlockRange {
+        self.range
+    }
+
+    /// The parent application request, if this is a derived internal request.
+    pub const fn parent(&self) -> Option<RequestId> {
+        self.parent
+    }
+
+    /// The paper's R/W/P/E class of this request.
+    pub fn class(&self) -> RequestClass {
+        RequestClass::classify(self.kind, self.origin)
+    }
+
+    /// When the request entered the queue.
+    pub const fn arrival(&self) -> SimTime {
+        self.arrival
+    }
+
+    /// When the device started servicing the request, if it has.
+    pub const fn dispatch(&self) -> Option<SimTime> {
+        self.dispatch
+    }
+
+    /// When the request completed, if it has.
+    pub const fn completion(&self) -> Option<SimTime> {
+        self.completion
+    }
+
+    /// Marks the request as dispatched to the device at `at`.
+    pub fn mark_dispatched(&mut self, at: SimTime) {
+        debug_assert!(self.dispatch.is_none(), "request dispatched twice");
+        self.dispatch = Some(at.max(self.arrival));
+    }
+
+    /// Marks the request as completed at `at`.
+    pub fn mark_completed(&mut self, at: SimTime) {
+        debug_assert!(self.completion.is_none(), "request completed twice");
+        self.completion = Some(at);
+    }
+
+    /// Time spent waiting in the queue before dispatch. `None` until the
+    /// request is dispatched.
+    pub fn queue_time(&self) -> Option<SimDuration> {
+        self.dispatch.map(|d| d.saturating_since(self.arrival))
+    }
+
+    /// Time spent being serviced by the device. `None` until completion.
+    pub fn service_time_observed(&self) -> Option<SimDuration> {
+        match (self.dispatch, self.completion) {
+            (Some(d), Some(c)) => Some(c.saturating_since(d)),
+            _ => None,
+        }
+    }
+
+    /// End-to-end latency (arrival to completion). `None` until completion.
+    pub fn latency(&self) -> Option<SimDuration> {
+        self.completion.map(|c| c.saturating_since(self.arrival))
+    }
+
+    /// How long the request has been waiting at `now`, for in-queue
+    /// estimates (SIB's wait-time estimation uses this).
+    pub fn age(&self, now: SimTime) -> SimDuration {
+        now.saturating_since(self.arrival)
+    }
+}
+
+impl fmt::Display for IoRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "req#{} {} {} {} at {}",
+            self.id,
+            self.class(),
+            self.kind,
+            self.range,
+            self.arrival
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(kind: RequestKind, origin: RequestOrigin) -> IoRequest {
+        IoRequest::new(1, kind, origin, 0, 8)
+    }
+
+    #[test]
+    fn classification_matches_paper_taxonomy() {
+        assert_eq!(req(RequestKind::Read, RequestOrigin::Application).class(), RequestClass::Read);
+        assert_eq!(
+            req(RequestKind::Write, RequestOrigin::Application).class(),
+            RequestClass::Write
+        );
+        assert_eq!(req(RequestKind::Write, RequestOrigin::Promote).class(), RequestClass::Promote);
+        assert_eq!(req(RequestKind::Write, RequestOrigin::Evict).class(), RequestClass::Evict);
+        assert_eq!(req(RequestKind::Write, RequestOrigin::Flush).class(), RequestClass::Evict);
+    }
+
+    #[test]
+    fn symbols_are_rwpe() {
+        let symbols: String = RequestClass::ALL.iter().map(|c| c.symbol()).collect();
+        assert_eq!(symbols, "RWPE");
+        for (i, class) in RequestClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
+    }
+
+    #[test]
+    fn lifecycle_timestamps_produce_latencies() {
+        let mut r = IoRequest::new(7, RequestKind::Read, RequestOrigin::Application, 100, 8)
+            .with_arrival(SimTime::from_micros(1_000));
+        assert_eq!(r.queue_time(), None);
+        assert_eq!(r.latency(), None);
+
+        r.mark_dispatched(SimTime::from_micros(1_400));
+        r.mark_completed(SimTime::from_micros(1_500));
+
+        assert_eq!(r.queue_time(), Some(SimDuration::from_micros(400)));
+        assert_eq!(r.service_time_observed(), Some(SimDuration::from_micros(100)));
+        assert_eq!(r.latency(), Some(SimDuration::from_micros(500)));
+    }
+
+    #[test]
+    fn dispatch_never_precedes_arrival() {
+        let mut r = IoRequest::new(9, RequestKind::Write, RequestOrigin::Application, 0, 8)
+            .with_arrival(SimTime::from_micros(500));
+        // Device claims to dispatch "before" arrival: clamp to arrival.
+        r.mark_dispatched(SimTime::from_micros(100));
+        assert_eq!(r.queue_time(), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn age_grows_with_now() {
+        let r = IoRequest::new(2, RequestKind::Read, RequestOrigin::Application, 0, 8)
+            .with_arrival(SimTime::from_micros(100));
+        assert_eq!(r.age(SimTime::from_micros(100)), SimDuration::ZERO);
+        assert_eq!(r.age(SimTime::from_micros(350)), SimDuration::from_micros(250));
+    }
+
+    #[test]
+    fn parent_links_internal_requests() {
+        let promote = IoRequest::new(3, RequestKind::Write, RequestOrigin::Promote, 0, 8)
+            .with_parent(42);
+        assert_eq!(promote.parent(), Some(42));
+        assert_eq!(promote.class(), RequestClass::Promote);
+    }
+
+    #[test]
+    fn display_contains_class_symbol() {
+        let r = req(RequestKind::Read, RequestOrigin::Application);
+        let s = r.to_string();
+        assert!(s.contains('R'));
+        assert!(s.contains("read"));
+    }
+}

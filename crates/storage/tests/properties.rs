@@ -1,0 +1,171 @@
+//! Property-based tests of the storage substrate's invariants.
+
+use proptest::prelude::*;
+
+use lbica_storage::block::{BlockRange, Lba, BLOCK_SECTORS};
+use lbica_storage::device::{DeviceModel, HddModel, SsdModel};
+use lbica_storage::histogram::LatencyHistogram;
+use lbica_storage::queue::DeviceQueue;
+use lbica_storage::request::{IoRequest, RequestClass, RequestKind, RequestOrigin};
+use lbica_storage::time::{SimDuration, SimTime};
+
+fn arb_kind() -> impl Strategy<Value = RequestKind> {
+    prop_oneof![Just(RequestKind::Read), Just(RequestKind::Write)]
+}
+
+fn arb_origin() -> impl Strategy<Value = RequestOrigin> {
+    prop_oneof![
+        Just(RequestOrigin::Application),
+        Just(RequestOrigin::Promote),
+        Just(RequestOrigin::Evict),
+        Just(RequestOrigin::Flush),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn block_range_merge_is_commutative_and_covering(
+        a_start in 0u64..10_000, a_len in 1u64..256,
+        b_start in 0u64..10_000, b_len in 1u64..256,
+    ) {
+        let a = BlockRange::new(Lba::new(a_start), a_len);
+        let b = BlockRange::new(Lba::new(b_start), b_len);
+        let ab = a.merged(&b);
+        let ba = b.merged(&a);
+        prop_assert_eq!(ab, ba);
+        if let Some(m) = ab {
+            // The merge covers both inputs and no sector before/after them.
+            prop_assert!(m.start().sector() <= a.start().sector());
+            prop_assert!(m.start().sector() <= b.start().sector());
+            prop_assert!(m.end().sector() >= a.end().sector());
+            prop_assert!(m.end().sector() >= b.end().sector());
+            prop_assert_eq!(
+                m.start().sector(),
+                a.start().sector().min(b.start().sector())
+            );
+            prop_assert_eq!(m.end().sector(), a.end().sector().max(b.end().sector()));
+        } else {
+            prop_assert!(!a.overlaps(&b) && !a.is_adjacent_to(&b));
+        }
+    }
+
+    #[test]
+    fn block_indices_cover_every_sector(start in 0u64..100_000, len in 1u64..512) {
+        let range = BlockRange::new(Lba::new(start), len);
+        let indices: Vec<u64> = range.block_indices().collect();
+        // Every sector's block is in the list; the list is contiguous.
+        for sector in start..start + len {
+            prop_assert!(indices.contains(&(sector / BLOCK_SECTORS)));
+        }
+        for pair in indices.windows(2) {
+            prop_assert_eq!(pair[1], pair[0] + 1);
+        }
+    }
+
+    #[test]
+    fn request_class_symbols_are_unique_and_consistent(
+        kind in arb_kind(),
+        origin in arb_origin(),
+    ) {
+        let class = RequestClass::classify(kind, origin);
+        prop_assert_eq!(RequestClass::ALL[class.index()], class);
+        // Application requests keep their direction; internal requests map to P/E.
+        match origin {
+            RequestOrigin::Application => prop_assert!(
+                (kind.is_read() && class == RequestClass::Read)
+                    || (kind.is_write() && class == RequestClass::Write)
+            ),
+            RequestOrigin::Promote => prop_assert_eq!(class, RequestClass::Promote),
+            _ => prop_assert_eq!(class, RequestClass::Evict),
+        }
+    }
+
+    #[test]
+    fn queue_preserves_every_enqueued_request_without_merging(
+        sectors in proptest::collection::vec(0u64..100_000, 1..100),
+    ) {
+        let mut q = DeviceQueue::without_merging("p");
+        for (i, &s) in sectors.iter().enumerate() {
+            q.enqueue(
+                IoRequest::new(i as u64, RequestKind::Read, RequestOrigin::Application, s, 8)
+                    .with_arrival(SimTime::from_micros(i as u64)),
+            );
+        }
+        prop_assert_eq!(q.depth(), sectors.len());
+        let mut dispatched = 0;
+        while let Some(r) = q.dispatch(SimTime::from_secs(1)) {
+            prop_assert_eq!(r.id(), dispatched as u64);
+            prop_assert!(r.queue_time().is_some());
+            dispatched += 1;
+        }
+        prop_assert_eq!(dispatched, sectors.len());
+        prop_assert_eq!(q.stats().enqueued, sectors.len() as u64);
+        prop_assert_eq!(q.stats().dispatched, sectors.len() as u64);
+    }
+
+    #[test]
+    fn queue_merging_never_loses_sectors(
+        starts in proptest::collection::vec(0u64..64, 1..60),
+    ) {
+        // Block-aligned single-block reads over a small region: heavy merging.
+        let mut q = DeviceQueue::new("m");
+        let mut total_enqueued_sectors = 0u64;
+        for (i, &b) in starts.iter().enumerate() {
+            q.enqueue(
+                IoRequest::new(i as u64, RequestKind::Read, RequestOrigin::Application, b * 8, 8)
+                    .with_arrival(SimTime::ZERO),
+            );
+            total_enqueued_sectors += 8;
+        }
+        let mut dispatched_sectors = 0u64;
+        while let Some(r) = q.dispatch(SimTime::from_secs(1)) {
+            dispatched_sectors += r.range().sectors();
+        }
+        // Merging may coalesce overlapping requests, so the dispatched span
+        // can be smaller, but never larger and never zero.
+        prop_assert!(dispatched_sectors > 0);
+        prop_assert!(dispatched_sectors <= total_enqueued_sectors);
+    }
+
+    #[test]
+    fn device_service_times_are_positive_and_bounded(
+        sector in 0u64..1_000_000_000,
+        sectors in 1u64..2_048,
+        kind in arb_kind(),
+    ) {
+        let req = IoRequest::new(0, kind, RequestOrigin::Application, sector, sectors);
+        let mut ssd = SsdModel::samsung_863a();
+        let mut hdd = HddModel::seagate_7200_sas();
+        let ssd_t = ssd.service_time(&req);
+        let hdd_t = hdd.service_time(&req);
+        prop_assert!(ssd_t > SimDuration::ZERO);
+        prop_assert!(hdd_t > SimDuration::ZERO);
+        // Sanity bounds: no single request takes more than 10 seconds.
+        prop_assert!(ssd_t.as_micros() < 10_000_000);
+        prop_assert!(hdd_t.as_micros() < 10_000_000);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_monotone_and_within_range(
+        samples in proptest::collection::vec(1u64..1_000_000, 1..300),
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(SimDuration::from_micros(s));
+        }
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        prop_assert_eq!(h.max().as_micros(), max);
+        prop_assert_eq!(h.min().as_micros(), min);
+        let mut prev = 0u64;
+        for pct in [10.0, 50.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(pct).as_micros();
+            prop_assert!(v >= prev, "percentiles must be non-decreasing");
+            prop_assert!(v <= max);
+            prev = v;
+        }
+        prop_assert!(h.mean().as_micros() >= min && h.mean().as_micros() <= max);
+    }
+}

@@ -1,0 +1,373 @@
+//! Synthetic access-pattern and arrival-process generators.
+//!
+//! A [`PatternSpec`] describes *where* a workload reads and writes (random,
+//! sequential, hotspot-skewed, mixed); an [`ArrivalProcess`] describes
+//! *when* requests arrive (an open-loop Poisson-like stream at a target
+//! IOPS). [`AccessPattern`] is the stateful generator built from a spec.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use lbica_storage::block::BLOCK_SECTORS;
+use lbica_storage::request::RequestKind;
+
+use crate::record::TraceRecord;
+
+/// Declarative description of an address/direction pattern.
+///
+/// All footprints are expressed in cache blocks (4 KiB units); requests are
+/// generated block-aligned, `request_blocks` blocks long.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PatternSpec {
+    /// Uniform random reads over a working set.
+    RandomRead {
+        /// Working-set size in blocks.
+        working_set_blocks: u64,
+    },
+    /// Uniform random writes over a working set.
+    RandomWrite {
+        /// Working-set size in blocks.
+        working_set_blocks: u64,
+    },
+    /// A sequential read stream that wraps around `length_blocks`.
+    SequentialRead {
+        /// Length of the sequential region in blocks.
+        length_blocks: u64,
+    },
+    /// A sequential write stream that wraps around `length_blocks`.
+    SequentialWrite {
+        /// Length of the sequential region in blocks.
+        length_blocks: u64,
+    },
+    /// A mix of uniform random reads and writes.
+    Mixed {
+        /// Fraction of requests that are reads, in `[0, 1]`.
+        read_fraction: f64,
+        /// Working-set size in blocks.
+        working_set_blocks: u64,
+    },
+    /// A hotspot-skewed mix: a fraction of the working set ("the hot set")
+    /// receives most of the accesses, approximating the skewed popularity
+    /// of OLTP / mail-store workloads.
+    Hotspot {
+        /// Fraction of requests that are reads, in `[0, 1]`.
+        read_fraction: f64,
+        /// Working-set size in blocks.
+        working_set_blocks: u64,
+        /// Fraction of the working set that is hot, in `(0, 1]`.
+        hot_fraction: f64,
+        /// Probability that an access goes to the hot set, in `[0, 1]`.
+        hot_probability: f64,
+    },
+}
+
+impl PatternSpec {
+    /// The working-set (or stream) footprint in blocks.
+    pub fn footprint_blocks(&self) -> u64 {
+        match *self {
+            PatternSpec::RandomRead { working_set_blocks }
+            | PatternSpec::RandomWrite { working_set_blocks }
+            | PatternSpec::Mixed { working_set_blocks, .. }
+            | PatternSpec::Hotspot { working_set_blocks, .. } => working_set_blocks,
+            PatternSpec::SequentialRead { length_blocks }
+            | PatternSpec::SequentialWrite { length_blocks } => length_blocks,
+        }
+    }
+
+    /// Fraction of generated requests expected to be reads.
+    pub fn expected_read_fraction(&self) -> f64 {
+        match *self {
+            PatternSpec::RandomRead { .. } | PatternSpec::SequentialRead { .. } => 1.0,
+            PatternSpec::RandomWrite { .. } | PatternSpec::SequentialWrite { .. } => 0.0,
+            PatternSpec::Mixed { read_fraction, .. }
+            | PatternSpec::Hotspot { read_fraction, .. } => read_fraction.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// A stateful generator of `(sector, sectors, kind)` triples.
+///
+/// ```
+/// use lbica_trace::gen::{AccessPattern, PatternSpec};
+///
+/// let mut pattern = AccessPattern::new(
+///     PatternSpec::RandomRead { working_set_blocks: 1024 },
+///     /* base_block */ 0,
+///     /* request_blocks */ 1,
+///     /* seed */ 7,
+/// );
+/// let (sector, sectors, kind) = pattern.next_access();
+/// assert!(sectors == 8 && kind.is_read());
+/// assert!(sector < 1024 * 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AccessPattern {
+    spec: PatternSpec,
+    base_block: u64,
+    request_blocks: u64,
+    cursor: u64,
+    rng: StdRng,
+}
+
+impl AccessPattern {
+    /// Creates a generator.
+    ///
+    /// `base_block` offsets the whole footprint on the device so that
+    /// different phases / workloads can address disjoint regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request_blocks` is zero or the spec's footprint is zero.
+    pub fn new(spec: PatternSpec, base_block: u64, request_blocks: u64, seed: u64) -> Self {
+        assert!(request_blocks > 0, "requests must span at least one block");
+        assert!(spec.footprint_blocks() > 0, "pattern footprint must be non-empty");
+        AccessPattern {
+            spec,
+            base_block,
+            request_blocks,
+            cursor: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The spec this generator was built from.
+    pub const fn spec(&self) -> &PatternSpec {
+        &self.spec
+    }
+
+    fn pick_block(&mut self) -> (u64, RequestKind) {
+        match self.spec {
+            PatternSpec::RandomRead { working_set_blocks } => {
+                (self.rng.gen_range(0..working_set_blocks), RequestKind::Read)
+            }
+            PatternSpec::RandomWrite { working_set_blocks } => {
+                (self.rng.gen_range(0..working_set_blocks), RequestKind::Write)
+            }
+            PatternSpec::SequentialRead { length_blocks } => {
+                let block = self.cursor % length_blocks;
+                self.cursor += self.request_blocks;
+                (block, RequestKind::Read)
+            }
+            PatternSpec::SequentialWrite { length_blocks } => {
+                let block = self.cursor % length_blocks;
+                self.cursor += self.request_blocks;
+                (block, RequestKind::Write)
+            }
+            PatternSpec::Mixed { read_fraction, working_set_blocks } => {
+                let kind = if self.rng.gen_bool(read_fraction.clamp(0.0, 1.0)) {
+                    RequestKind::Read
+                } else {
+                    RequestKind::Write
+                };
+                (self.rng.gen_range(0..working_set_blocks), kind)
+            }
+            PatternSpec::Hotspot {
+                read_fraction,
+                working_set_blocks,
+                hot_fraction,
+                hot_probability,
+            } => {
+                let kind = if self.rng.gen_bool(read_fraction.clamp(0.0, 1.0)) {
+                    RequestKind::Read
+                } else {
+                    RequestKind::Write
+                };
+                let hot_blocks =
+                    ((working_set_blocks as f64) * hot_fraction.clamp(0.0, 1.0)).max(1.0) as u64;
+                let block = if self.rng.gen_bool(hot_probability.clamp(0.0, 1.0)) {
+                    self.rng.gen_range(0..hot_blocks)
+                } else if hot_blocks < working_set_blocks {
+                    self.rng.gen_range(hot_blocks..working_set_blocks)
+                } else {
+                    self.rng.gen_range(0..working_set_blocks)
+                };
+                (block, kind)
+            }
+        }
+    }
+
+    /// Generates the next access as `(start_sector, sectors, kind)`.
+    pub fn next_access(&mut self) -> (u64, u64, RequestKind) {
+        let (block, kind) = self.pick_block();
+        let sector = (self.base_block + block) * BLOCK_SECTORS;
+        (sector, self.request_blocks * BLOCK_SECTORS, kind)
+    }
+}
+
+/// An open-loop arrival process with exponential inter-arrival times at a
+/// target rate (requests per second).
+///
+/// ```
+/// use lbica_trace::gen::ArrivalProcess;
+/// let mut arrivals = ArrivalProcess::new(10_000.0, 3);
+/// let gap = arrivals.next_gap_us();
+/// assert!(gap >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    rate_per_us: f64,
+    rng: StdRng,
+}
+
+impl ArrivalProcess {
+    /// Creates an arrival process at `iops` requests per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iops` is not finite and positive.
+    pub fn new(iops: f64, seed: u64) -> Self {
+        assert!(iops.is_finite() && iops > 0.0, "arrival rate must be positive");
+        ArrivalProcess { rate_per_us: iops / 1e6, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Samples the next inter-arrival gap in microseconds (at least 1).
+    pub fn next_gap_us(&mut self) -> u64 {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let gap = -u.ln() / self.rate_per_us;
+        gap.max(1.0).round() as u64
+    }
+}
+
+/// Generates an open-loop request stream of `pattern` accesses arriving at
+/// `iops` for `duration_us` microseconds starting at `start_us`.
+pub fn generate_stream(
+    pattern: &mut AccessPattern,
+    arrivals: &mut ArrivalProcess,
+    start_us: u64,
+    duration_us: u64,
+) -> Vec<TraceRecord> {
+    let mut records = Vec::new();
+    let end = start_us + duration_us;
+    let mut t = start_us + arrivals.next_gap_us();
+    while t < end {
+        let (sector, sectors, kind) = pattern.next_access();
+        records.push(TraceRecord::new(t, sector, sectors, kind));
+        t += arrivals.next_gap_us();
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_read_stays_in_working_set_and_is_read_only() {
+        let mut p =
+            AccessPattern::new(PatternSpec::RandomRead { working_set_blocks: 100 }, 1000, 1, 1);
+        for _ in 0..500 {
+            let (sector, sectors, kind) = p.next_access();
+            assert!(kind.is_read());
+            assert_eq!(sectors, BLOCK_SECTORS);
+            let block = sector / BLOCK_SECTORS;
+            assert!((1000..1100).contains(&block));
+        }
+    }
+
+    #[test]
+    fn sequential_read_advances_and_wraps() {
+        let mut p =
+            AccessPattern::new(PatternSpec::SequentialRead { length_blocks: 4 }, 0, 1, 1);
+        let blocks: Vec<u64> = (0..6).map(|_| p.next_access().0 / BLOCK_SECTORS).collect();
+        assert_eq!(blocks, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn mixed_respects_read_fraction_approximately() {
+        let mut p = AccessPattern::new(
+            PatternSpec::Mixed { read_fraction: 0.7, working_set_blocks: 1000 },
+            0,
+            1,
+            42,
+        );
+        let reads =
+            (0..10_000).filter(|_| p.next_access().2.is_read()).count() as f64 / 10_000.0;
+        assert!((reads - 0.7).abs() < 0.03, "observed read fraction {reads}");
+    }
+
+    #[test]
+    fn hotspot_concentrates_accesses() {
+        let mut p = AccessPattern::new(
+            PatternSpec::Hotspot {
+                read_fraction: 1.0,
+                working_set_blocks: 10_000,
+                hot_fraction: 0.1,
+                hot_probability: 0.9,
+            },
+            0,
+            1,
+            7,
+        );
+        let hot_hits = (0..10_000)
+            .filter(|_| p.next_access().0 / BLOCK_SECTORS < 1_000)
+            .count() as f64
+            / 10_000.0;
+        assert!(hot_hits > 0.85, "hot-set share {hot_hits}");
+    }
+
+    #[test]
+    fn expected_read_fraction_matches_specs() {
+        assert_eq!(PatternSpec::RandomRead { working_set_blocks: 1 }.expected_read_fraction(), 1.0);
+        assert_eq!(
+            PatternSpec::SequentialWrite { length_blocks: 1 }.expected_read_fraction(),
+            0.0
+        );
+        assert_eq!(
+            PatternSpec::Mixed { read_fraction: 0.3, working_set_blocks: 1 }
+                .expected_read_fraction(),
+            0.3
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_request_blocks_panics() {
+        let _ = AccessPattern::new(PatternSpec::RandomRead { working_set_blocks: 10 }, 0, 0, 1);
+    }
+
+    #[test]
+    fn arrival_rate_roughly_matches_iops() {
+        let mut a = ArrivalProcess::new(10_000.0, 11);
+        let total: u64 = (0..10_000).map(|_| a.next_gap_us()).sum();
+        let avg = total as f64 / 10_000.0;
+        // Mean gap should be ~100 µs for 10k IOPS.
+        assert!((avg - 100.0).abs() < 10.0, "avg gap {avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = ArrivalProcess::new(0.0, 1);
+    }
+
+    #[test]
+    fn stream_timestamps_are_within_window_and_sorted() {
+        let mut p =
+            AccessPattern::new(PatternSpec::RandomRead { working_set_blocks: 64 }, 0, 1, 5);
+        let mut a = ArrivalProcess::new(5_000.0, 5);
+        let recs = generate_stream(&mut p, &mut a, 1_000_000, 100_000);
+        assert!(!recs.is_empty());
+        let mut prev = 0;
+        for r in &recs {
+            assert!(r.timestamp_us >= 1_000_000 && r.timestamp_us < 1_100_000);
+            assert!(r.timestamp_us >= prev);
+            prev = r.timestamp_us;
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let make = || {
+            let mut p = AccessPattern::new(
+                PatternSpec::Mixed { read_fraction: 0.5, working_set_blocks: 1000 },
+                0,
+                1,
+                99,
+            );
+            let mut a = ArrivalProcess::new(8_000.0, 99);
+            generate_stream(&mut p, &mut a, 0, 50_000)
+        };
+        assert_eq!(make(), make());
+    }
+}

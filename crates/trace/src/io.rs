@@ -1,0 +1,166 @@
+//! Trace readers and writers.
+//!
+//! Two encodings are provided:
+//!
+//! * a human-readable text format (one [`TraceRecord`] per line), and
+//! * a compact binary format ([`BinaryTraceCodec`]) using fixed-width
+//!   little-endian fields, convenient for large synthetic traces.
+
+use std::io::{self, BufRead, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use lbica_storage::request::RequestKind;
+
+use crate::record::TraceRecord;
+
+/// Writes records to `writer`, one text line per record.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the underlying writer.
+pub fn write_text_trace<W: Write>(mut writer: W, records: &[TraceRecord]) -> io::Result<()> {
+    for rec in records {
+        writeln!(writer, "{}", rec.to_line())?;
+    }
+    Ok(())
+}
+
+/// Reads a text trace produced by [`write_text_trace`]. Blank lines and
+/// lines starting with `#` are ignored.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] with kind `InvalidData` on malformed lines, or
+/// any underlying I/O error.
+pub fn read_text_trace<R: BufRead>(reader: R) -> io::Result<Vec<TraceRecord>> {
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let rec = TraceRecord::parse_line(trimmed).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", idx + 1))
+        })?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Fixed-width binary codec: 8-byte timestamp, 8-byte sector, 4-byte length
+/// and 1-byte direction per record, little-endian.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BinaryTraceCodec;
+
+impl BinaryTraceCodec {
+    /// Bytes per encoded record.
+    pub const RECORD_BYTES: usize = 8 + 8 + 4 + 1;
+
+    /// Encodes records into a byte buffer.
+    pub fn encode(&self, records: &[TraceRecord]) -> Bytes {
+        let mut buf = BytesMut::with_capacity(records.len() * Self::RECORD_BYTES);
+        for rec in records {
+            buf.put_u64_le(rec.timestamp_us);
+            buf.put_u64_le(rec.sector);
+            buf.put_u32_le(rec.sectors as u32);
+            buf.put_u8(if rec.kind.is_read() { 0 } else { 1 });
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a buffer produced by [`Self::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` when the buffer length is not a whole number of
+    /// records or a record is malformed (zero length).
+    pub fn decode(&self, mut data: Bytes) -> io::Result<Vec<TraceRecord>> {
+        if data.len() % Self::RECORD_BYTES != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "binary trace length is not a multiple of the record size",
+            ));
+        }
+        let mut out = Vec::with_capacity(data.len() / Self::RECORD_BYTES);
+        while data.has_remaining() {
+            let ts = data.get_u64_le();
+            let sector = data.get_u64_le();
+            let sectors = data.get_u32_le() as u64;
+            let dir = data.get_u8();
+            if sectors == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "binary trace record has zero length",
+                ));
+            }
+            let kind = if dir == 0 { RequestKind::Read } else { RequestKind::Write };
+            out.push(TraceRecord::new(ts, sector, sectors, kind));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::new(0, 0, 8, RequestKind::Read),
+            TraceRecord::new(100, 4096, 16, RequestKind::Write),
+            TraceRecord::new(250, 81920, 256, RequestKind::Read),
+        ]
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut buf = Vec::new();
+        write_text_trace(&mut buf, &sample()).unwrap();
+        let parsed = read_text_trace(buf.as_slice()).unwrap();
+        assert_eq!(parsed, sample());
+    }
+
+    #[test]
+    fn text_reader_skips_comments_and_blanks() {
+        let text = "# header\n\n0 0 8 R\n  \n100 4096 16 W\n";
+        let parsed = read_text_trace(text.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn text_reader_reports_line_numbers() {
+        let text = "0 0 8 R\nbogus line\n";
+        let err = read_text_trace(text.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let codec = BinaryTraceCodec;
+        let encoded = codec.encode(&sample());
+        assert_eq!(encoded.len(), 3 * BinaryTraceCodec::RECORD_BYTES);
+        let decoded = codec.decode(encoded).unwrap();
+        assert_eq!(decoded, sample());
+    }
+
+    #[test]
+    fn binary_decoder_rejects_truncated_buffers() {
+        let codec = BinaryTraceCodec;
+        let mut encoded = codec.encode(&sample()).to_vec();
+        encoded.pop();
+        assert!(codec.decode(Bytes::from(encoded)).is_err());
+    }
+
+    #[test]
+    fn binary_decoder_rejects_zero_length_records() {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(0);
+        buf.put_u64_le(0);
+        buf.put_u32_le(0);
+        buf.put_u8(0);
+        assert!(BinaryTraceCodec.decode(buf.freeze()).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests of the workload generators, monitors and trace
+//! analysis.
+
+use proptest::prelude::*;
+
+use lbica_storage::block::BLOCK_SECTORS;
+use lbica_storage::request::RequestKind;
+use lbica_trace::analyze::{analyze_intervals, TraceAnalysis};
+use lbica_trace::gen::{generate_stream, AccessPattern, ArrivalProcess, PatternSpec};
+use lbica_trace::monitor::{IostatCollector, Tier};
+use lbica_trace::record::TraceRecord;
+use lbica_trace::workload::{BurstPhase, PhaseIntensity, WorkloadKind, WorkloadSpec};
+
+fn arb_pattern() -> impl Strategy<Value = PatternSpec> {
+    prop_oneof![
+        (1u64..10_000).prop_map(|ws| PatternSpec::RandomRead { working_set_blocks: ws }),
+        (1u64..10_000).prop_map(|ws| PatternSpec::RandomWrite { working_set_blocks: ws }),
+        (1u64..10_000).prop_map(|len| PatternSpec::SequentialRead { length_blocks: len }),
+        (1u64..10_000).prop_map(|len| PatternSpec::SequentialWrite { length_blocks: len }),
+        (0.0f64..=1.0, 1u64..10_000)
+            .prop_map(|(rf, ws)| PatternSpec::Mixed { read_fraction: rf, working_set_blocks: ws }),
+        (0.0f64..=1.0, 1u64..10_000, 0.01f64..=1.0, 0.0f64..=1.0).prop_map(
+            |(rf, ws, hf, hp)| PatternSpec::Hotspot {
+                read_fraction: rf,
+                working_set_blocks: ws,
+                hot_fraction: hf,
+                hot_probability: hp,
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_pattern_stays_inside_its_footprint(
+        pattern in arb_pattern(),
+        base in 0u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let mut gen = AccessPattern::new(pattern, base, 1, seed);
+        let footprint = pattern.footprint_blocks();
+        for _ in 0..200 {
+            let (sector, sectors, _kind) = gen.next_access();
+            prop_assert_eq!(sectors, BLOCK_SECTORS);
+            let block = sector / BLOCK_SECTORS;
+            prop_assert!(block >= base, "block {} below base {}", block, base);
+            prop_assert!(
+                block < base + footprint,
+                "block {} beyond footprint {}+{}",
+                block,
+                base,
+                footprint
+            );
+        }
+    }
+
+    #[test]
+    fn pure_patterns_have_pure_directions(seed in any::<u64>(), ws in 1u64..5_000) {
+        let mut reads = AccessPattern::new(PatternSpec::RandomRead { working_set_blocks: ws }, 0, 1, seed);
+        let mut writes = AccessPattern::new(PatternSpec::RandomWrite { working_set_blocks: ws }, 0, 1, seed);
+        for _ in 0..100 {
+            prop_assert_eq!(reads.next_access().2, RequestKind::Read);
+            prop_assert_eq!(writes.next_access().2, RequestKind::Write);
+        }
+    }
+
+    #[test]
+    fn generated_streams_are_sorted_and_deterministic(
+        iops in 100.0f64..50_000.0,
+        duration in 1_000u64..200_000,
+        seed in any::<u64>(),
+    ) {
+        let make = || {
+            let mut p = AccessPattern::new(
+                PatternSpec::Mixed { read_fraction: 0.5, working_set_blocks: 4_096 },
+                0,
+                1,
+                seed,
+            );
+            let mut a = ArrivalProcess::new(iops, seed ^ 1);
+            generate_stream(&mut p, &mut a, 0, duration)
+        };
+        let stream = make();
+        prop_assert_eq!(&stream, &make());
+        let mut prev = 0u64;
+        for r in &stream {
+            prop_assert!(r.timestamp_us < duration);
+            prop_assert!(r.timestamp_us >= prev);
+            prev = r.timestamp_us;
+        }
+    }
+
+    #[test]
+    fn workload_interval_lookup_is_a_partition(
+        intervals in proptest::collection::vec(1u32..20, 1..6),
+        seed in any::<u64>(),
+    ) {
+        let mut spec = WorkloadSpec::new("prop", WorkloadKind::Custom, 10_000);
+        for (i, n) in intervals.iter().enumerate() {
+            spec = spec.push_phase(BurstPhase::new(
+                format!("phase-{i}"),
+                *n,
+                1_000.0,
+                PatternSpec::RandomRead { working_set_blocks: 100 },
+                if i % 2 == 0 { PhaseIntensity::Moderate } else { PhaseIntensity::Burst },
+            ));
+        }
+        let total: u32 = intervals.iter().sum();
+        prop_assert_eq!(spec.total_intervals(), total);
+        // Every interval maps to exactly one phase, in order.
+        let mut last_phase = 0usize;
+        for idx in 0..total {
+            let (phase_idx, _) = spec.phase_for_interval(idx).expect("covered");
+            prop_assert!(phase_idx >= last_phase);
+            last_phase = phase_idx;
+        }
+        prop_assert!(spec.phase_for_interval(total).is_none());
+        // Generation past the end yields nothing; inside the range the
+        // timestamps stay within the interval window.
+        prop_assert!(spec.generate_interval(total + 1, seed).is_empty());
+        let records = spec.generate_interval(0, seed);
+        for r in &records {
+            prop_assert!(r.timestamp_us < spec.interval_us());
+        }
+    }
+
+    #[test]
+    fn analysis_totals_match_the_trace(
+        records in proptest::collection::vec(
+            (0u64..1_000_000, 0u64..100_000, 1u64..64, any::<bool>()),
+            0..200,
+        ),
+    ) {
+        let trace: Vec<TraceRecord> = records
+            .iter()
+            .map(|(ts, sector, len, read)| {
+                TraceRecord::new(
+                    *ts,
+                    *sector,
+                    *len,
+                    if *read { RequestKind::Read } else { RequestKind::Write },
+                )
+            })
+            .collect();
+        let analysis = TraceAnalysis::of(&trace);
+        prop_assert_eq!(analysis.requests as usize, trace.len());
+        prop_assert_eq!(analysis.reads + analysis.writes, analysis.requests);
+        prop_assert_eq!(
+            analysis.total_sectors,
+            trace.iter().map(|r| r.sectors).sum::<u64>()
+        );
+        prop_assert!(analysis.read_fraction() >= 0.0 && analysis.read_fraction() <= 1.0);
+        prop_assert!(analysis.sequentiality() >= 0.0 && analysis.sequentiality() <= 1.0);
+
+        // Splitting into intervals conserves the request count.
+        let per_interval = analyze_intervals(&trace, 50_000);
+        let split_total: u64 = per_interval.iter().map(|a| a.requests).sum();
+        prop_assert_eq!(split_total, analysis.requests);
+    }
+
+    #[test]
+    fn iostat_collector_aggregates_are_consistent(
+        latencies in proptest::collection::vec(1u64..100_000, 1..200),
+    ) {
+        let mut iostat = IostatCollector::new();
+        for &l in &latencies {
+            iostat.record_enqueue(Tier::Cache);
+            iostat.record_completion(Tier::Cache, l);
+        }
+        let report = iostat.finish_interval(0, 0, 0);
+        prop_assert_eq!(report.cache.completed as usize, latencies.len());
+        prop_assert_eq!(report.cache.max_latency_us, *latencies.iter().max().unwrap());
+        let mean = latencies.iter().sum::<u64>() / latencies.len() as u64;
+        prop_assert_eq!(report.cache.avg_latency_us, mean);
+        prop_assert!(report.cache.avg_latency_us <= report.cache.max_latency_us);
+    }
+}

@@ -1,0 +1,59 @@
+//! Compare the three schemes of the paper — the plain write-back cache,
+//! SIB and LBICA — on the same burst workload, the way Section IV does.
+//!
+//! ```text
+//! cargo run --release --example policy_comparison [tpcc|mail|web]
+//! ```
+
+use std::env;
+
+use lbica::core::{LbicaController, SibController, WbController, WorkloadComparison};
+use lbica::sim::{CacheController, Simulation, SimulationConfig, SimulationReport};
+use lbica::trace::workload::{WorkloadScale, WorkloadSpec};
+
+fn run(spec: &WorkloadSpec, controller: &mut dyn CacheController) -> SimulationReport {
+    Simulation::new(SimulationConfig::tiny(), spec.clone(), 7).run(controller)
+}
+
+fn main() {
+    let scale = WorkloadScale::tiny();
+    let which = env::args().nth(1).unwrap_or_else(|| "mail".to_string());
+    let spec = match which.as_str() {
+        "tpcc" => WorkloadSpec::tpcc_scaled(scale),
+        "web" => WorkloadSpec::web_server_scaled(scale),
+        _ => WorkloadSpec::mail_server_scaled(scale),
+    };
+    println!("workload: {}", spec.name());
+
+    let wb = run(&spec, &mut WbController::new());
+    let sib = run(&spec, &mut SibController::new());
+    let lbica = run(&spec, &mut LbicaController::new());
+
+    println!(
+        "{:<8} {:>18} {:>18} {:>16} {:>10}",
+        "scheme", "avg cache load", "avg disk load", "avg latency", "bypassed"
+    );
+    for report in [&wb, &sib, &lbica] {
+        println!(
+            "{:<8} {:>15.0} us {:>15.0} us {:>13} us {:>10}",
+            report.controller,
+            report.avg_cache_load_us(),
+            report.avg_disk_load_us(),
+            report.app_avg_latency_us,
+            report.bypassed_requests
+        );
+    }
+
+    let comparison = WorkloadComparison::from_reports(&wb, &sib, &lbica);
+    println!();
+    println!(
+        "LBICA reduces the I/O cache load by {:.1}% vs the WB cache and {:.1}% vs SIB",
+        comparison.cache_load_reduction_vs_wb(),
+        comparison.cache_load_reduction_vs_sib()
+    );
+    println!(
+        "LBICA improves average latency by {:.1}% vs the WB cache and {:.1}% vs SIB",
+        comparison.latency_improvement_vs_wb(),
+        comparison.latency_improvement_vs_sib()
+    );
+}

@@ -1,0 +1,48 @@
+//! Quickstart: build a two-tier storage system, run a bursty workload under
+//! the LBICA controller and print what the load balancer did.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lbica::core::LbicaController;
+use lbica::sim::{Simulation, SimulationConfig};
+use lbica::trace::workload::{WorkloadScale, WorkloadSpec};
+
+fn main() {
+    // A scaled-down TPC-C-like workload: hotspot OLTP traffic with long
+    // random-read bursts whose misses flood the SSD cache with promotions.
+    let scale = WorkloadScale::tiny();
+    let spec = WorkloadSpec::tpcc_scaled(scale);
+    println!(
+        "workload `{}`: {} intervals of {} ms",
+        spec.name(),
+        spec.total_intervals(),
+        spec.interval_us() / 1_000
+    );
+
+    // The simulated system: a Samsung-863a-class SSD cache in front of a
+    // mid-range-SSD disk subsystem, managed by the LBICA controller.
+    let mut controller = LbicaController::new();
+    let mut simulation = Simulation::new(SimulationConfig::tiny(), spec, 42);
+    let report = simulation.run(&mut controller);
+
+    println!("controller: {}", report.controller);
+    println!("application requests completed: {}", report.app_completed);
+    println!("average application latency: {} us", report.app_avg_latency_us);
+    println!("average I/O cache load: {:.0} us", report.avg_cache_load_us());
+    println!("burst intervals detected: {}", report.burst_intervals());
+    println!("requests bypassed to the disk subsystem: {}", report.bypassed_requests);
+
+    println!("write-policy timeline:");
+    for change in &report.policy_changes {
+        println!("  interval {:>3} -> {}", change.interval, change.policy);
+    }
+
+    println!(
+        "cache statistics: {:.1}% read hit ratio, {} promotes, {} dirty evictions",
+        report.cache_stats.read_hit_ratio() * 100.0,
+        report.cache_stats.promotes,
+        report.cache_stats.dirty_evictions
+    );
+}

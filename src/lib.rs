@@ -1,0 +1,14 @@
+//! Meta crate re-exporting the whole LBICA reproduction workspace.
+//!
+//! This is a convenience facade: `lbica::prelude::*` pulls in the types
+//! needed to build a storage system, pick a controller (WB baseline, SIB or
+//! LBICA) and run a workload through it. The individual crates remain usable
+//! on their own. Full documentation lives in each sub-crate.
+
+#![forbid(unsafe_code)]
+
+pub use lbica_cache as cache;
+pub use lbica_core as core;
+pub use lbica_sim as sim;
+pub use lbica_storage as storage;
+pub use lbica_trace as trace;

@@ -1,0 +1,138 @@
+//! End-to-end tests of LBICA's workload characterization and policy
+//! assignment: do the canned workloads, run through the full simulator,
+//! produce the group detections and policy switches the paper reports in
+//! Fig. 6?
+
+use lbica::core::{LbicaController, RequestMix, WorkloadCharacterizer, WorkloadGroup};
+use lbica::sim::{Simulation, SimulationConfig, SimulationReport};
+use lbica::trace::workload::{WorkloadScale, WorkloadSpec};
+
+fn run_lbica(spec: &WorkloadSpec) -> SimulationReport {
+    Simulation::new(SimulationConfig::tiny(), spec.clone(), 20190325).run(&mut LbicaController::new())
+}
+
+/// The policies assigned during burst-detected intervals of a report.
+fn burst_policies(report: &SimulationReport) -> Vec<String> {
+    report
+        .intervals
+        .iter()
+        .filter(|i| i.burst_detected)
+        .map(|i| i.policy_label.clone())
+        .collect()
+}
+
+#[test]
+fn tpcc_bursts_are_characterized_as_random_read() {
+    // Fig. 6a: the TPC-C burst queue is dominated by R and P, so LBICA
+    // assigns WO.
+    let spec = WorkloadSpec::tpcc_scaled(WorkloadScale::tiny());
+    let report = run_lbica(&spec);
+    assert!(report.burst_intervals() > 0, "TPC-C must trigger burst detection");
+
+    let characterizer = WorkloadCharacterizer::new();
+    let mut random_read_bursts = 0usize;
+    for interval in report.intervals.iter().filter(|i| i.burst_detected) {
+        let mix = RequestMix::from_snapshot(&interval.cache_queue_mix);
+        if characterizer.classify(&mix) == WorkloadGroup::RandomRead {
+            random_read_bursts += 1;
+        }
+    }
+    assert!(
+        random_read_bursts > 0,
+        "at least one TPC-C burst interval must characterize as random read"
+    );
+    assert!(
+        report.policy_changes.iter().any(|c| c.policy == "WO"),
+        "random-read bursts must lead to the WO policy: {:?}",
+        report.policy_changes
+    );
+}
+
+#[test]
+fn mail_server_mixed_burst_gets_read_only() {
+    // Fig. 6b, interval 23: the mail-server burst is mixed read/write with a
+    // large write share, so LBICA assigns RO.
+    let spec = WorkloadSpec::mail_server_scaled(WorkloadScale::tiny());
+    let report = run_lbica(&spec);
+    assert!(report.burst_intervals() > 0);
+    assert!(
+        report.policy_changes.iter().any(|c| c.policy == "RO"),
+        "the write-heavy mixed burst must lead to the RO policy: {:?}",
+        report.policy_changes
+    );
+}
+
+#[test]
+fn web_server_burst_gets_read_only_early() {
+    // Fig. 6c: the web-server burst is right at the start and mixed
+    // read/write, so RO appears early in the run.
+    let spec = WorkloadSpec::web_server_scaled(WorkloadScale::tiny());
+    let report = run_lbica(&spec);
+    let first_ro = report
+        .policy_changes
+        .iter()
+        .find(|c| c.policy == "RO")
+        .map(|c| c.interval)
+        .expect("the web-server burst must trigger RO");
+    assert!(
+        first_ro <= spec.total_intervals() / 2,
+        "RO should be assigned during the initial burst (got interval {first_ro})"
+    );
+}
+
+#[test]
+fn burst_policies_come_from_the_papers_policy_set() {
+    // During burst intervals LBICA may only ever assign WB, RO or WO (WT is
+    // never in its policy map).
+    for spec in WorkloadSpec::paper_suite(WorkloadScale::tiny()) {
+        let report = run_lbica(&spec);
+        for policy in burst_policies(&report) {
+            assert!(
+                ["WB", "RO", "WO"].contains(&policy.as_str()),
+                "{}: unexpected burst policy {policy}",
+                spec.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn calm_intervals_eventually_revert_to_write_back() {
+    // After the final burst the policy must return to the WB fallback
+    // (Fig. 6b ends on WB).
+    for spec in WorkloadSpec::paper_suite(WorkloadScale::tiny()) {
+        let report = run_lbica(&spec);
+        let last = report.intervals.last().expect("at least one interval");
+        if !last.burst_detected {
+            assert_eq!(
+                last.policy_label, "WB",
+                "{}: calm tail of the run should end on WB",
+                spec.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn observed_burst_mixes_match_the_driving_pattern() {
+    // The class mix LBICA observes during TPC-C bursts must actually be
+    // read/promote-heavy (that is what makes the characterization correct,
+    // not an artifact of the thresholds).
+    let spec = WorkloadSpec::tpcc_scaled(WorkloadScale::tiny());
+    let report = run_lbica(&spec);
+    let mut read_plus_promote = 0.0;
+    let mut samples = 0usize;
+    for interval in report.intervals.iter().filter(|i| i.burst_detected) {
+        let mix = RequestMix::from_snapshot(&interval.cache_queue_mix);
+        if mix.total() > 0.0 {
+            read_plus_promote += mix.read + mix.promote;
+            samples += 1;
+        }
+    }
+    assert!(samples > 0);
+    let avg = read_plus_promote / samples as f64;
+    assert!(
+        avg > 0.6,
+        "TPC-C burst intervals should be dominated by R+P, observed average {avg:.2}"
+    );
+}

@@ -1,0 +1,150 @@
+//! Cross-crate integration tests of the write-policy semantics: what each
+//! of WB / WT / RO / WO does to the derived traffic seen by the two device
+//! queues when a real request stream flows through the full storage system.
+
+use lbica::cache::WritePolicy;
+use lbica::sim::{SimulationConfig, StorageSystem};
+use lbica::storage::request::RequestKind;
+use lbica::storage::time::SimTime;
+use lbica::trace::gen::{AccessPattern, ArrivalProcess, PatternSpec};
+use lbica::trace::record::TraceRecord;
+
+/// Generates a deterministic mixed stream of `n` requests.
+fn mixed_stream(n: usize, read_fraction: f64) -> Vec<TraceRecord> {
+    let mut pattern = AccessPattern::new(
+        PatternSpec::Mixed { read_fraction, working_set_blocks: 2_000 },
+        0,
+        1,
+        99,
+    );
+    let mut arrivals = ArrivalProcess::new(5_000.0, 99);
+    let mut records = Vec::with_capacity(n);
+    let mut t = 0u64;
+    for _ in 0..n {
+        t += arrivals.next_gap_us();
+        let (sector, sectors, kind) = pattern.next_access();
+        records.push(TraceRecord::new(t, sector, sectors, kind));
+    }
+    records
+}
+
+fn run_policy(policy: WritePolicy, records: &[TraceRecord]) -> StorageSystem {
+    let mut system = StorageSystem::new(&SimulationConfig::tiny());
+    system.set_policy(policy);
+    for record in records {
+        system.schedule_record(record);
+    }
+    system.run_until(SimTime::from_secs(120));
+    system
+}
+
+#[test]
+fn write_back_absorbs_writes_without_disk_traffic_for_hits() {
+    // All writes to a working set that fits behind the prewarmed cache: the
+    // disk subsystem sees only eviction write-backs, never application
+    // writes.
+    let records: Vec<TraceRecord> =
+        (0..200).map(|i| TraceRecord::new(i * 50, (i % 300) * 8, 8, RequestKind::Write)).collect();
+    let system = run_policy(WritePolicy::WriteBack, &records);
+    assert_eq!(system.app_completed(), 200);
+    let stats = system.cache().stats();
+    assert_eq!(stats.write_bypasses, 0);
+    assert!(system.cache().dirty_blocks() > 0, "WB must leave dirty blocks behind");
+}
+
+#[test]
+fn write_through_duplicates_writes_to_the_disk() {
+    let records: Vec<TraceRecord> =
+        (0..100).map(|i| TraceRecord::new(i * 50, (i % 300) * 8, 8, RequestKind::Write)).collect();
+    let wt = run_policy(WritePolicy::WriteThrough, &records);
+    assert_eq!(wt.cache().dirty_blocks(), 0, "WT never leaves dirty blocks");
+    // Every write reached the disk queue as well.
+    let disk_completed = wt.disk().queue().stats().dispatched + wt.disk().in_service() as u64;
+    assert!(disk_completed >= 100, "all writes must also hit the disk, saw {disk_completed}");
+}
+
+#[test]
+fn read_only_bypasses_every_write_to_the_disk() {
+    let records = mixed_stream(400, 0.5);
+    let ro = run_policy(WritePolicy::ReadOnly, &records);
+    let stats = ro.cache().stats();
+    assert_eq!(stats.writes(), stats.write_bypasses, "RO bypasses every application write");
+    assert_eq!(ro.cache().dirty_blocks(), 0);
+    // Reads are still served (and promoted) by the cache.
+    assert!(stats.reads() > 0);
+    assert!(stats.promotes > 0 || stats.read_hits > 0);
+}
+
+#[test]
+fn write_only_never_promotes_read_misses() {
+    // Reads far outside the prewarmed region: under WO they must all be
+    // served by the disk and none promoted.
+    let records: Vec<TraceRecord> = (0..150)
+        .map(|i| TraceRecord::new(i * 60, 50_000_000 + i * 8, 8, RequestKind::Read))
+        .collect();
+    let wo = run_policy(WritePolicy::WriteOnly, &records);
+    let stats = wo.cache().stats();
+    assert_eq!(stats.promotes, 0, "WO must not promote read misses");
+    assert_eq!(stats.unpromoted_read_misses, 150);
+    assert_eq!(wo.app_completed(), 150);
+}
+
+#[test]
+fn write_back_promotes_read_misses_and_then_hits() {
+    let first_pass: Vec<TraceRecord> = (0..100)
+        .map(|i| TraceRecord::new(i * 60, 60_000_000 + i * 8, 8, RequestKind::Read))
+        .collect();
+    let second_pass: Vec<TraceRecord> = (0..100)
+        .map(|i| TraceRecord::new(1_000_000 + i * 60, 60_000_000 + i * 8, 8, RequestKind::Read))
+        .collect();
+    let mut records = first_pass;
+    records.extend(second_pass);
+    let wb = run_policy(WritePolicy::WriteBack, &records);
+    let stats = wb.cache().stats();
+    assert_eq!(stats.read_misses, 100);
+    assert_eq!(stats.promotes, 100);
+    assert_eq!(stats.read_hits, 100, "the second pass must hit the promoted blocks");
+}
+
+#[test]
+fn policy_switch_mid_stream_changes_behaviour_for_later_requests() {
+    let mut system = StorageSystem::new(&SimulationConfig::tiny());
+    // Phase 1 under WB: writes are absorbed.
+    for i in 0..50u64 {
+        system.schedule_record(&TraceRecord::new(i * 100, (i % 100) * 8, 8, RequestKind::Write));
+    }
+    system.run_until(SimTime::from_millis(100));
+    let bypasses_before = system.cache().stats().write_bypasses;
+    assert_eq!(bypasses_before, 0);
+
+    // Phase 2 under RO: the same addresses now bypass.
+    system.set_policy(WritePolicy::ReadOnly);
+    for i in 0..50u64 {
+        system.schedule_record(&TraceRecord::new(
+            200_000 + i * 100,
+            (i % 100) * 8,
+            8,
+            RequestKind::Write,
+        ));
+    }
+    system.run_until(SimTime::from_secs(10));
+    assert_eq!(system.cache().stats().write_bypasses, 50);
+    assert_eq!(system.app_completed(), 100);
+}
+
+#[test]
+fn mixed_workload_latency_reflects_policy_choice() {
+    // Under RO a write-heavy stream pays the disk latency; under WB it is
+    // absorbed at cache speed. The end-to-end average latencies must
+    // reflect that ordering (this is exactly the trade-off LBICA exploits
+    // in reverse when the cache queue is long).
+    let records = mixed_stream(300, 0.2);
+    let wb = run_policy(WritePolicy::WriteBack, &records);
+    let ro = run_policy(WritePolicy::ReadOnly, &records);
+    assert!(
+        wb.app_avg_latency_us() < ro.app_avg_latency_us(),
+        "with an idle cache, WB ({}) must beat RO ({})",
+        wb.app_avg_latency_us(),
+        ro.app_avg_latency_us()
+    );
+}
