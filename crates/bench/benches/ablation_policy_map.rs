@@ -9,10 +9,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use lbica_bench::SuiteConfig;
 use lbica_cache::WritePolicy;
 use lbica_core::{LbicaConfig, LbicaController, PolicyMap};
 use lbica_sim::Simulation;
-use lbica_bench::SuiteConfig;
 use lbica_trace::workload::WorkloadSpec;
 
 fn variants() -> Vec<(&'static str, PolicyMap)> {

@@ -7,9 +7,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use lbica_bench::SuiteConfig;
 use lbica_core::{LbicaConfig, LbicaController};
 use lbica_sim::Simulation;
-use lbica_bench::SuiteConfig;
 use lbica_trace::workload::WorkloadSpec;
 
 const RATIOS: [f64; 4] = [0.5, 1.0, 2.0, 4.0];

@@ -17,12 +17,16 @@ fn bench_fig6(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for spec in &specs {
-        group.bench_with_input(BenchmarkId::from_parameter(spec.name().to_string()), spec, |b, spec| {
-            b.iter(|| {
-                let result = run_workload(spec, &config);
-                fig6_policy_timeline_csv(&result)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.name().to_string()),
+            spec,
+            |b, spec| {
+                b.iter(|| {
+                    let result = run_workload(spec, &config);
+                    fig6_policy_timeline_csv(&result)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -51,13 +51,8 @@ fn bench_cache_module(c: &mut Criterion) {
             || CacheModule::new(CacheConfig::small_test()),
             |mut cache| {
                 for i in 0..64u64 {
-                    let req = IoRequest::new(
-                        i,
-                        RequestKind::Write,
-                        RequestOrigin::Application,
-                        i * 8,
-                        8,
-                    );
+                    let req =
+                        IoRequest::new(i, RequestKind::Write, RequestOrigin::Application, i * 8, 8);
                     cache.access(&req);
                 }
                 cache
@@ -86,8 +81,14 @@ fn bench_queue(c: &mut Criterion) {
             |mut q| {
                 for i in 0..64u64 {
                     q.enqueue(
-                        IoRequest::new(i, RequestKind::Write, RequestOrigin::Application, i * 64, 8)
-                            .with_arrival(SimTime::from_micros(i)),
+                        IoRequest::new(
+                            i,
+                            RequestKind::Write,
+                            RequestOrigin::Application,
+                            i * 64,
+                            8,
+                        )
+                        .with_arrival(SimTime::from_micros(i)),
                     );
                 }
                 while q.dispatch(SimTime::from_millis(1)).is_some() {}

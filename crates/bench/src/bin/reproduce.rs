@@ -113,10 +113,12 @@ fn main() -> ExitCode {
     let mut written = Vec::new();
     for fig in &opts.figures {
         match fig {
-            4 | 5 | 6 => {
+            4..=6 => {
                 for w in &suite.workloads {
                     let (name, data) = match fig {
-                        4 => (format!("fig4_cache_load_{}.csv", w.workload), fig4_cache_load_csv(w)),
+                        4 => {
+                            (format!("fig4_cache_load_{}.csv", w.workload), fig4_cache_load_csv(w))
+                        }
                         5 => (format!("fig5_disk_load_{}.csv", w.workload), fig5_disk_load_csv(w)),
                         _ => (
                             format!("fig6_policy_timeline_{}.csv", w.workload),

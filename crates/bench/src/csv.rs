@@ -49,7 +49,10 @@ pub fn fig7_avg_latency_csv(suite: &SuiteResult) -> String {
         let _ = writeln!(
             out,
             "{},{},{},{}",
-            w.workload, w.wb.app_avg_latency_us, w.sib.app_avg_latency_us, w.lbica.app_avg_latency_us
+            w.workload,
+            w.wb.app_avg_latency_us,
+            w.sib.app_avg_latency_us,
+            w.lbica.app_avg_latency_us
         );
     }
     out
@@ -78,8 +81,7 @@ pub fn headline_table(suite: &SuiteResult) -> String {
         );
     }
     let headline = suite.headline();
-    let _ = writeln!(out)
-        .and_then(|_| writeln!(out, "{headline}"));
+    let _ = writeln!(out).and_then(|_| writeln!(out, "{headline}"));
     out
 }
 

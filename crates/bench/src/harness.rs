@@ -1,6 +1,8 @@
 //! Runs the 3 × 3 (workload × controller) evaluation matrix.
 
-use lbica_core::{HeadlineSummary, LbicaController, SibController, WbController, WorkloadComparison};
+use lbica_core::{
+    HeadlineSummary, LbicaController, SibController, WbController, WorkloadComparison,
+};
 use lbica_sim::{CacheController, Simulation, SimulationConfig, SimulationReport};
 use lbica_trace::workload::{WorkloadScale, WorkloadSpec};
 
@@ -133,16 +135,15 @@ pub fn run_controller(
 pub fn run_workload(spec: &WorkloadSpec, config: &SuiteConfig) -> WorkloadResult {
     let mut reports = [None, None, None];
     // The three schemes are independent; run them on separate threads.
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = ControllerKind::ALL
             .iter()
-            .map(|kind| scope.spawn(move |_| run_controller(spec, *kind, config)))
+            .map(|kind| scope.spawn(move || run_controller(spec, *kind, config)))
             .collect();
         for (slot, handle) in reports.iter_mut().zip(handles) {
             *slot = Some(handle.join().expect("controller run panicked"));
         }
-    })
-    .expect("scoped controller threads panicked");
+    });
     let [wb, sib, lbica] = reports;
     WorkloadResult {
         workload: spec.name().to_string(),

@@ -169,9 +169,10 @@ impl CacheModule {
         }
         // The application-visible latency is governed by the cache device
         // whenever no disk-subsystem operation carries application data.
-        let disk_in_datapath = outcome.ops().iter().any(|op| {
-            op.target == TargetDevice::Hdd && op.origin == RequestOrigin::Application
-        });
+        let disk_in_datapath = outcome
+            .ops()
+            .iter()
+            .any(|op| op.target == TargetDevice::Hdd && op.origin == RequestOrigin::Application);
         outcome.set_served_by_cache(!disk_in_datapath);
         outcome
     }
@@ -238,11 +239,8 @@ impl CacheModule {
             self.stats.write_misses += 1;
         }
 
-        let state = if self.policy.leaves_dirty_blocks() {
-            SlotState::Dirty
-        } else {
-            SlotState::Clean
-        };
+        let state =
+            if self.policy.leaves_dirty_blocks() { SlotState::Dirty } else { SlotState::Clean };
         let insert = self.map.insert(block, state);
         if self.policy.leaves_dirty_blocks() && was_cached {
             self.map.mark_dirty(block);
@@ -360,8 +358,11 @@ impl CacheModule {
     /// Drops every cached block without writing anything back. Only for
     /// tests and warm-up resets.
     pub fn clear(&mut self) {
-        self.map =
-            SetAssociativeMap::new(self.config.num_sets, self.config.associativity, self.config.replacement);
+        self.map = SetAssociativeMap::new(
+            self.config.num_sets,
+            self.config.associativity,
+            self.config.replacement,
+        );
     }
 }
 

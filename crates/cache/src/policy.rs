@@ -53,10 +53,7 @@ impl WritePolicy {
 
     /// Whether application writes are absorbed by the cache device.
     pub const fn buffers_writes(self) -> bool {
-        matches!(
-            self,
-            WritePolicy::WriteBack | WritePolicy::WriteThrough | WritePolicy::WriteOnly
-        )
+        matches!(self, WritePolicy::WriteBack | WritePolicy::WriteThrough | WritePolicy::WriteOnly)
     }
 
     /// Whether application writes additionally reach the disk subsystem
@@ -74,10 +71,7 @@ impl WritePolicy {
     /// Whether a read miss installs (promotes) the missed block in the
     /// cache.
     pub const fn promotes_read_misses(self) -> bool {
-        matches!(
-            self,
-            WritePolicy::WriteBack | WritePolicy::WriteThrough | WritePolicy::ReadOnly
-        )
+        matches!(self, WritePolicy::WriteBack | WritePolicy::WriteThrough | WritePolicy::ReadOnly)
     }
 
     /// The short label the paper uses (WB / WT / RO / WO).

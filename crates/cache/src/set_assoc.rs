@@ -30,16 +30,11 @@ struct CacheSet {
 
 impl CacheSet {
     fn new(associativity: usize, replacement: ReplacementKind) -> Self {
-        CacheSet {
-            ways: vec![None; associativity],
-            recency: RecencyList::new(replacement),
-        }
+        CacheSet { ways: vec![None; associativity], recency: RecencyList::new(replacement) }
     }
 
     fn find(&self, block: u64) -> Option<usize> {
-        self.ways
-            .iter()
-            .position(|slot| slot.as_ref().map(|s| s.block == block).unwrap_or(false))
+        self.ways.iter().position(|slot| slot.as_ref().map(|s| s.block == block).unwrap_or(false))
     }
 
     fn free_way(&self) -> Option<usize> {

@@ -3,7 +3,10 @@
 
 use proptest::prelude::*;
 
-use lbica_cache::{CacheConfig, CacheModule, ReplacementKind, SetAssociativeMap, SlotState, TargetDevice, WritePolicy};
+use lbica_cache::{
+    CacheConfig, CacheModule, ReplacementKind, SetAssociativeMap, SlotState, TargetDevice,
+    WritePolicy,
+};
 use lbica_storage::request::{IoRequest, RequestClass, RequestKind, RequestOrigin};
 
 fn arb_policy() -> impl Strategy<Value = WritePolicy> {

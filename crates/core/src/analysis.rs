@@ -159,10 +159,7 @@ impl HeadlineSummary {
 
     /// Maximum cache-load reduction vs the WB baseline across workloads.
     pub fn max_cache_load_reduction_vs_wb(&self) -> f64 {
-        self.comparisons
-            .iter()
-            .map(|c| c.cache_load_reduction_vs_wb())
-            .fold(0.0, f64::max)
+        self.comparisons.iter().map(|c| c.cache_load_reduction_vs_wb()).fold(0.0, f64::max)
     }
 
     /// Average latency improvement of LBICA vs the WB baseline (paper: 14 %

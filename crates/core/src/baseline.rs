@@ -113,8 +113,7 @@ impl SibController {
         let disk_lat = ctx.disk_avg_latency.as_micros();
         let disk_qtime = disk_lat * ctx.disk_queue_depth as u64;
         let depth = ctx.cache_queue.depth();
-        let max_victims =
-            ((depth as f64) * self.config.max_bypass_fraction).floor() as usize;
+        let max_victims = ((depth as f64) * self.config.max_bypass_fraction).floor() as usize;
 
         let mut victims = Vec::new();
         // Queue iteration is oldest→newest; position i has an estimated wait
@@ -188,9 +187,9 @@ mod tests {
     fn loaded_queue(requests: usize) -> DeviceQueue {
         let mut q = DeviceQueue::without_merging("ssd");
         for i in 0..requests {
-            let origin = if i % 4 == 3 { RequestOrigin::Promote } else { RequestOrigin::Application };
-            let kind =
-                if i % 2 == 0 { RequestKind::Read } else { RequestKind::Write };
+            let origin =
+                if i % 4 == 3 { RequestOrigin::Promote } else { RequestOrigin::Application };
+            let kind = if i % 2 == 0 { RequestKind::Read } else { RequestKind::Write };
             q.enqueue(
                 IoRequest::new(i as u64, kind, origin, i as u64 * 64, 8)
                     .with_arrival(SimTime::from_micros(i as u64)),
@@ -199,7 +198,11 @@ mod tests {
         q
     }
 
-    fn ctx<'a>(queue: &'a DeviceQueue, cache_depth: usize, disk_depth: usize) -> ControllerContext<'a> {
+    fn ctx<'a>(
+        queue: &'a DeviceQueue,
+        cache_depth: usize,
+        disk_depth: usize,
+    ) -> ControllerContext<'a> {
         ControllerContext {
             interval_index: 0,
             now: SimTime::from_millis(1),

@@ -72,9 +72,7 @@ impl RequestMix {
     pub fn dominant_pair(&self) -> (RequestClass, RequestClass) {
         let mut classes = RequestClass::ALL;
         classes.sort_by(|a, b| {
-            self.fraction(*b)
-                .partial_cmp(&self.fraction(*a))
-                .unwrap_or(std::cmp::Ordering::Equal)
+            self.fraction(*b).partial_cmp(&self.fraction(*a)).unwrap_or(std::cmp::Ordering::Equal)
         });
         (classes[0], classes[1])
     }

@@ -256,7 +256,9 @@ mod tests {
         let mix = QueueSnapshot { reads: 20, writes: 650, promotes: 30, evicts: 300 };
         let d = lbica.on_interval(&ctx(&queue, 100, 1, mix, WritePolicy::WriteBack));
         assert_eq!(d.policy, WritePolicy::WriteBack);
-        assert!(matches!(d.bypass, BypassDirective::TailWrites { max_requests } if max_requests > 0));
+        assert!(
+            matches!(d.bypass, BypassDirective::TailWrites { max_requests } if max_requests > 0)
+        );
     }
 
     #[test]

@@ -95,7 +95,8 @@ impl BottleneckDetector {
         let cache_qtime = self.cache_qtime(ssd_queue_size, ssd_latency);
         let disk_qtime = self.disk_qtime(hdd_queue_size, hdd_latency);
         let cache_is_bottleneck = ssd_queue_size >= self.min_cache_queue
-            && cache_qtime.as_micros() as f64 > disk_qtime.as_micros() as f64 * self.threshold_ratio;
+            && cache_qtime.as_micros() as f64
+                > disk_qtime.as_micros() as f64 * self.threshold_ratio;
         BottleneckVerdict { cache_qtime, disk_qtime, cache_is_bottleneck }
     }
 }

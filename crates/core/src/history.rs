@@ -155,7 +155,13 @@ impl fmt::Display for DecisionSummary {
 mod tests {
     use super::*;
 
-    fn record(interval: u32, burst: bool, group: Option<WorkloadGroup>, policy: WritePolicy, bypass: usize) -> DecisionRecord {
+    fn record(
+        interval: u32,
+        burst: bool,
+        group: Option<WorkloadGroup>,
+        policy: WritePolicy,
+        bypass: usize,
+    ) -> DecisionRecord {
         DecisionRecord {
             interval,
             burst,

@@ -44,8 +44,7 @@ pub mod system;
 
 pub use config::{DiskDeviceConfig, SimulationConfig};
 pub use controller::{
-    BypassDirective, CacheController, ControllerContext, ControllerDecision,
-    StaticPolicyController,
+    BypassDirective, CacheController, ControllerContext, ControllerDecision, StaticPolicyController,
 };
 pub use event::{Event, EventKind, EventQueue};
 pub use report::{PolicyChange, SimulationReport};

@@ -157,8 +157,7 @@ impl StorageSystem {
         if config.prewarm_cache {
             cache.prewarm(0..config.cache.capacity_blocks() as u64);
         }
-        let ssd_model: Box<dyn DeviceModel + Send> =
-            Box::new(SsdModel::new(config.cache_device));
+        let ssd_model: Box<dyn DeviceModel + Send> = Box::new(SsdModel::new(config.cache_device));
         let disk_model: Box<dyn DeviceModel + Send> = match config.disk_device {
             DiskDeviceConfig::MidrangeSsd(cfg) => Box::new(SsdModel::new(cfg)),
             DiskDeviceConfig::Hdd(cfg) => Box::new(HddModel::new(cfg)),
@@ -203,11 +202,7 @@ impl StorageSystem {
 
     /// Mean end-to-end latency of completed application requests, µs.
     pub fn app_avg_latency_us(&self) -> u64 {
-        if self.app.completed == 0 {
-            0
-        } else {
-            self.app.total_latency_us / self.app.completed
-        }
+        self.app.total_latency_us.checked_div(self.app.completed).unwrap_or(0)
     }
 
     /// Maximum end-to-end latency of completed application requests, µs.
@@ -245,11 +240,9 @@ impl StorageSystem {
     fn handle_arrival(&mut self, request: IoRequest) {
         let now = self.clock;
         let outcome = self.cache.access(&request);
-        let datapath_ops = outcome
-            .ops()
-            .iter()
-            .filter(|op| op.origin == RequestOrigin::Application)
-            .count() as u32;
+        let datapath_ops =
+            outcome.ops().iter().filter(|op| op.origin == RequestOrigin::Application).count()
+                as u32;
         self.app.register(request.id(), now, datapath_ops);
         self.enqueue_outcome(request.id(), &outcome, now);
     }
@@ -317,8 +310,7 @@ impl StorageSystem {
             let station = self.station_mut(tier);
             station.in_service -= 1;
         }
-        let latency =
-            request.latency().map(|d| d.as_micros()).unwrap_or_default();
+        let latency = request.latency().map(|d| d.as_micros()).unwrap_or_default();
         self.iostat.record_completion(tier.monitor_tier(), latency);
         if request.origin() == RequestOrigin::Application {
             if let Some(parent) = request.parent() {
@@ -365,10 +357,9 @@ impl StorageSystem {
     pub fn apply_bypass(&mut self, directive: &BypassDirective) -> usize {
         let moved = match directive {
             BypassDirective::None => Vec::new(),
-            BypassDirective::TailWrites { max_requests } => self
-                .ssd
-                .queue
-                .drain_tail(*max_requests, |r| r.class() == RequestClass::Write),
+            BypassDirective::TailWrites { max_requests } => {
+                self.ssd.queue.drain_tail(*max_requests, |r| r.class() == RequestClass::Write)
+            }
             BypassDirective::Requests(ids) => self.ssd.queue.remove_by_ids(ids),
         };
         let count = moved.len();
@@ -538,11 +529,11 @@ mod tests {
     fn conservation_all_scheduled_requests_eventually_complete() {
         let mut sys = tiny_system();
         for i in 0..300u64 {
-            sys.schedule_record(&record(i * 20, (i % 2_000) * 8, if i % 3 == 0 {
-                RequestKind::Write
-            } else {
-                RequestKind::Read
-            }));
+            sys.schedule_record(&record(
+                i * 20,
+                (i % 2_000) * 8,
+                if i % 3 == 0 { RequestKind::Write } else { RequestKind::Read },
+            ));
         }
         // Run far past the last arrival so every queue drains.
         sys.run_until(SimTime::from_secs(10));

@@ -130,8 +130,8 @@ impl DeviceModel for HddModel {
         self.last_end_sector = Some(range.end().sector());
 
         let mechanical = if sequential {
-            let rot = self.config.avg_rotation_us() * self.config.sequential_rotation_pct as u64
-                / 100;
+            let rot =
+                self.config.avg_rotation_us() * self.config.sequential_rotation_pct as u64 / 100;
             SimDuration::from_micros(rot)
         } else {
             SimDuration::from_micros(self.config.avg_seek_us + self.config.avg_rotation_us())

@@ -99,11 +99,7 @@ impl LatencyHistogram {
 
     /// The mean latency (exact sum / count), or zero when empty.
     pub fn mean(&self) -> SimDuration {
-        if self.count == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_micros(self.total_us / self.count)
-        }
+        SimDuration::from_micros(self.total_us.checked_div(self.count).unwrap_or(0))
     }
 
     /// The latency at the given percentile (0–100), approximated by the

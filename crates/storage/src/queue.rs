@@ -83,11 +83,7 @@ pub struct QueueStats {
 impl QueueStats {
     /// Average queueing delay of dispatched requests.
     pub fn avg_wait(&self) -> SimDuration {
-        if self.dispatched == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_micros(self.total_wait_us / self.dispatched)
-        }
+        SimDuration::from_micros(self.total_wait_us.checked_div(self.dispatched).unwrap_or(0))
     }
 }
 

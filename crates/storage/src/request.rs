@@ -107,12 +107,8 @@ pub enum RequestClass {
 
 impl RequestClass {
     /// All four classes, in the paper's R, W, P, E order.
-    pub const ALL: [RequestClass; 4] = [
-        RequestClass::Read,
-        RequestClass::Write,
-        RequestClass::Promote,
-        RequestClass::Evict,
-    ];
+    pub const ALL: [RequestClass; 4] =
+        [RequestClass::Read, RequestClass::Write, RequestClass::Promote, RequestClass::Evict];
 
     /// Derives the class from a request's direction and origin.
     ///
@@ -392,8 +388,8 @@ mod tests {
 
     #[test]
     fn parent_links_internal_requests() {
-        let promote = IoRequest::new(3, RequestKind::Write, RequestOrigin::Promote, 0, 8)
-            .with_parent(42);
+        let promote =
+            IoRequest::new(3, RequestKind::Write, RequestOrigin::Promote, 0, 8).with_parent(42);
         assert_eq!(promote.parent(), Some(42));
         assert_eq!(promote.class(), RequestClass::Promote);
     }

@@ -47,10 +47,8 @@ impl TraceAnalysis {
     /// Analyzes a trace. Records need not be sorted; sequentiality is
     /// evaluated in the order given (the capture order).
     pub fn of(records: &[TraceRecord]) -> Self {
-        let mut analysis = TraceAnalysis {
-            min_request_sectors: u64::MAX,
-            ..TraceAnalysis::default()
-        };
+        let mut analysis =
+            TraceAnalysis { min_request_sectors: u64::MAX, ..TraceAnalysis::default() };
         let mut footprint = BTreeSet::new();
         let mut prev_end: Option<u64> = None;
         let mut first = u64::MAX;
@@ -216,12 +214,8 @@ mod tests {
 
     #[test]
     fn random_generator_output_is_not_sequential() {
-        let mut pattern = AccessPattern::new(
-            PatternSpec::RandomRead { working_set_blocks: 100_000 },
-            0,
-            1,
-            3,
-        );
+        let mut pattern =
+            AccessPattern::new(PatternSpec::RandomRead { working_set_blocks: 100_000 }, 0, 1, 3);
         let mut arrivals = ArrivalProcess::new(10_000.0, 3);
         let records = crate::gen::generate_stream(&mut pattern, &mut arrivals, 0, 200_000);
         let a = TraceAnalysis::of(&records);

@@ -267,8 +267,7 @@ mod tests {
 
     #[test]
     fn sequential_read_advances_and_wraps() {
-        let mut p =
-            AccessPattern::new(PatternSpec::SequentialRead { length_blocks: 4 }, 0, 1, 1);
+        let mut p = AccessPattern::new(PatternSpec::SequentialRead { length_blocks: 4 }, 0, 1, 1);
         let blocks: Vec<u64> = (0..6).map(|_| p.next_access().0 / BLOCK_SECTORS).collect();
         assert_eq!(blocks, vec![0, 1, 2, 3, 0, 1]);
     }
@@ -281,8 +280,7 @@ mod tests {
             1,
             42,
         );
-        let reads =
-            (0..10_000).filter(|_| p.next_access().2.is_read()).count() as f64 / 10_000.0;
+        let reads = (0..10_000).filter(|_| p.next_access().2.is_read()).count() as f64 / 10_000.0;
         assert!((reads - 0.7).abs() < 0.03, "observed read fraction {reads}");
     }
 
@@ -299,9 +297,8 @@ mod tests {
             1,
             7,
         );
-        let hot_hits = (0..10_000)
-            .filter(|_| p.next_access().0 / BLOCK_SECTORS < 1_000)
-            .count() as f64
+        let hot_hits = (0..10_000).filter(|_| p.next_access().0 / BLOCK_SECTORS < 1_000).count()
+            as f64
             / 10_000.0;
         assert!(hot_hits > 0.85, "hot-set share {hot_hits}");
     }
@@ -309,10 +306,7 @@ mod tests {
     #[test]
     fn expected_read_fraction_matches_specs() {
         assert_eq!(PatternSpec::RandomRead { working_set_blocks: 1 }.expected_read_fraction(), 1.0);
-        assert_eq!(
-            PatternSpec::SequentialWrite { length_blocks: 1 }.expected_read_fraction(),
-            0.0
-        );
+        assert_eq!(PatternSpec::SequentialWrite { length_blocks: 1 }.expected_read_fraction(), 0.0);
         assert_eq!(
             PatternSpec::Mixed { read_fraction: 0.3, working_set_blocks: 1 }
                 .expected_read_fraction(),
@@ -343,8 +337,7 @@ mod tests {
 
     #[test]
     fn stream_timestamps_are_within_window_and_sorted() {
-        let mut p =
-            AccessPattern::new(PatternSpec::RandomRead { working_set_blocks: 64 }, 0, 1, 5);
+        let mut p = AccessPattern::new(PatternSpec::RandomRead { working_set_blocks: 64 }, 0, 1, 5);
         let mut a = ArrivalProcess::new(5_000.0, 5);
         let recs = generate_stream(&mut p, &mut a, 1_000_000, 100_000);
         assert!(!recs.is_empty());

@@ -77,7 +77,7 @@ impl BinaryTraceCodec {
     /// Returns `InvalidData` when the buffer length is not a whole number of
     /// records or a record is malformed (zero length).
     pub fn decode(&self, mut data: Bytes) -> io::Result<Vec<TraceRecord>> {
-        if data.len() % Self::RECORD_BYTES != 0 {
+        if !data.len().is_multiple_of(Self::RECORD_BYTES) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "binary trace length is not a multiple of the record size",

@@ -110,11 +110,7 @@ impl TierAccumulator {
             enqueued: self.enqueued,
             completed: self.completed,
             max_latency_us: self.max_latency_us,
-            avg_latency_us: if self.completed == 0 {
-                0
-            } else {
-                self.total_latency_us / self.completed
-            },
+            avg_latency_us: self.total_latency_us.checked_div(self.completed).unwrap_or(0),
             total_latency_us: self.total_latency_us,
         };
         *self = TierAccumulator::default();

@@ -75,14 +75,7 @@ impl BurstPhase {
         pattern: PatternSpec,
         intensity: PhaseIntensity,
     ) -> Self {
-        BurstPhase {
-            label: label.into(),
-            intervals,
-            iops,
-            pattern,
-            request_blocks: 1,
-            intensity,
-        }
+        BurstPhase { label: label.into(), intervals, iops, pattern, request_blocks: 1, intensity }
     }
 
     /// Sets the request size in blocks (builder style).
@@ -221,9 +214,7 @@ impl WorkloadSpec {
 
     /// Whether interval `index` falls in a burst phase.
     pub fn is_burst_interval(&self, index: u32) -> bool {
-        self.phase_for_interval(index)
-            .map(|(_, p)| p.intensity.is_burst())
-            .unwrap_or(false)
+        self.phase_for_interval(index).map(|(_, p)| p.intensity.is_burst()).unwrap_or(false)
     }
 
     /// Generates the open-loop request stream for monitoring interval

@@ -19,14 +19,14 @@ fn arb_pattern() -> impl Strategy<Value = PatternSpec> {
         (1u64..10_000).prop_map(|len| PatternSpec::SequentialWrite { length_blocks: len }),
         (0.0f64..=1.0, 1u64..10_000)
             .prop_map(|(rf, ws)| PatternSpec::Mixed { read_fraction: rf, working_set_blocks: ws }),
-        (0.0f64..=1.0, 1u64..10_000, 0.01f64..=1.0, 0.0f64..=1.0).prop_map(
-            |(rf, ws, hf, hp)| PatternSpec::Hotspot {
+        (0.0f64..=1.0, 1u64..10_000, 0.01f64..=1.0, 0.0f64..=1.0).prop_map(|(rf, ws, hf, hp)| {
+            PatternSpec::Hotspot {
                 read_fraction: rf,
                 working_set_blocks: ws,
                 hot_fraction: hf,
                 hot_probability: hp,
             }
-        ),
+        }),
     ]
 }
 

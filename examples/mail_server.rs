@@ -19,8 +19,8 @@ fn main() {
     println!("mail-server workload, {} intervals", report.total_intervals);
     println!();
     println!(
-        "{:>8} {:>8} {:>12} {:>12} {:>7}   {}",
-        "interval", "burst", "cache(us)", "disk(us)", "policy", "in-queue mix (R/W/P/E)"
+        "{:>8} {:>8} {:>12} {:>12} {:>7}   in-queue mix (R/W/P/E)",
+        "interval", "burst", "cache(us)", "disk(us)", "policy"
     );
     for interval in &report.intervals {
         let mix = RequestMix::from_snapshot(&interval.cache_queue_mix);

@@ -12,9 +12,9 @@ use std::fs::File;
 use std::io::BufReader;
 
 use lbica::cache::WritePolicy;
+use lbica::sim::StorageSystem;
 use lbica::sim::{Simulation, SimulationConfig, StaticPolicyController};
 use lbica::storage::time::SimTime;
-use lbica::sim::StorageSystem;
 use lbica::trace::io::{read_text_trace, write_text_trace};
 use lbica::trace::workload::{WorkloadScale, WorkloadSpec};
 

@@ -18,7 +18,15 @@ fn main() {
     let scale = WorkloadScale::tiny();
     println!(
         "{:<12} {:>9} {:>8} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10}",
-        "workload", "requests", "read%", "seq%", "footprint", "avg IOPS", "p50(us)", "p99(us)", "max(us)"
+        "workload",
+        "requests",
+        "read%",
+        "seq%",
+        "footprint",
+        "avg IOPS",
+        "p50(us)",
+        "p99(us)",
+        "max(us)"
     );
 
     for spec in WorkloadSpec::paper_suite(scale) {

@@ -4,6 +4,17 @@
 //! needed to build a storage system, pick a controller (WB baseline, SIB or
 //! LBICA) and run a workload through it. The individual crates remain usable
 //! on their own. Full documentation lives in each sub-crate.
+//!
+//! # Example
+//!
+//! ```
+//! use lbica::prelude::*;
+//!
+//! let spec = WorkloadSpec::tpcc_scaled(WorkloadScale::tiny());
+//! let mut controller = LbicaController::new();
+//! let report = Simulation::new(SimulationConfig::tiny(), spec, 42).run(&mut controller);
+//! assert!(report.app_completed > 0);
+//! ```
 
 #![forbid(unsafe_code)]
 
@@ -12,3 +23,26 @@ pub use lbica_core as core;
 pub use lbica_sim as sim;
 pub use lbica_storage as storage;
 pub use lbica_trace as trace;
+
+pub mod prelude {
+    //! One-stop imports: everything needed to assemble a cached storage
+    //! system, choose a controller and run a workload through it.
+
+    pub use lbica_cache::{
+        CacheConfig, CacheModule, CacheOutcome, CacheStats, ReplacementKind, WritePolicy,
+    };
+    pub use lbica_core::{
+        BottleneckDetector, LbicaController, RequestMix, SibController, WbController,
+        WorkloadCharacterizer, WorkloadComparison, WorkloadGroup,
+    };
+    pub use lbica_sim::{
+        CacheController, ControllerContext, ControllerDecision, Simulation, SimulationConfig,
+        SimulationReport, StaticPolicyController, StorageSystem,
+    };
+    pub use lbica_storage::device::{DeviceModel, HddModel, SsdModel};
+    pub use lbica_storage::queue::DeviceQueue;
+    pub use lbica_storage::request::{IoRequest, RequestClass, RequestKind, RequestOrigin};
+    pub use lbica_storage::time::{SimDuration, SimTime};
+    pub use lbica_trace::record::TraceRecord;
+    pub use lbica_trace::workload::{WorkloadScale, WorkloadSpec};
+}

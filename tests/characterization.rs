@@ -8,17 +8,13 @@ use lbica::sim::{Simulation, SimulationConfig, SimulationReport};
 use lbica::trace::workload::{WorkloadScale, WorkloadSpec};
 
 fn run_lbica(spec: &WorkloadSpec) -> SimulationReport {
-    Simulation::new(SimulationConfig::tiny(), spec.clone(), 20190325).run(&mut LbicaController::new())
+    Simulation::new(SimulationConfig::tiny(), spec.clone(), 20190325)
+        .run(&mut LbicaController::new())
 }
 
 /// The policies assigned during burst-detected intervals of a report.
 fn burst_policies(report: &SimulationReport) -> Vec<String> {
-    report
-        .intervals
-        .iter()
-        .filter(|i| i.burst_detected)
-        .map(|i| i.policy_label.clone())
-        .collect()
+    report.intervals.iter().filter(|i| i.burst_detected).map(|i| i.policy_label.clone()).collect()
 }
 
 #[test]
@@ -105,7 +101,8 @@ fn calm_intervals_eventually_revert_to_write_back() {
         let last = report.intervals.last().expect("at least one interval");
         if !last.burst_detected {
             assert_eq!(
-                last.policy_label, "WB",
+                last.policy_label,
+                "WB",
                 "{}: calm tail of the run should end on WB",
                 spec.name()
             );

@@ -1,0 +1,47 @@
+//! Workspace-wiring test: the facade's `prelude` re-exports must compose
+//! across crate boundaries — a cache from `lbica-cache` driven by requests
+//! from `lbica-storage`, and a full `lbica-sim` run of an `lbica-trace`
+//! workload under an `lbica-core` controller.
+
+use lbica::prelude::*;
+
+#[test]
+fn prelude_cache_and_storage_types_compose() {
+    let mut cache = CacheModule::new(CacheConfig::small_test());
+    let write = IoRequest::new(1, RequestKind::Write, RequestOrigin::Application, 0, 8);
+    let outcome = cache.access(&write);
+    assert!(!outcome.ops().is_empty(), "a write must produce at least one derived op");
+    assert!(cache.cached_blocks() <= cache.capacity_blocks());
+}
+
+#[test]
+fn prelude_simulation_report_is_non_degenerate() {
+    let spec = WorkloadSpec::tpcc_scaled(WorkloadScale::tiny());
+    let mut controller = LbicaController::new();
+    let mut sim = Simulation::new(SimulationConfig::tiny(), spec, 42);
+    let report = sim.run(&mut controller);
+
+    assert_eq!(report.controller, "LBICA");
+    assert!(report.app_completed > 0, "the tiny workload must complete requests");
+    assert!(!report.intervals.is_empty(), "monitoring intervals must be recorded");
+    assert_eq!(report.intervals.len() as u32, report.total_intervals);
+    assert!(report.app_max_latency_us >= report.app_avg_latency_us);
+    let stats: CacheStats = report.cache_stats;
+    assert_eq!(stats.reads() + stats.writes(), report.app_completed);
+}
+
+#[test]
+fn prelude_controllers_share_one_interface() {
+    let spec = WorkloadSpec::web_server_scaled(WorkloadScale::tiny());
+    let mut controllers: Vec<Box<dyn CacheController>> = vec![
+        Box::new(WbController::new()),
+        Box::new(SibController::new()),
+        Box::new(LbicaController::new()),
+    ];
+    for controller in &mut controllers {
+        let mut sim = Simulation::new(SimulationConfig::tiny(), spec.clone(), 7);
+        let report = sim.run(controller.as_mut());
+        assert_eq!(report.controller, controller.name());
+        assert!(report.app_completed > 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! implements the subset of the Criterion API the bench targets use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size` / `warm_up_time` / `measurement_time` /
+//! `bench_with_input` / `finish`, [`BenchmarkId`], [`BatchSize`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark runs its routine in
+//! a wall-clock loop until the measurement budget elapses, then reports
+//! mean time per iteration. No statistics, plots or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; a hint only, all variants behave
+/// identically here (setup runs outside the timed section every batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new<P: Display>(function_name: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Drives the timed loop of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    min_iters: u64,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration, min_iters: u64) -> Self {
+        Bencher { budget, min_iters, iters: 0, elapsed: Duration::ZERO }
+    }
+
+    /// Times `routine` in a loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.min_iters || start.elapsed() < self.budget {
+            black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while iters < self.min_iters || elapsed < self.budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed = elapsed;
+    }
+}
+
+fn report(id: &str, iters: u64, elapsed: Duration) {
+    let per_iter = if iters == 0 { 0.0 } else { elapsed.as_secs_f64() / iters as f64 };
+    let (value, unit) = if per_iter >= 1.0 {
+        (per_iter, "s")
+    } else if per_iter >= 1e-3 {
+        (per_iter * 1e3, "ms")
+    } else if per_iter >= 1e-6 {
+        (per_iter * 1e6, "µs")
+    } else {
+        (per_iter * 1e9, "ns")
+    };
+    println!("{id:<50} time: {value:>10.3} {unit}/iter ({iters} iterations)");
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement_time: Duration::from_millis(100) }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.measurement_time, 1);
+        f(&mut b);
+        report(id, b.iters, b.elapsed);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let measurement_time = self.measurement_time;
+        BenchmarkGroup { _criterion: self, name: name.to_string(), measurement_time }
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count (accepted for API parity; the simple
+    /// wall-clock loop does not use it).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up budget (accepted for API parity; one untimed call
+    /// serves as warm-up).
+    pub fn warm_up_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.measurement_time, 1);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), b.iters, b.elapsed);
+        self
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.measurement_time, 1);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), b.iters, b.elapsed);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups (CLI args are ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_iterations() {
+        let mut c = Criterion { measurement_time: Duration::from_millis(1) };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_runs_batched_benchmarks() {
+        let mut c = Criterion { measurement_time: Duration::from_millis(1) };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).measurement_time(Duration::from_millis(1));
+        let mut ran = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, &n| {
+            b.iter_batched(
+                || n,
+                |v| {
+                    ran += v;
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert!(ran >= 3);
+    }
+}

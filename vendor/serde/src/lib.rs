@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this minimal substitute. The seed source only ever
+//! *derives* `Serialize` / `Deserialize` — no code calls serialization
+//! methods or uses the trait names in bounds — so the derives expand to
+//! nothing. Swapping in the real `serde = { version = "1", features =
+//! ["derive"] }` later requires no source changes.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize` (accepts `#[serde(...)]` helpers).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize` (accepts `#[serde(...)]` helpers).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
