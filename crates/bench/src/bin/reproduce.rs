@@ -1,7 +1,7 @@
 //! Regenerates every figure and table of the paper's evaluation.
 //!
 //! ```text
-//! reproduce [--scale tiny|harness] [--out DIR] [--fig 4|5|6|7] [--summary] [--all]
+//! reproduce [--scale tiny|harness] [--jobs N] [--out DIR] [--fig 4|5|6|7] [--summary] [--all]
 //! ```
 //!
 //! With no figure selection, `--all` is assumed. CSV files are written to
@@ -17,11 +17,12 @@ use lbica_bench::csv::{
     fig4_cache_load_csv, fig5_disk_load_csv, fig6_policy_timeline_csv, fig7_avg_latency_csv,
     headline_table,
 };
-use lbica_bench::{run_suite, SuiteConfig};
+use lbica_bench::{run_suite_with_jobs, SuiteConfig};
 
 #[derive(Debug)]
 struct Options {
     scale: String,
+    jobs: usize,
     out_dir: PathBuf,
     figures: Vec<u8>,
     summary: bool,
@@ -30,6 +31,7 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         scale: "harness".to_string(),
+        jobs: 0,
         out_dir: PathBuf::from("target/repro"),
         figures: Vec::new(),
         summary: false,
@@ -40,6 +42,13 @@ fn parse_args() -> Result<Options, String> {
         match arg.as_str() {
             "--scale" => {
                 opts.scale = args.next().ok_or("--scale needs a value (tiny|harness)")?;
+            }
+            "--jobs" => {
+                opts.jobs = args
+                    .next()
+                    .ok_or("--jobs needs a number")?
+                    .parse()
+                    .map_err(|_| "--jobs needs a number".to_string())?;
             }
             "--out" => {
                 opts.out_dir = PathBuf::from(args.next().ok_or("--out needs a directory")?);
@@ -67,7 +76,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [--scale tiny|harness] [--out DIR] [--fig N]... [--summary] [--all]"
+                    "usage: reproduce [--scale tiny|harness] [--jobs N] [--out DIR] [--fig N]... [--summary] [--all]"
                 );
                 std::process::exit(0);
             }
@@ -103,7 +112,7 @@ fn main() -> ExitCode {
         "running the 3x3 evaluation matrix at `{}` scale (all three workloads under WB, SIB and LBICA)...",
         opts.scale
     );
-    let suite = run_suite(&config);
+    let suite = run_suite_with_jobs(&config, opts.jobs);
 
     if let Err(e) = fs::create_dir_all(&opts.out_dir) {
         eprintln!("error: cannot create {}: {e}", opts.out_dir.display());

@@ -1,0 +1,186 @@
+//! Drives a scenario-sweep matrix across all cores and writes aggregated
+//! CSV/JSON summaries.
+//!
+//! ```text
+//! sweep [--matrix tiny|geometry|devices|paper] [--jobs N] [--out DIR] [--list]
+//! ```
+//!
+//! Named matrices:
+//!
+//! * `tiny` (default) — 4 workloads × 3 controllers × 3 seeds at tiny
+//!   scale (36 cells); the CI smoke matrix.
+//! * `geometry` — cache-size sweep (3 workloads × 3 geometries × 3
+//!   controllers, 27 cells).
+//! * `devices` — SSD vs HDD disk subsystem (18 cells).
+//! * `paper` — the canonical figure matrix at published scale (9 cells,
+//!   slow).
+//!
+//! Results stream into the `lbica-lab` aggregator as cells complete; the
+//! summary is independent of `--jobs`, so `--jobs 1` and `--jobs 8`
+//! produce byte-identical files.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use lbica_bench::SuiteConfig;
+use lbica_lab::{CsvSink, JsonSink, ScenarioMatrix, SweepExecutor, SweepSummary};
+
+const MATRICES: [(&str, &str); 4] = [
+    ("tiny", "4 workloads x 3 controllers x 3 seeds, tiny scale (36 cells)"),
+    ("geometry", "cache-size sweep: 64/128/256 sets (27 cells)"),
+    ("devices", "mid-range-SSD vs 7.2K-HDD disk subsystem (18 cells)"),
+    ("paper", "the canonical figure matrix at published scale (9 cells, slow)"),
+];
+
+#[derive(Debug)]
+struct Options {
+    matrix: String,
+    jobs: usize,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut opts =
+        Options { matrix: "tiny".to_string(), jobs: 0, out_dir: PathBuf::from("target/sweep") };
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--matrix" => {
+                opts.matrix = args.next().ok_or("--matrix needs a name (see --list)")?;
+            }
+            "--jobs" => {
+                opts.jobs = args
+                    .next()
+                    .ok_or("--jobs needs a number")?
+                    .parse()
+                    .map_err(|_| "--jobs needs a number".to_string())?;
+            }
+            "--out" => {
+                opts.out_dir = PathBuf::from(args.next().ok_or("--out needs a directory")?);
+            }
+            "--list" => {
+                for (name, desc) in MATRICES {
+                    println!("{name:<10} {desc}");
+                }
+                return Ok(None);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: sweep [--matrix tiny|geometry|devices|paper] [--jobs N] [--out DIR] [--list]"
+                );
+                return Ok(None);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn build_matrix(name: &str) -> Result<ScenarioMatrix, String> {
+    match name {
+        "tiny" => Ok(ScenarioMatrix::tiny()),
+        "geometry" => Ok(ScenarioMatrix::geometry()),
+        "devices" => Ok(ScenarioMatrix::devices()),
+        "paper" => {
+            let config = SuiteConfig::harness();
+            Ok(ScenarioMatrix::paper(config.scale, config.sim, config.seed))
+        }
+        other => Err(format!("unknown matrix `{other}` (try --list)")),
+    }
+}
+
+fn print_summary(summary: &SweepSummary) {
+    println!(
+        "{:<18} {:>6} {:>14} {:>16} {:>16} {:>10}",
+        "workload", "cells", "avg-latency-us", "cache-load-us", "disk-load-us", "bypassed"
+    );
+    for g in &summary.by_workload {
+        println!(
+            "{:<18} {:>6} {:>14.1} {:>16.1} {:>16.1} {:>10}",
+            g.key,
+            g.cells,
+            g.avg_latency_us,
+            g.avg_cache_load_us,
+            g.avg_disk_load_us,
+            g.bypassed_requests
+        );
+    }
+    if !summary.lbica_vs_wb.is_empty() {
+        println!();
+        println!(
+            "{:<18} {:>24} {:>24}",
+            "LBICA vs WB", "cache-load reduction (%)", "latency improvement (%)"
+        );
+        for d in &summary.lbica_vs_wb {
+            println!(
+                "{:<18} {:>24.1} {:>24.1}",
+                d.workload, d.cache_load_reduction_vs_wb_pct, d.latency_improvement_vs_wb_pct
+            );
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(o)) => o,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let matrix = match build_matrix(&opts.matrix) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Validate the output directory up front: a bad --out must fail fast,
+    // not after a (possibly slow) sweep has already run.
+    if let Err(e) = fs::create_dir_all(&opts.out_dir) {
+        eprintln!("error: cannot create {}: {e}", opts.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let executor = SweepExecutor::new(opts.jobs);
+    eprintln!(
+        "sweeping matrix `{}`: {} cells ({} workloads x {} configs x {} controllers x {} seeds) on {} worker(s)",
+        opts.matrix,
+        matrix.len(),
+        matrix.workloads().len(),
+        matrix.configs().len(),
+        matrix.controllers().len(),
+        matrix.seeds().len(),
+        executor.jobs(),
+    );
+
+    let started = Instant::now();
+    let summary = executor.aggregate_with_progress(&matrix, |done, total| {
+        // One status line per completion; cheap enough at sweep scales and
+        // greppable in CI logs.
+        eprintln!("  [{done}/{total}] cells complete");
+    });
+    eprintln!("sweep finished in {:.2?}", started.elapsed());
+
+    let csv_path = opts.out_dir.join(format!("sweep_{}.csv", opts.matrix));
+    let json_path = opts.out_dir.join(format!("sweep_{}.json", opts.matrix));
+    if let Err(e) = CsvSink::write_to(&csv_path, &summary) {
+        eprintln!("error: cannot write {}: {e}", csv_path.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = JsonSink::write_to(&json_path, &summary) {
+        eprintln!("error: cannot write {}: {e}", json_path.display());
+        return ExitCode::FAILURE;
+    }
+
+    print_summary(&summary);
+    println!();
+    println!("wrote {}", csv_path.display());
+    println!("wrote {}", json_path.display());
+    ExitCode::SUCCESS
+}

@@ -1,45 +1,18 @@
-//! Runs the 3 × 3 (workload × controller) evaluation matrix.
+//! Runs the paper's (workload × controller) evaluation matrix.
+//!
+//! Since the `lbica-lab` sweep subsystem landed, the paper figures are just
+//! one small canonical [`ScenarioMatrix`]: three workloads × three
+//! controllers sharing a single literal seed, executed by the
+//! work-stealing [`SweepExecutor`] so all nine cells run concurrently.
 
-use lbica_core::{
-    HeadlineSummary, LbicaController, SibController, WbController, WorkloadComparison,
-};
-use lbica_sim::{CacheController, Simulation, SimulationConfig, SimulationReport};
+use lbica_core::{HeadlineSummary, WorkloadComparison};
+use lbica_lab::{ScenarioMatrix, SweepExecutor};
+use lbica_sim::{Simulation, SimulationConfig, SimulationReport};
 use lbica_trace::workload::{WorkloadScale, WorkloadSpec};
 
-/// Which controller to instantiate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum ControllerKind {
-    /// The write-back baseline.
-    Wb,
-    /// Selective I/O Bypass.
-    Sib,
-    /// The paper's contribution.
-    Lbica,
-}
-
-impl ControllerKind {
-    /// All three schemes, in the order the paper plots them.
-    pub const ALL: [ControllerKind; 3] =
-        [ControllerKind::Wb, ControllerKind::Sib, ControllerKind::Lbica];
-
-    /// The scheme's display label.
-    pub const fn label(self) -> &'static str {
-        match self {
-            ControllerKind::Wb => "WB",
-            ControllerKind::Sib => "SIB",
-            ControllerKind::Lbica => "LBICA",
-        }
-    }
-
-    /// Builds a fresh controller of this kind.
-    pub fn build(self) -> Box<dyn CacheController + Send> {
-        match self {
-            ControllerKind::Wb => Box::new(WbController::new()),
-            ControllerKind::Sib => Box::new(SibController::new()),
-            ControllerKind::Lbica => Box::new(LbicaController::new()),
-        }
-    }
-}
+// Re-exported under its historical path: the controller axis moved to
+// `lbica-lab` so the sweep subsystem and the harness share one definition.
+pub use lbica_lab::ControllerKind;
 
 /// Configuration of a full suite run.
 #[derive(Debug, Clone, Copy)]
@@ -70,6 +43,11 @@ impl SuiteConfig {
             sim: SimulationConfig::tiny(),
             seed: 0x1b1c_a000,
         }
+    }
+
+    /// The canonical paper matrix this configuration describes.
+    pub fn matrix(&self) -> ScenarioMatrix {
+        ScenarioMatrix::paper(self.scale, self.sim, self.seed)
     }
 }
 
@@ -102,7 +80,7 @@ impl WorkloadResult {
     }
 }
 
-/// The full 3 × 3 evaluation.
+/// The full evaluation (every workload under every controller).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SuiteResult {
     /// Per-workload results, in the paper's order (TPC-C, mail, web).
@@ -131,34 +109,59 @@ pub fn run_controller(
     Simulation::new(config.sim, spec.clone(), config.seed).run(controller.as_mut())
 }
 
-/// Runs one workload under all three controllers.
-pub fn run_workload(spec: &WorkloadSpec, config: &SuiteConfig) -> WorkloadResult {
-    let mut reports = [None, None, None];
-    // The three schemes are independent; run them on separate threads.
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = ControllerKind::ALL
-            .iter()
-            .map(|kind| scope.spawn(move || run_controller(spec, *kind, config)))
-            .collect();
-        for (slot, handle) in reports.iter_mut().zip(handles) {
-            *slot = Some(handle.join().expect("controller run panicked"));
-        }
-    });
-    let [wb, sib, lbica] = reports;
-    WorkloadResult {
-        workload: spec.name().to_string(),
-        wb: wb.expect("WB report"),
-        sib: sib.expect("SIB report"),
-        lbica: lbica.expect("LBICA report"),
+/// Regroups a matrix's cell-ordered reports into per-workload results.
+fn group_reports(matrix: &ScenarioMatrix, reports: Vec<SimulationReport>) -> SuiteResult {
+    let mut slots: Vec<(String, [Option<SimulationReport>; 3])> =
+        matrix.workloads().iter().map(|w| (w.name().to_string(), [None, None, None])).collect();
+    for (scenario, report) in matrix.cells().zip(reports) {
+        let entry = slots
+            .iter_mut()
+            .find(|(name, _)| name == scenario.workload().name())
+            .expect("every cell belongs to a workload-axis entry");
+        let slot = match scenario.controller() {
+            ControllerKind::Wb => 0,
+            ControllerKind::Sib => 1,
+            ControllerKind::Lbica => 2,
+        };
+        entry.1[slot] = Some(report);
+    }
+    SuiteResult {
+        workloads: slots
+            .into_iter()
+            .map(|(workload, [wb, sib, lbica])| WorkloadResult {
+                workload,
+                wb: wb.expect("WB report"),
+                sib: sib.expect("SIB report"),
+                lbica: lbica.expect("LBICA report"),
+            })
+            .collect(),
     }
 }
 
+/// Runs one workload under all three controllers (concurrently).
+pub fn run_workload(spec: &WorkloadSpec, config: &SuiteConfig) -> WorkloadResult {
+    let matrix = ScenarioMatrix::new()
+        .push_workload(spec.clone())
+        .push_config("paper", config.sim)
+        .with_literal_seed(config.seed);
+    let reports = SweepExecutor::new(0).run(&matrix);
+    group_reports(&matrix, reports).workloads.remove(0)
+}
+
 /// Runs the full paper suite (TPC-C, mail server, web server × WB, SIB,
-/// LBICA).
+/// LBICA) with one worker per core. All nine cells fan out together —
+/// workloads no longer run serially.
 pub fn run_suite(config: &SuiteConfig) -> SuiteResult {
-    let specs = WorkloadSpec::paper_suite(config.scale);
-    let workloads = specs.iter().map(|spec| run_workload(spec, config)).collect();
-    SuiteResult { workloads }
+    run_suite_with_jobs(config, 0)
+}
+
+/// [`run_suite`] with an explicit worker count (`0` = one per core). The
+/// result is identical for every `jobs` value; only wall-clock time
+/// changes.
+pub fn run_suite_with_jobs(config: &SuiteConfig, jobs: usize) -> SuiteResult {
+    let matrix = config.matrix();
+    let reports = SweepExecutor::new(jobs).run(&matrix);
+    group_reports(&matrix, reports)
 }
 
 #[cfg(test)]
@@ -188,6 +191,25 @@ mod tests {
         assert!(result.workload("nope").is_none());
         let headline = result.headline();
         assert_eq!(headline.comparisons.len(), 3);
+    }
+
+    #[test]
+    fn suite_results_are_identical_serial_and_parallel() {
+        let config = SuiteConfig::tiny();
+        let serial = run_suite_with_jobs(&config, 1);
+        let parallel = run_suite_with_jobs(&config, 8);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn suite_matches_a_direct_controller_run() {
+        // The executor path must agree with a plain single-cell run: same
+        // literal seed, same reports.
+        let config = SuiteConfig::tiny();
+        let spec = WorkloadSpec::tpcc_scaled(config.scale);
+        let direct = run_controller(&spec, ControllerKind::Lbica, &config);
+        let suite = run_suite(&config);
+        assert_eq!(suite.workload("tpcc").unwrap().lbica, direct);
     }
 
     #[test]

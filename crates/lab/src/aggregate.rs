@@ -1,0 +1,296 @@
+//! Streaming aggregation of sweep results.
+//!
+//! The [`Aggregator`] folds each [`SimulationReport`] into per-axis
+//! accumulators the moment it arrives and then drops it, so a sweep of
+//! thousands of cells holds O(axis values) state, not O(cells). All
+//! accumulators are integers — sums of `u64` measurements in `u128` —
+//! which makes the fold associative and commutative: the summary is
+//! bit-identical no matter how many worker threads completed the cells or
+//! in which order.
+
+use std::collections::BTreeMap;
+
+use lbica_sim::SimulationReport;
+
+use crate::controller::ControllerKind;
+use crate::scenario::Scenario;
+
+/// Integer accumulator for one aggregation key.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Accum {
+    cells: u64,
+    app_completed: u64,
+    latency_sum_us: u128,
+    max_latency_us: u64,
+    intervals: u64,
+    cache_load_sum_us: u128,
+    disk_load_sum_us: u128,
+    policy_changes: u64,
+    bypassed: u64,
+    burst_intervals: u64,
+}
+
+impl Accum {
+    fn observe(&mut self, report: &SimulationReport) {
+        self.cells += 1;
+        self.app_completed += report.app_completed;
+        self.latency_sum_us += report.app_avg_latency_us as u128;
+        self.max_latency_us = self.max_latency_us.max(report.app_max_latency_us);
+        self.intervals += report.intervals.len() as u64;
+        self.cache_load_sum_us +=
+            report.intervals.iter().map(|i| i.cache.max_latency_us as u128).sum::<u128>();
+        self.disk_load_sum_us +=
+            report.intervals.iter().map(|i| i.disk.max_latency_us as u128).sum::<u128>();
+        self.policy_changes += (report.policy_changes.len() as u64).saturating_sub(1);
+        self.bypassed += report.bypassed_requests;
+        self.burst_intervals += report.burst_intervals() as u64;
+    }
+
+    fn avg_latency_us(&self) -> f64 {
+        ratio(self.latency_sum_us, self.cells as u128)
+    }
+
+    fn avg_cache_load_us(&self) -> f64 {
+        ratio(self.cache_load_sum_us, self.intervals as u128)
+    }
+
+    fn avg_disk_load_us(&self) -> f64 {
+        ratio(self.disk_load_sum_us, self.intervals as u128)
+    }
+
+    fn stats(&self, key: String) -> GroupStats {
+        GroupStats {
+            key,
+            cells: self.cells,
+            app_completed: self.app_completed,
+            avg_latency_us: self.avg_latency_us(),
+            max_latency_us: self.max_latency_us,
+            avg_cache_load_us: self.avg_cache_load_us(),
+            avg_disk_load_us: self.avg_disk_load_us(),
+            policy_changes: self.policy_changes,
+            bypassed_requests: self.bypassed,
+            burst_intervals: self.burst_intervals,
+        }
+    }
+}
+
+fn ratio(num: u128, den: u128) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Aggregated measurements for one axis value (or the whole sweep).
+///
+/// `avg_latency_us` is the mean of the cells' average application
+/// latencies; the load averages are means over every monitoring interval
+/// of every cell in the group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupStats {
+    /// The axis value this row aggregates (`"total"` for the sweep row).
+    pub key: String,
+    /// Number of cells folded into the row.
+    pub cells: u64,
+    /// Total application requests completed.
+    pub app_completed: u64,
+    /// Mean of the cells' average application latencies, µs.
+    pub avg_latency_us: f64,
+    /// Maximum application latency observed in any cell, µs.
+    pub max_latency_us: u64,
+    /// Mean per-interval I/O-cache load (max latency), µs — Fig. 4's
+    /// metric.
+    pub avg_cache_load_us: f64,
+    /// Mean per-interval disk-subsystem load, µs — Fig. 5's metric.
+    pub avg_disk_load_us: f64,
+    /// Total write-policy changes applied by the controllers.
+    pub policy_changes: u64,
+    /// Total requests bypassed from the cache queue to the disk.
+    pub bypassed_requests: u64,
+    /// Total intervals flagged as bursts.
+    pub burst_intervals: u64,
+}
+
+/// LBICA-vs-WB improvement for one workload, derived from the
+/// (workload × controller) accumulators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadDelta {
+    /// The workload the delta describes.
+    pub workload: String,
+    /// Reduction of the mean I/O-cache load, LBICA vs WB, percent.
+    pub cache_load_reduction_vs_wb_pct: f64,
+    /// Improvement of the mean application latency, LBICA vs WB, percent.
+    pub latency_improvement_vs_wb_pct: f64,
+}
+
+/// The rendered output of a sweep: one total row plus per-axis breakdowns
+/// and the LBICA-vs-WB deltas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSummary {
+    /// The whole-sweep row.
+    pub total: GroupStats,
+    /// One row per workload, sorted by name.
+    pub by_workload: Vec<GroupStats>,
+    /// One row per controller, sorted by label.
+    pub by_controller: Vec<GroupStats>,
+    /// One row per configuration label, sorted.
+    pub by_config: Vec<GroupStats>,
+    /// Per-workload LBICA-vs-WB deltas (workloads whose sweep ran both
+    /// controllers), sorted by workload.
+    pub lbica_vs_wb: Vec<WorkloadDelta>,
+}
+
+impl SweepSummary {
+    /// The delta row for `workload`, if both WB and LBICA ran.
+    pub fn delta(&self, workload: &str) -> Option<&WorkloadDelta> {
+        self.lbica_vs_wb.iter().find(|d| d.workload == workload)
+    }
+
+    /// The per-workload row for `workload`.
+    pub fn workload(&self, workload: &str) -> Option<&GroupStats> {
+        self.by_workload.iter().find(|g| g.key == workload)
+    }
+}
+
+/// Folds [`SimulationReport`]s into per-axis summaries without retaining
+/// them.
+#[derive(Debug, Clone, Default)]
+pub struct Aggregator {
+    total: Accum,
+    by_workload: BTreeMap<String, Accum>,
+    by_controller: BTreeMap<String, Accum>,
+    by_config: BTreeMap<String, Accum>,
+    pairs: BTreeMap<(String, String), Accum>,
+}
+
+impl Aggregator {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Aggregator::default()
+    }
+
+    /// Number of cells observed so far.
+    pub const fn cells(&self) -> u64 {
+        self.total.cells
+    }
+
+    /// Folds one cell's report into the accumulators.
+    pub fn observe(&mut self, scenario: &Scenario, report: &SimulationReport) {
+        self.total.observe(report);
+        self.by_workload.entry(scenario.workload().name().to_string()).or_default().observe(report);
+        self.by_controller
+            .entry(scenario.controller().label().to_string())
+            .or_default()
+            .observe(report);
+        self.by_config.entry(scenario.config_label().to_string()).or_default().observe(report);
+        self.pairs
+            .entry((
+                scenario.workload().name().to_string(),
+                scenario.controller().label().to_string(),
+            ))
+            .or_default()
+            .observe(report);
+    }
+
+    /// Renders the summary from the current accumulators.
+    pub fn summary(&self) -> SweepSummary {
+        let rows = |map: &BTreeMap<String, Accum>| {
+            map.iter().map(|(k, a)| a.stats(k.clone())).collect::<Vec<_>>()
+        };
+        let mut deltas = Vec::new();
+        for workload in self.by_workload.keys() {
+            let wb = self.pairs.get(&(workload.clone(), ControllerKind::Wb.label().to_string()));
+            let lbica =
+                self.pairs.get(&(workload.clone(), ControllerKind::Lbica.label().to_string()));
+            if let (Some(wb), Some(lbica)) = (wb, lbica) {
+                deltas.push(WorkloadDelta {
+                    workload: workload.clone(),
+                    cache_load_reduction_vs_wb_pct: percent_reduction(
+                        wb.avg_cache_load_us(),
+                        lbica.avg_cache_load_us(),
+                    ),
+                    latency_improvement_vs_wb_pct: percent_reduction(
+                        wb.avg_latency_us(),
+                        lbica.avg_latency_us(),
+                    ),
+                });
+            }
+        }
+        SweepSummary {
+            total: self.total.stats("total".to_string()),
+            by_workload: rows(&self.by_workload),
+            by_controller: rows(&self.by_controller),
+            by_config: rows(&self.by_config),
+            lbica_vs_wb: deltas,
+        }
+    }
+}
+
+fn percent_reduction(before: f64, after: f64) -> f64 {
+    if before <= 0.0 {
+        0.0
+    } else {
+        (before - after) / before * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::ScenarioMatrix;
+
+    fn folded_smoke() -> (ScenarioMatrix, Aggregator) {
+        let matrix = ScenarioMatrix::smoke();
+        let mut agg = Aggregator::new();
+        for cell in matrix.cells() {
+            let report = cell.run();
+            agg.observe(&cell, &report);
+        }
+        (matrix, agg)
+    }
+
+    #[test]
+    fn summary_groups_cover_every_axis_value() {
+        let (matrix, agg) = folded_smoke();
+        assert_eq!(agg.cells(), matrix.len() as u64);
+        let summary = agg.summary();
+        assert_eq!(summary.total.cells, matrix.len() as u64);
+        assert_eq!(summary.by_workload.len(), 2);
+        assert_eq!(summary.by_controller.len(), 3);
+        assert_eq!(summary.by_config.len(), 1);
+        assert_eq!(summary.lbica_vs_wb.len(), 2);
+        // Per-axis cell counts sum back to the total.
+        let per_workload: u64 = summary.by_workload.iter().map(|g| g.cells).sum();
+        assert_eq!(per_workload, summary.total.cells);
+        assert!(summary.total.app_completed > 0);
+        assert!(summary.workload("web-server").is_some());
+        assert!(summary.delta("web-server").is_some());
+        assert!(summary.delta("nope").is_none());
+    }
+
+    #[test]
+    fn fold_order_does_not_change_the_summary() {
+        let matrix = ScenarioMatrix::smoke();
+        let cells: Vec<_> = matrix.cells().collect();
+        let reports: Vec<_> = cells.iter().map(|c| c.run()).collect();
+        let mut forward = Aggregator::new();
+        for (c, r) in cells.iter().zip(&reports) {
+            forward.observe(c, r);
+        }
+        let mut backward = Aggregator::new();
+        for (c, r) in cells.iter().zip(&reports).rev() {
+            backward.observe(c, r);
+        }
+        assert_eq!(forward.summary(), backward.summary());
+    }
+
+    #[test]
+    fn empty_aggregator_summarizes_to_zeroes() {
+        let summary = Aggregator::new().summary();
+        assert_eq!(summary.total.cells, 0);
+        assert_eq!(summary.total.avg_latency_us, 0.0);
+        assert!(summary.by_workload.is_empty());
+        assert!(summary.lbica_vs_wb.is_empty());
+    }
+}

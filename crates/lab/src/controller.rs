@@ -1,0 +1,64 @@
+//! The controller axis of a scenario matrix.
+//!
+//! This lived in `lbica-bench` while the evaluation was hard-wired to the
+//! paper's 3 × 3 grid; it moved here so that every layer that enumerates
+//! scenarios (the sweep subsystem, the figure harness, the benches) shares
+//! one definition. `lbica-bench` re-exports it under its old path.
+
+use lbica_core::{LbicaController, SibController, WbController};
+use lbica_sim::CacheController;
+
+/// Which controller to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControllerKind {
+    /// The write-back baseline.
+    Wb,
+    /// Selective I/O Bypass.
+    Sib,
+    /// The paper's contribution.
+    Lbica,
+}
+
+impl ControllerKind {
+    /// All three schemes, in the order the paper plots them.
+    pub const ALL: [ControllerKind; 3] =
+        [ControllerKind::Wb, ControllerKind::Sib, ControllerKind::Lbica];
+
+    /// The scheme's display label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            ControllerKind::Wb => "WB",
+            ControllerKind::Sib => "SIB",
+            ControllerKind::Lbica => "LBICA",
+        }
+    }
+
+    /// Builds a fresh controller of this kind.
+    pub fn build(self) -> Box<dyn CacheController + Send> {
+        match self {
+            ControllerKind::Wb => Box::new(WbController::new()),
+            ControllerKind::Sib => Box::new(SibController::new()),
+            ControllerKind::Lbica => Box::new(LbicaController::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_built_controller_names() {
+        for kind in ControllerKind::ALL {
+            assert_eq!(kind.build().name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn all_lists_each_kind_once() {
+        assert_eq!(ControllerKind::ALL.len(), 3);
+        assert!(ControllerKind::ALL.contains(&ControllerKind::Wb));
+        assert!(ControllerKind::ALL.contains(&ControllerKind::Sib));
+        assert!(ControllerKind::ALL.contains(&ControllerKind::Lbica));
+    }
+}

@@ -1,0 +1,174 @@
+//! Work-stealing execution of a scenario matrix.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use lbica_sim::SimulationReport;
+
+use crate::aggregate::{Aggregator, SweepSummary};
+use crate::matrix::ScenarioMatrix;
+use crate::scenario::Scenario;
+
+/// Runs the cells of a [`ScenarioMatrix`] across worker threads.
+///
+/// Scheduling is a shared atomic cursor over the cell index space: each
+/// worker claims the next unclaimed cell with `fetch_add` and runs it to
+/// completion, so long cells never stall the queue behind them. Because a
+/// cell's stream seed depends only on its coordinates, the *results* are
+/// identical for any `jobs` — only wall-clock time changes.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepExecutor {
+    jobs: usize,
+}
+
+impl SweepExecutor {
+    /// Creates an executor with `jobs` worker threads; `0` means one per
+    /// available core.
+    pub fn new(jobs: usize) -> Self {
+        let jobs = if jobs == 0 { Self::default_jobs() } else { jobs };
+        SweepExecutor { jobs }
+    }
+
+    /// A single-threaded executor (useful as the determinism reference).
+    pub fn serial() -> Self {
+        SweepExecutor { jobs: 1 }
+    }
+
+    /// The number of worker threads this executor spawns.
+    pub const fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// One worker per available core (at least one).
+    pub fn default_jobs() -> usize {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+
+    /// Runs every cell, invoking `handle(index, scenario, report)` from
+    /// worker threads as each cell completes (in nondeterministic order —
+    /// the handler must be order-insensitive or index the results).
+    pub fn for_each<F>(&self, matrix: &ScenarioMatrix, handle: F)
+    where
+        F: Fn(usize, &Scenario, SimulationReport) + Sync,
+    {
+        let total = matrix.len();
+        if total == 0 {
+            return;
+        }
+        let workers = self.jobs.min(total);
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= total {
+                        break;
+                    }
+                    let scenario = matrix.cell(index).expect("cursor index in bounds");
+                    let report = scenario.run();
+                    handle(index, &scenario, report);
+                });
+            }
+        });
+    }
+
+    /// Runs every cell and returns the reports in cell-enumeration order.
+    pub fn run(&self, matrix: &ScenarioMatrix) -> Vec<SimulationReport> {
+        let slots: Mutex<Vec<Option<SimulationReport>>> = Mutex::new(vec![None; matrix.len()]);
+        self.for_each(matrix, |index, _, report| {
+            slots.lock().expect("slot lock")[index] = Some(report);
+        });
+        slots
+            .into_inner()
+            .expect("slot lock")
+            .into_iter()
+            .map(|r| r.expect("every cell produced a report"))
+            .collect()
+    }
+
+    /// Runs every cell, streaming each report into an [`Aggregator`] and
+    /// discarding it; returns the aggregated summary. `progress` is called
+    /// with `(completed, total)` after every cell.
+    pub fn aggregate_with_progress(
+        &self,
+        matrix: &ScenarioMatrix,
+        progress: impl Fn(usize, usize) + Sync,
+    ) -> SweepSummary {
+        let total = matrix.len();
+        let aggregator = Mutex::new(Aggregator::new());
+        let done = AtomicUsize::new(0);
+        self.for_each(matrix, |_, scenario, report| {
+            aggregator.lock().expect("aggregator lock").observe(scenario, &report);
+            let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+            progress(completed, total);
+        });
+        aggregator.into_inner().expect("aggregator lock").summary()
+    }
+
+    /// [`SweepExecutor::aggregate_with_progress`] without a progress
+    /// callback.
+    pub fn aggregate(&self, matrix: &ScenarioMatrix) -> SweepSummary {
+        self.aggregate_with_progress(matrix, |_, _| {})
+    }
+}
+
+impl Default for SweepExecutor {
+    fn default() -> Self {
+        SweepExecutor::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_come_back_in_cell_order_regardless_of_jobs() {
+        let matrix = ScenarioMatrix::smoke();
+        let serial = SweepExecutor::serial().run(&matrix);
+        assert_eq!(serial.len(), matrix.len());
+        for (cell, report) in matrix.cells().zip(&serial) {
+            assert_eq!(cell.workload().name(), report.workload);
+            assert_eq!(cell.controller().label(), report.controller);
+        }
+        let parallel = SweepExecutor::new(4).run(&matrix);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn aggregation_is_deterministic_across_job_counts() {
+        let matrix = ScenarioMatrix::smoke();
+        let a = SweepExecutor::serial().aggregate(&matrix);
+        let b = SweepExecutor::new(4).aggregate(&matrix);
+        assert_eq!(a, b);
+        assert_eq!(a.total.cells, matrix.len() as u64);
+    }
+
+    #[test]
+    fn progress_reaches_the_total_exactly_once_per_cell() {
+        let matrix = ScenarioMatrix::smoke();
+        let calls = AtomicUsize::new(0);
+        let max_seen = AtomicUsize::new(0);
+        SweepExecutor::new(2).aggregate_with_progress(&matrix, |done, total| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            max_seen.fetch_max(done, Ordering::Relaxed);
+            assert_eq!(total, matrix.len());
+        });
+        assert_eq!(calls.into_inner(), matrix.len());
+        assert_eq!(max_seen.into_inner(), matrix.len());
+    }
+
+    #[test]
+    fn empty_matrix_is_a_no_op() {
+        let matrix = ScenarioMatrix::new();
+        assert!(SweepExecutor::new(3).run(&matrix).is_empty());
+        let summary = SweepExecutor::new(3).aggregate(&matrix);
+        assert_eq!(summary.total.cells, 0);
+    }
+
+    #[test]
+    fn zero_jobs_means_available_parallelism() {
+        assert!(SweepExecutor::new(0).jobs() >= 1);
+        assert_eq!(SweepExecutor::serial().jobs(), 1);
+    }
+}

@@ -1,0 +1,373 @@
+//! Declarative scenario matrices.
+
+use lbica_sim::{DiskDeviceConfig, SimulationConfig};
+use lbica_trace::workload::{WorkloadScale, WorkloadSpec};
+
+use crate::controller::ControllerKind;
+use crate::scenario::{derive_seed, Scenario};
+
+/// How a cell's stream seed relates to the seed-axis value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedMode {
+    /// The stream seed is [`derive_seed`] of the cell coordinates (the
+    /// default): unique per (workload, config, seed) triple and stable
+    /// under axis reordering.
+    Derived,
+    /// The seed-axis value is passed to the simulation verbatim. Used by
+    /// the figure harness, which pins one historical seed across every
+    /// cell to reproduce the published tables bit-for-bit.
+    Literal,
+}
+
+/// One value of the simulator-configuration axis: a configuration plus the
+/// label it is keyed by in aggregates and cell ids.
+#[derive(Debug, Clone)]
+pub struct ConfigAxis {
+    /// The label (keeps cell ids readable; also the aggregation key).
+    pub label: String,
+    /// The configuration itself.
+    pub config: SimulationConfig,
+}
+
+impl ConfigAxis {
+    /// Creates a labelled configuration.
+    pub fn new(label: impl Into<String>, config: SimulationConfig) -> Self {
+        ConfigAxis { label: label.into(), config }
+    }
+}
+
+/// A cartesian product of scenario axes, expanded lazily into [`Scenario`]
+/// cells.
+///
+/// Cell order is workload-major: workloads, then configurations, then
+/// controllers, then seeds. The order only affects *enumeration* — every
+/// cell's stream seed is a pure function of its coordinates (see
+/// [`SeedMode`]), so results are independent of both enumeration and
+/// execution order.
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrix {
+    workloads: Vec<WorkloadSpec>,
+    configs: Vec<ConfigAxis>,
+    controllers: Vec<ControllerKind>,
+    seeds: Vec<u64>,
+    seed_mode: SeedMode,
+}
+
+impl Default for ScenarioMatrix {
+    fn default() -> Self {
+        ScenarioMatrix::new()
+    }
+}
+
+impl ScenarioMatrix {
+    /// An empty matrix with the controller axis pre-populated with all
+    /// three schemes and a single seed. Add workloads and configurations
+    /// with the builder methods.
+    pub fn new() -> Self {
+        ScenarioMatrix {
+            workloads: Vec::new(),
+            configs: Vec::new(),
+            controllers: ControllerKind::ALL.to_vec(),
+            seeds: vec![0],
+            seed_mode: SeedMode::Derived,
+        }
+    }
+
+    /// Appends a workload to the workload axis (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a workload with the same name is already on the axis:
+    /// names key the derived stream seeds, cell ids and aggregation rows,
+    /// so a duplicate would silently collide all three.
+    pub fn push_workload(mut self, spec: WorkloadSpec) -> Self {
+        assert!(
+            self.workloads.iter().all(|w| w.name() != spec.name()),
+            "duplicate workload name `{}` on the workload axis",
+            spec.name()
+        );
+        self.workloads.push(spec);
+        self
+    }
+
+    /// Replaces the workload axis (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if two workloads share a name (see
+    /// [`ScenarioMatrix::push_workload`]).
+    pub fn with_workloads(self, specs: Vec<WorkloadSpec>) -> Self {
+        let mut matrix = Self { workloads: Vec::with_capacity(specs.len()), ..self };
+        for spec in specs {
+            matrix = matrix.push_workload(spec);
+        }
+        matrix
+    }
+
+    /// Appends a labelled configuration to the configuration axis
+    /// (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already on the axis: labels key the derived
+    /// stream seeds, cell ids and aggregation rows.
+    pub fn push_config(mut self, label: impl Into<String>, config: SimulationConfig) -> Self {
+        let axis = ConfigAxis::new(label, config);
+        assert!(
+            self.configs.iter().all(|c| c.label != axis.label),
+            "duplicate config label `{}` on the configuration axis",
+            axis.label
+        );
+        self.configs.push(axis);
+        self
+    }
+
+    /// Replaces the controller axis (builder style).
+    pub fn with_controllers(mut self, controllers: &[ControllerKind]) -> Self {
+        self.controllers = controllers.to_vec();
+        self
+    }
+
+    /// Replaces the seed axis (builder style).
+    pub fn with_seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Sets the seed axis to `0..replicates` (builder style).
+    pub fn with_seed_range(self, replicates: u64) -> Self {
+        self.with_seeds((0..replicates).collect())
+    }
+
+    /// Pins a single literal seed shared by every cell (builder style):
+    /// the harness mode — see [`SeedMode::Literal`].
+    pub fn with_literal_seed(mut self, seed: u64) -> Self {
+        self.seeds = vec![seed];
+        self.seed_mode = SeedMode::Literal;
+        self
+    }
+
+    /// The workload axis.
+    pub fn workloads(&self) -> &[WorkloadSpec] {
+        &self.workloads
+    }
+
+    /// The configuration axis.
+    pub fn configs(&self) -> &[ConfigAxis] {
+        &self.configs
+    }
+
+    /// The controller axis.
+    pub fn controllers(&self) -> &[ControllerKind] {
+        &self.controllers
+    }
+
+    /// The seed axis.
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// How stream seeds are produced.
+    pub const fn seed_mode(&self) -> SeedMode {
+        self.seed_mode
+    }
+
+    /// Number of cells in the matrix (the product of the axis lengths).
+    pub fn len(&self) -> usize {
+        self.workloads.len() * self.configs.len() * self.controllers.len() * self.seeds.len()
+    }
+
+    /// Whether the matrix has no cells (any axis empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands cell `index` (in workload-major order), or `None` past the
+    /// end. O(1): the matrix never materializes its cells.
+    pub fn cell(&self, index: usize) -> Option<Scenario> {
+        if index >= self.len() {
+            return None;
+        }
+        let ns = self.seeds.len();
+        let nk = self.controllers.len();
+        let nc = self.configs.len();
+        let s = index % ns;
+        let rest = index / ns;
+        let k = rest % nk;
+        let rest = rest / nk;
+        let c = rest % nc;
+        let w = rest / nc;
+
+        let workload = &self.workloads[w];
+        let axis = &self.configs[c];
+        let seed = self.seeds[s];
+        let stream_seed = match self.seed_mode {
+            SeedMode::Derived => derive_seed(workload.name(), &axis.label, seed),
+            SeedMode::Literal => seed,
+        };
+        Some(Scenario::new(
+            workload.clone(),
+            axis.label.clone(),
+            axis.config,
+            self.controllers[k],
+            seed,
+            stream_seed,
+        ))
+    }
+
+    /// Lazily iterates over every cell in enumeration order.
+    pub fn cells(&self) -> impl Iterator<Item = Scenario> + '_ {
+        (0..self.len()).map(|i| self.cell(i).expect("index in bounds"))
+    }
+
+    /// The paper's canonical figure matrix: the three canned workloads at
+    /// `scale` under all three controllers against a single configuration,
+    /// sharing one literal seed (so the schemes see identical arrivals and
+    /// the historical headline tables reproduce exactly).
+    pub fn paper(scale: WorkloadScale, sim: SimulationConfig, seed: u64) -> Self {
+        ScenarioMatrix::new()
+            .with_workloads(WorkloadSpec::paper_suite(scale))
+            .push_config("paper", sim)
+            .with_literal_seed(seed)
+    }
+
+    /// The CI smoke matrix: 4 workloads (the paper's three plus a
+    /// parameterized synthetic mix) × 3 controllers × 3 seeds at tiny
+    /// scale — 36 cells.
+    pub fn tiny() -> Self {
+        let scale = WorkloadScale::tiny();
+        let mut workloads = WorkloadSpec::paper_suite(scale);
+        workloads.push(WorkloadSpec::synthetic_scaled("synthetic-mixed", scale, 0.35));
+        ScenarioMatrix::new()
+            .with_workloads(workloads)
+            .push_config("tiny", SimulationConfig::tiny())
+            .with_seed_range(3)
+    }
+
+    /// A minimal matrix for doctests and wiring tests: 2 workloads × 3
+    /// controllers × 1 seed — 6 cells.
+    pub fn smoke() -> Self {
+        let scale = WorkloadScale::tiny();
+        ScenarioMatrix::new()
+            .push_workload(WorkloadSpec::web_server_scaled(scale))
+            .push_workload(WorkloadSpec::synthetic_scaled("synthetic-mixed", scale, 0.35))
+            .push_config("tiny", SimulationConfig::tiny())
+    }
+
+    /// A cache-geometry sweep: the paper's workloads at tiny scale against
+    /// three cache sizes (half / paper / double the tiny set count).
+    pub fn geometry() -> Self {
+        let scale = WorkloadScale::tiny();
+        let base = SimulationConfig::tiny();
+        ScenarioMatrix::new()
+            .with_workloads(WorkloadSpec::paper_suite(scale))
+            .push_config("sets-64", base.with_cache_sets(64))
+            .push_config("sets-128", base)
+            .push_config("sets-256", base.with_cache_sets(256))
+    }
+
+    /// A disk-device sweep: the tiny workloads against the mid-range-SSD
+    /// disk subsystem and the raw 7.2K SAS HDD.
+    pub fn devices() -> Self {
+        let scale = WorkloadScale::tiny();
+        let base = SimulationConfig::tiny();
+        ScenarioMatrix::new()
+            .with_workloads(WorkloadSpec::paper_suite(scale))
+            .push_config("midrange-ssd", base)
+            .push_config("hdd", base.with_disk_device(DiskDeviceConfig::seagate_hdd()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn len_is_the_axis_product_and_empty_axes_empty_the_matrix() {
+        let m = ScenarioMatrix::tiny();
+        // 4 workloads × 1 config × 3 controllers × 3 seeds.
+        assert_eq!(m.len(), 36);
+        assert!(!m.is_empty());
+        let empty = ScenarioMatrix::new();
+        assert!(empty.is_empty());
+        assert!(empty.cell(0).is_none());
+        assert_eq!(empty.cells().count(), 0);
+    }
+
+    #[test]
+    fn enumeration_is_workload_major_then_config_controller_seed() {
+        let m = ScenarioMatrix::smoke();
+        let ids: Vec<String> = m.cells().map(|c| c.id()).collect();
+        assert_eq!(ids.len(), 6);
+        assert_eq!(ids[0], "web-server/tiny/WB/s0");
+        assert_eq!(ids[1], "web-server/tiny/SIB/s0");
+        assert_eq!(ids[2], "web-server/tiny/LBICA/s0");
+        assert_eq!(ids[3], "synthetic-mixed/tiny/WB/s0");
+        assert!(m.cell(6).is_none());
+    }
+
+    #[test]
+    fn derived_seeds_are_shared_across_controllers_but_not_coordinates() {
+        let m = ScenarioMatrix::tiny();
+        // Group stream seeds by (workload, config, seed): each group holds
+        // all three controllers and exactly one stream seed.
+        let mut groups: BTreeMap<(String, String, u64), Vec<u64>> = BTreeMap::new();
+        for cell in m.cells() {
+            groups
+                .entry((
+                    cell.workload().name().to_string(),
+                    cell.config_label().to_string(),
+                    cell.seed(),
+                ))
+                .or_default()
+                .push(cell.stream_seed());
+        }
+        assert_eq!(groups.len(), 4 * 3);
+        let mut distinct: Vec<u64> = Vec::new();
+        for seeds in groups.values() {
+            assert_eq!(seeds.len(), 3, "one cell per controller");
+            assert!(seeds.windows(2).all(|w| w[0] == w[1]), "controllers share the stream");
+            distinct.push(seeds[0]);
+        }
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 4 * 3, "stream seeds unique per coordinate triple");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate workload name")]
+    fn duplicate_workload_names_are_rejected() {
+        let scale = WorkloadScale::tiny();
+        let _ = ScenarioMatrix::new()
+            .push_workload(WorkloadSpec::synthetic_scaled("syn", scale, 0.2))
+            .push_workload(WorkloadSpec::synthetic_scaled("syn", scale, 0.8));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate config label")]
+    fn duplicate_config_labels_are_rejected() {
+        let _ = ScenarioMatrix::new()
+            .push_config("tiny", SimulationConfig::tiny())
+            .push_config("tiny", SimulationConfig::tiny().with_cache_sets(64));
+    }
+
+    #[test]
+    fn literal_mode_passes_the_seed_through() {
+        let m = ScenarioMatrix::paper(WorkloadScale::tiny(), SimulationConfig::tiny(), 99);
+        assert_eq!(m.seed_mode(), SeedMode::Literal);
+        assert_eq!(m.len(), 9);
+        assert!(m.cells().all(|c| c.stream_seed() == 99));
+    }
+
+    #[test]
+    fn geometry_and_device_matrices_vary_the_config_axis() {
+        let g = ScenarioMatrix::geometry();
+        assert_eq!(g.len(), 3 * 3 * 3);
+        assert_eq!(g.configs()[0].config.cache_capacity_blocks(), 256);
+        assert_eq!(g.configs()[2].config.cache_capacity_blocks(), 1024);
+        let d = ScenarioMatrix::devices();
+        assert_eq!(d.len(), 3 * 2 * 3);
+        assert_ne!(d.configs()[0].config.disk_device, d.configs()[1].config.disk_device);
+    }
+}

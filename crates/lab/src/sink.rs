@@ -1,0 +1,238 @@
+//! CSV and JSON reporters for aggregated sweep summaries.
+//!
+//! Both sinks render from the deterministic [`SweepSummary`], so a sweep
+//! produces byte-identical files regardless of `--jobs`. The JSON emitter
+//! is hand-rolled: the build environment has no `serde_json`, and the
+//! summary's shape is small and fixed.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::aggregate::{GroupStats, SweepSummary};
+
+/// Renders a [`SweepSummary`] as a single CSV table.
+///
+/// Each row is one aggregation group tagged by `section`
+/// (`total` / `workload` / `controller` / `config`); workload rows
+/// additionally carry the LBICA-vs-WB delta columns, which are empty for
+/// the other sections.
+#[derive(Debug, Clone, Copy)]
+pub struct CsvSink;
+
+impl CsvSink {
+    /// The header line of the CSV output.
+    pub const HEADER: &'static str = "section,key,cells,app_completed,avg_latency_us,\
+         max_latency_us,avg_cache_load_us,avg_disk_load_us,policy_changes,bypassed_requests,\
+         burst_intervals,cache_load_reduction_vs_wb_pct,latency_improvement_vs_wb_pct";
+
+    /// Renders the summary to a CSV string.
+    pub fn render(summary: &SweepSummary) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", Self::HEADER);
+        Self::push_row(&mut out, "total", &summary.total, None);
+        for group in &summary.by_workload {
+            let delta = summary.delta(&group.key);
+            Self::push_row(
+                &mut out,
+                "workload",
+                group,
+                delta.map(|d| (d.cache_load_reduction_vs_wb_pct, d.latency_improvement_vs_wb_pct)),
+            );
+        }
+        for group in &summary.by_controller {
+            Self::push_row(&mut out, "controller", group, None);
+        }
+        for group in &summary.by_config {
+            Self::push_row(&mut out, "config", group, None);
+        }
+        out
+    }
+
+    /// Renders and writes the summary to `path`.
+    pub fn write_to(path: &Path, summary: &SweepSummary) -> io::Result<()> {
+        fs::write(path, Self::render(summary))
+    }
+
+    fn push_row(out: &mut String, section: &str, g: &GroupStats, delta: Option<(f64, f64)>) {
+        let _ = write!(
+            out,
+            "{section},{},{},{},{:.3},{},{:.3},{:.3},{},{},{}",
+            g.key,
+            g.cells,
+            g.app_completed,
+            g.avg_latency_us,
+            g.max_latency_us,
+            g.avg_cache_load_us,
+            g.avg_disk_load_us,
+            g.policy_changes,
+            g.bypassed_requests,
+            g.burst_intervals,
+        );
+        match delta {
+            Some((load, latency)) => {
+                let _ = writeln!(out, ",{load:.3},{latency:.3}");
+            }
+            None => {
+                let _ = writeln!(out, ",,");
+            }
+        }
+    }
+}
+
+/// Renders a [`SweepSummary`] as a JSON document.
+#[derive(Debug, Clone, Copy)]
+pub struct JsonSink;
+
+impl JsonSink {
+    /// Renders the summary to a JSON string.
+    pub fn render(summary: &SweepSummary) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"total\": {},", Self::group(&summary.total));
+        Self::group_array(&mut out, "by_workload", &summary.by_workload);
+        Self::group_array(&mut out, "by_controller", &summary.by_controller);
+        Self::group_array(&mut out, "by_config", &summary.by_config);
+        out.push_str("  \"lbica_vs_wb\": [");
+        for (i, d) in summary.lbica_vs_wb.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"workload\": {}, \"cache_load_reduction_vs_wb_pct\": {:.3}, \
+                 \"latency_improvement_vs_wb_pct\": {:.3}}}",
+                json_string(&d.workload),
+                d.cache_load_reduction_vs_wb_pct,
+                d.latency_improvement_vs_wb_pct,
+            );
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Renders and writes the summary to `path`.
+    pub fn write_to(path: &Path, summary: &SweepSummary) -> io::Result<()> {
+        fs::write(path, Self::render(summary))
+    }
+
+    fn group_array(out: &mut String, name: &str, groups: &[GroupStats]) {
+        let _ = write!(out, "  \"{name}\": [");
+        for (i, g) in groups.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&Self::group(g));
+        }
+        out.push_str("],\n");
+    }
+
+    fn group(g: &GroupStats) -> String {
+        format!(
+            "{{\"key\": {}, \"cells\": {}, \"app_completed\": {}, \
+             \"avg_latency_us\": {:.3}, \"max_latency_us\": {}, \
+             \"avg_cache_load_us\": {:.3}, \"avg_disk_load_us\": {:.3}, \
+             \"policy_changes\": {}, \"bypassed_requests\": {}, \"burst_intervals\": {}}}",
+            json_string(&g.key),
+            g.cells,
+            g.app_completed,
+            g.avg_latency_us,
+            g.max_latency_us,
+            g.avg_cache_load_us,
+            g.avg_disk_load_us,
+            g.policy_changes,
+            g.bypassed_requests,
+            g.burst_intervals,
+        )
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::Aggregator;
+    use crate::executor::SweepExecutor;
+    use crate::matrix::ScenarioMatrix;
+
+    fn smoke_summary() -> SweepSummary {
+        SweepExecutor::serial().aggregate(&ScenarioMatrix::smoke())
+    }
+
+    #[test]
+    fn csv_has_one_row_per_group_plus_header() {
+        let summary = smoke_summary();
+        let csv = CsvSink::render(&summary);
+        let expected = 1 // header
+            + 1 // total
+            + summary.by_workload.len()
+            + summary.by_controller.len()
+            + summary.by_config.len();
+        assert_eq!(csv.lines().count(), expected);
+        assert!(csv.starts_with("section,key,cells"));
+        // Workload rows carry delta columns; the total row leaves them empty.
+        let total_row = csv.lines().nth(1).unwrap();
+        assert!(total_row.ends_with(",,"));
+        let workload_row = csv.lines().find(|l| l.starts_with("workload,")).unwrap();
+        assert!(!workload_row.ends_with(",,"));
+        // Every row has the same column count as the header.
+        let columns = csv.lines().next().unwrap().split(',').count();
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), columns, "row {line}");
+        }
+    }
+
+    #[test]
+    fn json_is_balanced_and_mentions_every_section() {
+        let json = JsonSink::render(&smoke_summary());
+        for key in [
+            "\"total\"",
+            "\"by_workload\"",
+            "\"by_controller\"",
+            "\"by_config\"",
+            "\"lbica_vs_wb\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn renders_are_deterministic() {
+        let a = smoke_summary();
+        let b = smoke_summary();
+        assert_eq!(CsvSink::render(&a), CsvSink::render(&b));
+        assert_eq!(JsonSink::render(&a), JsonSink::render(&b));
+    }
+
+    #[test]
+    fn empty_summary_renders_without_panicking() {
+        let summary = Aggregator::new().summary();
+        assert!(CsvSink::render(&summary).contains("total"));
+        assert!(JsonSink::render(&summary).contains("\"cells\": 0"));
+    }
+
+    #[test]
+    fn json_strings_escape_specials() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
+    }
+}

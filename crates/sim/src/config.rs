@@ -101,6 +101,41 @@ impl SimulationConfig {
         cfg.disk_device = DiskDeviceConfig::seagate_hdd();
         cfg
     }
+
+    /// Returns a copy with the cache's set count replaced (builder style).
+    /// Together with [`SimulationConfig::with_cache_associativity`] this is
+    /// how scenario sweeps enumerate cache geometries.
+    pub const fn with_cache_sets(mut self, num_sets: usize) -> Self {
+        self.cache.num_sets = num_sets;
+        self
+    }
+
+    /// Returns a copy with the cache's ways-per-set replaced (builder
+    /// style).
+    pub const fn with_cache_associativity(mut self, associativity: usize) -> Self {
+        self.cache.associativity = associativity;
+        self
+    }
+
+    /// Returns a copy with the disk-subsystem device model replaced
+    /// (builder style).
+    pub const fn with_disk_device(mut self, disk_device: DiskDeviceConfig) -> Self {
+        self.disk_device = disk_device;
+        self
+    }
+
+    /// Returns a copy with the service parallelism of both tiers replaced
+    /// (builder style).
+    pub const fn with_parallelism(mut self, ssd: usize, disk: usize) -> Self {
+        self.ssd_parallelism = ssd;
+        self.disk_parallelism = disk;
+        self
+    }
+
+    /// Total cache capacity in blocks (`num_sets × associativity`).
+    pub const fn cache_capacity_blocks(&self) -> usize {
+        self.cache.capacity_blocks()
+    }
 }
 
 impl Default for SimulationConfig {
@@ -125,6 +160,21 @@ mod tests {
     fn tiny_config_matches_tiny_scale() {
         let cfg = SimulationConfig::tiny();
         assert_eq!(cfg.cache.capacity_blocks(), 512);
+    }
+
+    #[test]
+    fn builder_accessors_enumerate_axis_variants() {
+        let base = SimulationConfig::tiny();
+        assert_eq!(base.cache_capacity_blocks(), 512);
+        let wider = base.with_cache_sets(256).with_cache_associativity(8);
+        assert_eq!(wider.cache_capacity_blocks(), 2048);
+        let hdd = base.with_disk_device(DiskDeviceConfig::seagate_hdd());
+        assert!(matches!(hdd.disk_device, DiskDeviceConfig::Hdd(_)));
+        let parallel = base.with_parallelism(2, 8);
+        assert_eq!(parallel.ssd_parallelism, 2);
+        assert_eq!(parallel.disk_parallelism, 8);
+        // Builders copy: the base config is untouched.
+        assert_eq!(base, SimulationConfig::tiny());
     }
 
     #[test]

@@ -107,13 +107,10 @@ impl Simulation {
 
         if self.drain_at_end {
             // Let in-flight and queued requests finish so aggregate latencies
-            // cover the whole workload.
-            let mut deadline = system.now() + lbica_storage::time::SimDuration::from_secs(60);
-            while system.pending_events() > 0 && system.now() < deadline {
-                let step = system.now() + lbica_storage::time::SimDuration::from_millis(100);
-                system.run_until(step);
-                deadline = deadline.max(system.now());
-            }
+            // cover the whole workload. 600 × 100 ms = 60 simulated seconds,
+            // a hard cap: a backlog the system cannot clear in that window
+            // is truncated rather than chased forever.
+            system.drain(600);
         }
 
         SimulationReport {

@@ -408,6 +408,24 @@ impl StorageSystem {
     pub fn pending_events(&self) -> usize {
         self.events.len()
     }
+
+    /// Drains outstanding work by running the event loop in fixed 100 ms
+    /// steps until no events remain, but for at most `max_steps` steps —
+    /// a hard cap that bounds the wall-clock cost of a pathological
+    /// backlog. Returns `true` if the system fully drained.
+    pub fn drain(&mut self, max_steps: u32) -> bool {
+        let step = SimDuration::from_millis(100);
+        let mut steps = 0;
+        while self.pending_events() > 0 {
+            if steps >= max_steps {
+                return false;
+            }
+            let boundary = self.now() + step;
+            self.run_until(boundary);
+            steps += 1;
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -523,6 +541,33 @@ mod tests {
         let r1 = sys.end_interval(1);
         assert_eq!(r1.cache.completed, 0);
         assert_eq!(r1.index, 1);
+    }
+
+    #[test]
+    fn drain_completes_a_finite_backlog_and_reports_success() {
+        let mut sys = tiny_system();
+        for i in 0..50u64 {
+            sys.schedule_record(&record(0, (i % 500) * 8, RequestKind::Write));
+        }
+        assert!(sys.drain(600), "50 requests drain well within the cap");
+        assert_eq!(sys.app_completed(), 50);
+        assert_eq!(sys.pending_events(), 0);
+    }
+
+    #[test]
+    fn drain_terminates_on_a_pathological_backlog() {
+        let mut sys = tiny_system();
+        // 20 000 simultaneous writes through a single-slot SSD (~90 µs
+        // each) need ~1.8 simulated seconds — far beyond a 3-step
+        // (300 ms) cap. The old open-ended loop would keep extending its
+        // deadline; `drain` must give up instead.
+        for i in 0..20_000u64 {
+            sys.schedule_record(&record(0, (i % 500) * 8, RequestKind::Write));
+        }
+        assert!(!sys.drain(3), "the cap must trip before the backlog clears");
+        assert!(sys.pending_events() > 0);
+        // The clock advanced exactly max_steps × 100 ms.
+        assert_eq!(sys.now(), SimTime::from_millis(300));
     }
 
     #[test]

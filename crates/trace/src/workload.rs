@@ -129,7 +129,10 @@ impl WorkloadScale {
         }
     }
 
-    fn scaled_intervals(&self, paper_intervals: u32) -> u32 {
+    /// Applies `interval_scale` to one of the paper's phase lengths
+    /// (never below one interval). Public so custom workload builders can
+    /// shrink with the same rule as the canned specs.
+    pub fn scaled_intervals(&self, paper_intervals: u32) -> u32 {
         ((paper_intervals as f64 * self.interval_scale).round() as u32).max(1)
     }
 }
@@ -414,6 +417,55 @@ impl WorkloadSpec {
             ))
     }
 
+    /// A parameterized synthetic workload for scenario sweeps: a moderate
+    /// warm-up, one long mixed burst with the given read fraction, and a
+    /// moderate cool-down (120 paper intervals total). Sweeping
+    /// `read_fraction` from 0 to 1 moves the burst across the paper's
+    /// workload groups (write-intensive → read-intensive), exercising
+    /// controller behaviours the three canned workloads never hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_fraction` is outside `[0, 1]`.
+    pub fn synthetic_scaled(
+        name: impl Into<String>,
+        scale: WorkloadScale,
+        read_fraction: f64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&read_fraction),
+            "read fraction must be within [0, 1], got {read_fraction}"
+        );
+        let cb = scale.cache_blocks;
+        // Read-heavy bursts roughly double their SSD load (one promote per
+        // miss) while write-heavy bursts nearly triple it (dirty
+        // evictions); interpolate the arrival rate between the two regimes
+        // so the burst always sits just above the cache's service rate.
+        let burst_iops = scale.burst_iops * (0.45 + 0.65 * read_fraction);
+        WorkloadSpec::new(name, WorkloadKind::Custom, scale.interval_us)
+            .push_phase(BurstPhase::new(
+                "warmup",
+                scale.scaled_intervals(20),
+                scale.base_iops,
+                PatternSpec::Mixed { read_fraction: 0.6, working_set_blocks: cb },
+                PhaseIntensity::Moderate,
+            ))
+            .push_phase(BurstPhase::new(
+                "burst-mixed",
+                scale.scaled_intervals(60),
+                burst_iops,
+                PatternSpec::Mixed { read_fraction, working_set_blocks: cb * 2 },
+                PhaseIntensity::Burst,
+            ))
+            .push_phase(BurstPhase::new(
+                "cooldown",
+                scale.scaled_intervals(40),
+                scale.base_iops,
+                PatternSpec::Mixed { read_fraction: 0.6, working_set_blocks: cb },
+                PhaseIntensity::Moderate,
+            ))
+    }
+
     /// All three canned workloads at the given scale, in the order the
     /// paper plots them.
     pub fn paper_suite(scale: WorkloadScale) -> Vec<WorkloadSpec> {
@@ -529,5 +581,40 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_interval_length_panics() {
         let _ = WorkloadSpec::new("bad", WorkloadKind::Custom, 0);
+    }
+
+    #[test]
+    fn synthetic_workload_scales_and_sweeps_its_read_fraction() {
+        let scale = WorkloadScale::tiny();
+        let writes = WorkloadSpec::synthetic_scaled("syn-w", scale, 0.0);
+        let reads = WorkloadSpec::synthetic_scaled("syn-r", scale, 1.0);
+        assert_eq!(writes.kind(), WorkloadKind::Custom);
+        assert_eq!(writes.total_intervals(), reads.total_intervals());
+        assert!(writes.phases().iter().any(|p| p.intensity.is_burst()));
+        // A higher read fraction allows a higher burst arrival rate.
+        let burst_iops = |spec: &WorkloadSpec| {
+            spec.phases().iter().find(|p| p.intensity.is_burst()).unwrap().iops
+        };
+        assert!(burst_iops(&reads) > burst_iops(&writes));
+        // The generated stream is non-empty and deterministic.
+        let burst_interval = (0..writes.total_intervals())
+            .find(|i| writes.is_burst_interval(*i))
+            .expect("synthetic workloads have a burst");
+        let a = writes.generate_interval(burst_interval, 5);
+        assert!(!a.is_empty());
+        assert_eq!(a, writes.generate_interval(burst_interval, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "read fraction")]
+    fn synthetic_workload_rejects_bad_read_fraction() {
+        let _ = WorkloadSpec::synthetic_scaled("bad", WorkloadScale::tiny(), 1.5);
+    }
+
+    #[test]
+    fn scaled_intervals_is_public_and_floors_at_one() {
+        let scale = WorkloadScale::tiny();
+        assert_eq!(scale.scaled_intervals(1), 1);
+        assert_eq!(scale.scaled_intervals(200), 20);
     }
 }

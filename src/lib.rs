@@ -20,6 +20,7 @@
 
 pub use lbica_cache as cache;
 pub use lbica_core as core;
+pub use lbica_lab as lab;
 pub use lbica_sim as sim;
 pub use lbica_storage as storage;
 pub use lbica_trace as trace;
@@ -34,6 +35,10 @@ pub mod prelude {
     pub use lbica_core::{
         BottleneckDetector, LbicaController, RequestMix, SibController, WbController,
         WorkloadCharacterizer, WorkloadComparison, WorkloadGroup,
+    };
+    pub use lbica_lab::{
+        Aggregator, ConfigAxis, ControllerKind, CsvSink, JsonSink, Scenario, ScenarioMatrix,
+        SeedMode, SweepExecutor, SweepSummary,
     };
     pub use lbica_sim::{
         CacheController, ControllerContext, ControllerDecision, Simulation, SimulationConfig,

@@ -31,6 +31,40 @@ fn prelude_simulation_report_is_non_degenerate() {
 }
 
 #[test]
+fn prelude_sweep_subsystem_composes() {
+    // The lab working set must be reachable from the prelude alone: build
+    // a small matrix over prelude types, execute it, aggregate it and
+    // render both sink formats.
+    let matrix = ScenarioMatrix::new()
+        .push_workload(WorkloadSpec::web_server_scaled(WorkloadScale::tiny()))
+        .push_workload(WorkloadSpec::synthetic_scaled("syn", WorkloadScale::tiny(), 0.5))
+        .push_config("tiny", SimulationConfig::tiny())
+        .with_controllers(&[ControllerKind::Wb, ControllerKind::Lbica]);
+    assert_eq!(matrix.len(), 4);
+    assert_eq!(matrix.seed_mode(), SeedMode::Derived);
+
+    let cell: Scenario = matrix.cell(0).expect("first cell");
+    assert_eq!(cell.config_label(), "tiny");
+
+    let summary: SweepSummary = SweepExecutor::new(2).aggregate(&matrix);
+    assert_eq!(summary.total.cells, 4);
+    assert!(summary.total.app_completed > 0);
+    assert_eq!(summary.lbica_vs_wb.len(), 2);
+    assert!(CsvSink::render(&summary).contains("web-server"));
+    assert!(JsonSink::render(&summary).contains("\"by_controller\""));
+
+    // The streaming aggregator is usable standalone too.
+    let mut aggregator = Aggregator::new();
+    let axis = ConfigAxis::new("tiny", SimulationConfig::tiny());
+    assert_eq!(axis.label, "tiny");
+    aggregator.observe(&cell, &cell.run());
+    assert_eq!(aggregator.cells(), 1);
+
+    // And the ≥36-cell canned matrix expands lazily without running.
+    assert!(ScenarioMatrix::tiny().len() >= 36);
+}
+
+#[test]
 fn prelude_controllers_share_one_interface() {
     let spec = WorkloadSpec::web_server_scaled(WorkloadScale::tiny());
     let mut controllers: Vec<Box<dyn CacheController>> = vec![
