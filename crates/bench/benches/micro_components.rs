@@ -9,9 +9,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use lbica_cache::{CacheConfig, CacheModule};
+use lbica_cache::{CacheConfig, CacheModule, ReplacementKind, SetAssociativeMap, SlotState};
 use lbica_core::{BottleneckDetector, RequestMix, SibController, WorkloadCharacterizer};
-use lbica_sim::{CacheController, ControllerContext};
+use lbica_sim::{AppTracker, CacheController, ControllerContext};
 use lbica_storage::device::{DeviceModel, HddModel, SsdModel};
 use lbica_storage::queue::{DeviceQueue, QueueSnapshot};
 use lbica_storage::request::{IoRequest, RequestKind, RequestOrigin};
@@ -131,6 +131,128 @@ fn bench_sib_selection(c: &mut Criterion) {
     });
 }
 
+/// The flat set-associative arena under insert-eviction churn and pure hit
+/// traffic — the two access shapes the simulator's cache module issues.
+fn bench_set_assoc(c: &mut Criterion) {
+    c.bench_function("set_assoc/insert_churn_1k_over_256_slots", |b| {
+        b.iter_batched(
+            || SetAssociativeMap::new(16, 16, ReplacementKind::Lru),
+            |mut map| {
+                for block in 0..1024u64 {
+                    map.insert(block, SlotState::Dirty);
+                }
+                map
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("set_assoc/hit_touch_churn", |b| {
+        let mut map = SetAssociativeMap::new(64, 16, ReplacementKind::Lru);
+        for block in 0..1024u64 {
+            map.insert(block, SlotState::Clean);
+        }
+        let mut block = 0u64;
+        b.iter(|| {
+            block = (block + 17) % 1024;
+            map.touch(std::hint::black_box(block))
+        })
+    });
+    c.bench_function("set_assoc/dirty_candidates_into_sparse", |b| {
+        // 4096 slots, only one set dirty: the per-set dirty counter must
+        // skip the clean sets without scanning their ways.
+        let mut map = SetAssociativeMap::new(256, 16, ReplacementKind::Lru);
+        for block in 0..4096u64 {
+            map.insert(block, SlotState::Clean);
+        }
+        for way in 0..16u64 {
+            map.mark_dirty(100 + way * 256); // all in set 100
+        }
+        let mut buf = Vec::new();
+        b.iter(|| {
+            map.dirty_candidates_into(32, &mut buf);
+            buf.len()
+        })
+    });
+}
+
+/// The slab-backed application tracker: dense-id register/complete cycles,
+/// the operation pair every simulated application request pays.
+fn bench_app_tracker(c: &mut Criterion) {
+    c.bench_function("tracker/register_complete_1k", |b| {
+        b.iter_batched(
+            AppTracker::new,
+            |mut tracker| {
+                for id in 1..=1000u64 {
+                    tracker.register(id, SimTime::from_micros(id), 2);
+                }
+                for id in 1..=1000u64 {
+                    tracker.complete_op(id, SimTime::from_micros(id + 50));
+                    tracker.complete_op(id, SimTime::from_micros(id + 90));
+                }
+                tracker
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// O(1) incremental snapshot vs recomputing the class mix by scanning the
+/// queue — the cost a monitor probe used to pay per observation.
+fn bench_snapshot(c: &mut Criterion) {
+    let mut q = DeviceQueue::without_merging("ssd");
+    for i in 0..512u64 {
+        let origin = match i % 4 {
+            0 => RequestOrigin::Application,
+            1 => RequestOrigin::Promote,
+            2 => RequestOrigin::Evict,
+            _ => RequestOrigin::Flush,
+        };
+        q.enqueue(
+            IoRequest::new(i, RequestKind::Write, origin, i * 64, 8)
+                .with_arrival(SimTime::from_micros(i)),
+        );
+    }
+    c.bench_function("queue/snapshot_incremental_512_deep", |b| {
+        b.iter(|| std::hint::black_box(&q).snapshot())
+    });
+    c.bench_function("queue/snapshot_recomputed_512_deep", |b| {
+        b.iter(|| {
+            let mut snap = QueueSnapshot::default();
+            for r in std::hint::black_box(&q).iter() {
+                snap.record(r.class());
+            }
+            snap
+        })
+    });
+}
+
+/// Single-pass id extraction from a deep queue (SIB's bypass mechanism).
+fn bench_remove_by_ids(c: &mut Criterion) {
+    let ids: Vec<u64> = (0..100u64).map(|i| i * 10).collect();
+    c.bench_function("queue/remove_by_ids_100_of_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut q = DeviceQueue::without_merging("ssd");
+                for i in 0..1_000u64 {
+                    q.enqueue(
+                        IoRequest::new(
+                            i,
+                            RequestKind::Write,
+                            RequestOrigin::Application,
+                            i * 64,
+                            8,
+                        )
+                        .with_arrival(SimTime::from_micros(i)),
+                    );
+                }
+                q
+            },
+            |mut q| q.remove_by_ids(&ids).len(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 trait BenchQueueExt {
     fn default_for_bench() -> DeviceQueue;
 }
@@ -148,6 +270,10 @@ criterion_group!(
     bench_cache_module,
     bench_devices,
     bench_queue,
-    bench_sib_selection
+    bench_sib_selection,
+    bench_set_assoc,
+    bench_app_tracker,
+    bench_snapshot,
+    bench_remove_by_ids
 );
 criterion_main!(benches);

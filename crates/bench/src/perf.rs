@@ -1,0 +1,323 @@
+//! Simulator-throughput measurement and the `BENCH_sim.json` schema.
+//!
+//! [`ThroughputRun`] is what the `bench_throughput` binary measures and
+//! emits: per-cell wall-clock and event counts for a scenario matrix, the
+//! aggregate events-per-second figure, and (optionally) a baseline
+//! comparison so the repo can track its performance trajectory across
+//! PRs. The JSON emitter is hand-rolled like `lbica-lab`'s sinks — the
+//! build environment has no `serde_json` — and [`validate_report`] checks
+//! a rendered document for the keys the schema promises, which CI uses to
+//! guard the artifact.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The schema identifier stamped into every emitted document. Bump when a
+/// field changes meaning or disappears.
+pub const SCHEMA: &str = "lbica-bench-sim/v1";
+
+/// Escapes a string for embedding in a JSON document (quotes, backslashes
+/// and control characters) — user-supplied labels must not be able to
+/// corrupt the emitted file.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Measurements of one matrix cell, best-of-`iters` wall clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellPerf {
+    /// Stable cell id (`workload/config/controller/s<seed>`).
+    pub id: String,
+    /// Workload-axis name.
+    pub workload: String,
+    /// Controller-axis label.
+    pub controller: String,
+    /// Best (minimum) wall-clock across iterations, µs.
+    pub wall_us: u64,
+    /// Discrete events the cell's simulation processes (deterministic).
+    pub events: u64,
+    /// `events / wall_us`, scaled to events per second.
+    pub events_per_sec: f64,
+    /// Peak event-queue depth during the run (deterministic).
+    pub peak_event_queue_depth: usize,
+    /// Application requests completed (sanity anchor for the event count).
+    pub app_completed: u64,
+}
+
+impl CellPerf {
+    /// Computes the derived throughput figure from `events` and `wall_us`.
+    pub fn events_per_sec(events: u64, wall_us: u64) -> f64 {
+        if wall_us == 0 {
+            return 0.0;
+        }
+        events as f64 * 1_000_000.0 / wall_us as f64
+    }
+}
+
+/// A baseline to compare against (an earlier commit's measurement).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// What the baseline is (e.g. a commit hash or "seed structures").
+    pub label: String,
+    /// The baseline's serial wall-clock for the same matrix, µs.
+    pub wall_us: u64,
+}
+
+/// A complete throughput measurement of one matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputRun {
+    /// Matrix name (`paper`, `tiny`, ...).
+    pub matrix: String,
+    /// Worker threads used for the parallel-wall measurement.
+    pub jobs: usize,
+    /// Iterations per cell (wall times are best-of).
+    pub iters: u32,
+    /// Per-cell measurements, in cell-enumeration order.
+    pub cells: Vec<CellPerf>,
+    /// Wall-clock of one whole-matrix sweep through the executor, µs.
+    pub parallel_wall_us: u64,
+}
+
+impl ThroughputRun {
+    /// Sum of per-cell event counts.
+    pub fn total_events(&self) -> u64 {
+        self.cells.iter().map(|c| c.events).sum()
+    }
+
+    /// Sum of best per-cell wall times — the serial cost of the matrix, µs.
+    pub fn serial_wall_us(&self) -> u64 {
+        self.cells.iter().map(|c| c.wall_us).sum()
+    }
+
+    /// Aggregate serial throughput: total events over total serial wall.
+    pub fn events_per_sec(&self) -> f64 {
+        CellPerf::events_per_sec(self.total_events(), self.serial_wall_us())
+    }
+
+    /// Largest per-cell peak event-queue depth.
+    pub fn peak_event_queue_depth(&self) -> usize {
+        self.cells.iter().map(|c| c.peak_event_queue_depth).max().unwrap_or(0)
+    }
+
+    /// Renders the document, embedding `baseline` (with its derived
+    /// events/sec over the *same* event totals — valid because the
+    /// simulation semantics are pinned byte-identical across versions)
+    /// when one is provided.
+    pub fn render_json(&self, baseline: Option<&Baseline>) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(out, "  \"matrix\": \"{}\",", escape_json(&self.matrix));
+        let _ = writeln!(out, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(out, "  \"iters\": {},", self.iters);
+        let _ = writeln!(out, "  \"total_events\": {},", self.total_events());
+        let _ = writeln!(out, "  \"serial_wall_us\": {},", self.serial_wall_us());
+        let _ = writeln!(out, "  \"parallel_wall_us\": {},", self.parallel_wall_us);
+        let _ = writeln!(out, "  \"events_per_sec\": {:.1},", self.events_per_sec());
+        let _ = writeln!(out, "  \"peak_event_queue_depth\": {},", self.peak_event_queue_depth());
+        if let Some(base) = baseline {
+            let base_eps = CellPerf::events_per_sec(self.total_events(), base.wall_us);
+            let speedup = if base.wall_us == 0 {
+                0.0
+            } else {
+                base.wall_us as f64 / self.serial_wall_us().max(1) as f64
+            };
+            let _ = writeln!(out, "  \"baseline\": {{");
+            let _ = writeln!(out, "    \"label\": \"{}\",", escape_json(&base.label));
+            let _ = writeln!(out, "    \"serial_wall_us\": {},", base.wall_us);
+            let _ = writeln!(out, "    \"events_per_sec\": {base_eps:.1}");
+            let _ = writeln!(out, "  }},");
+            let _ = writeln!(out, "  \"speedup_vs_baseline\": {speedup:.2},");
+        }
+        let _ = writeln!(out, "  \"cells\": [");
+        for (i, cell) in self.cells.iter().enumerate() {
+            let comma = if i + 1 < self.cells.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"id\": \"{}\", \"workload\": \"{}\", \"controller\": \"{}\", \
+                 \"wall_us\": {}, \"events\": {}, \"events_per_sec\": {:.1}, \
+                 \"peak_event_queue_depth\": {}, \"app_completed\": {}}}{comma}",
+                escape_json(&cell.id),
+                escape_json(&cell.workload),
+                escape_json(&cell.controller),
+                cell.wall_us,
+                cell.events,
+                cell.events_per_sec,
+                cell.peak_event_queue_depth,
+                cell.app_completed,
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = write!(out, "}}");
+        out
+    }
+
+    /// Renders and writes the document to `path`.
+    pub fn write_to(&self, path: &Path, baseline: Option<&Baseline>) -> io::Result<()> {
+        fs::write(path, self.render_json(baseline))
+    }
+}
+
+/// Keys every `BENCH_sim.json` document must carry.
+const REQUIRED_KEYS: [&str; 9] = [
+    "\"schema\"",
+    "\"matrix\"",
+    "\"jobs\"",
+    "\"iters\"",
+    "\"total_events\"",
+    "\"serial_wall_us\"",
+    "\"parallel_wall_us\"",
+    "\"events_per_sec\"",
+    "\"cells\"",
+];
+
+/// Validates a rendered `BENCH_sim.json` document: schema marker, required
+/// keys, balanced braces/brackets and at least one cell entry. This is a
+/// structural check (the environment has no JSON parser), strict enough to
+/// catch truncated or mis-shaped artifacts in CI.
+pub fn validate_report(text: &str) -> Result<(), String> {
+    if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("missing or wrong schema marker (want {SCHEMA})"));
+    }
+    for key in REQUIRED_KEYS {
+        if !text.contains(key) {
+            return Err(format!("missing required key {key}"));
+        }
+    }
+    let mut depth_braces: i64 = 0;
+    let mut depth_brackets: i64 = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if in_string {
+            if escaped {
+                // The escaped character is consumed whatever it is — a
+                // string ending in `\\` must not swallow its terminator.
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+        } else {
+            match c {
+                '"' => in_string = true,
+                '{' => depth_braces += 1,
+                '}' => depth_braces -= 1,
+                '[' => depth_brackets += 1,
+                ']' => depth_brackets -= 1,
+                _ => {}
+            }
+            if depth_braces < 0 || depth_brackets < 0 {
+                return Err("unbalanced braces".to_string());
+            }
+        }
+    }
+    if depth_braces != 0 || depth_brackets != 0 || in_string {
+        return Err("unbalanced braces or unterminated string".to_string());
+    }
+    if !text.contains("\"id\":") {
+        return Err("no cell entries".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run() -> ThroughputRun {
+        let cell = |id: &str, wall: u64, events: u64| CellPerf {
+            id: id.to_string(),
+            workload: "tpcc".to_string(),
+            controller: "WB".to_string(),
+            wall_us: wall,
+            events,
+            events_per_sec: CellPerf::events_per_sec(events, wall),
+            peak_event_queue_depth: 1400,
+            app_completed: 1000,
+        };
+        ThroughputRun {
+            matrix: "paper".to_string(),
+            jobs: 2,
+            iters: 3,
+            cells: vec![cell("tpcc/paper/WB/s1", 50_000, 400_000), cell("b", 25_000, 100_000)],
+            parallel_wall_us: 60_000,
+        }
+    }
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let r = run();
+        assert_eq!(r.total_events(), 500_000);
+        assert_eq!(r.serial_wall_us(), 75_000);
+        assert!((r.events_per_sec() - 500_000.0 * 1_000_000.0 / 75_000.0).abs() < 1e-6);
+        assert_eq!(r.peak_event_queue_depth(), 1400);
+    }
+
+    #[test]
+    fn rendered_document_validates() {
+        let r = run();
+        let text = r.render_json(None);
+        validate_report(&text).expect("valid document");
+        let with_base =
+            r.render_json(Some(&Baseline { label: "seed".to_string(), wall_us: 150_000 }));
+        validate_report(&with_base).expect("valid document with baseline");
+        assert!(with_base.contains("\"speedup_vs_baseline\": 2.00"));
+        assert!(with_base.contains("\"label\": \"seed\""));
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate_report("{}").is_err());
+        let r = run();
+        let text = r.render_json(None);
+        let truncated = &text[..text.len() - 10];
+        assert!(validate_report(truncated).is_err());
+        let wrong_schema = text.replace(SCHEMA, "other/v9");
+        assert!(validate_report(&wrong_schema).is_err());
+    }
+
+    #[test]
+    fn zero_wall_is_guarded() {
+        assert_eq!(CellPerf::events_per_sec(100, 0), 0.0);
+    }
+
+    #[test]
+    fn labels_with_quotes_and_backslashes_are_escaped() {
+        let r = run();
+        let text = r.render_json(Some(&Baseline {
+            label: "ref \"A\" at C:\\builds\nline2".to_string(),
+            wall_us: 100_000,
+        }));
+        assert!(text.contains("ref \\\"A\\\" at C:\\\\builds\\nline2"));
+        validate_report(&text).expect("escaped document stays valid");
+    }
+
+    #[test]
+    fn validator_handles_strings_ending_in_escaped_backslash() {
+        let r = run();
+        let text = r.render_json(Some(&Baseline {
+            label: "trailing-backslash\\".to_string(),
+            wall_us: 100_000,
+        }));
+        assert!(text.contains("trailing-backslash\\\\\","));
+        validate_report(&text).expect("a \\\\-terminated string must not swallow its quote");
+    }
+}

@@ -56,5 +56,5 @@ pub use module::{CacheConfig, CacheModule};
 pub use outcome::{CacheOutcome, DerivedOp, TargetDevice};
 pub use policy::WritePolicy;
 pub use replacement::ReplacementKind;
-pub use set_assoc::{SetAssociativeMap, SlotState};
+pub use set_assoc::{InsertOutcome, SetAssociativeMap, SlotState};
 pub use stats::CacheStats;

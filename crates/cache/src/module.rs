@@ -72,6 +72,10 @@ pub struct CacheModule {
     map: SetAssociativeMap,
     policy: WritePolicy,
     stats: CacheStats,
+    /// Reused victim buffer for `flush_dirty`; always left empty between
+    /// calls, so it never affects equality or serialization semantics.
+    #[serde(skip)]
+    flush_scratch: Vec<u64>,
 }
 
 impl CacheModule {
@@ -82,6 +86,7 @@ impl CacheModule {
             policy: config.initial_policy,
             config,
             stats: CacheStats::default(),
+            flush_scratch: Vec::new(),
         }
     }
 
@@ -135,26 +140,35 @@ impl CacheModule {
     /// application; promotes/evictions are generated internally and must not
     /// be re-submitted.
     pub fn access(&mut self, request: &IoRequest) -> CacheOutcome {
+        let mut outcome = CacheOutcome::new();
+        self.access_into(request, &mut outcome);
+        outcome
+    }
+
+    /// [`CacheModule::access`] into a caller-owned outcome, clearing it
+    /// first. The simulator's event loop reuses one outcome buffer across
+    /// accesses, so the hot path performs no per-request allocation.
+    pub fn access_into(&mut self, request: &IoRequest, outcome: &mut CacheOutcome) {
         debug_assert_eq!(
             request.origin(),
             RequestOrigin::Application,
             "only application requests enter the cache module"
         );
-        let mut outcome = CacheOutcome::new();
+        outcome.clear();
         let mut any_miss = false;
         let mut any_hit = false;
 
         for block in request.range().block_indices() {
             match request.kind() {
                 RequestKind::Read => {
-                    if self.handle_read_block(block, &mut outcome) {
+                    if self.handle_read_block(block, outcome) {
                         any_hit = true;
                     } else {
                         any_miss = true;
                     }
                 }
                 RequestKind::Write => {
-                    if self.handle_write_block(block, &mut outcome) {
+                    if self.handle_write_block(block, outcome) {
                         any_hit = true;
                     } else {
                         any_miss = true;
@@ -174,7 +188,6 @@ impl CacheModule {
             .iter()
             .any(|op| op.target == TargetDevice::Hdd && op.origin == RequestOrigin::Application);
         outcome.set_served_by_cache(!disk_in_datapath);
-        outcome
     }
 
     /// Handles one block of an application read. Returns `true` on hit.
@@ -313,9 +326,10 @@ impl CacheModule {
     /// operations (an SSD read and an HDD write per block). The blocks are
     /// marked clean immediately; callers queue the returned operations.
     pub fn flush_dirty(&mut self, max_blocks: usize) -> Vec<DerivedOp> {
-        let victims = self.map.dirty_candidates(max_blocks);
+        let mut victims = std::mem::take(&mut self.flush_scratch);
+        self.map.dirty_candidates_into(max_blocks, &mut victims);
         let mut ops = Vec::with_capacity(victims.len() * 2);
-        for block in victims {
+        for &block in &victims {
             self.map.mark_clean(block);
             self.stats.flushes += 1;
             let range = Self::block_range(block);
@@ -332,6 +346,8 @@ impl CacheModule {
                 range,
             ));
         }
+        victims.clear();
+        self.flush_scratch = victims;
         ops
     }
 

@@ -66,6 +66,15 @@ impl CacheOutcome {
         CacheOutcome::default()
     }
 
+    /// Resets the outcome to its empty state, keeping the op buffer's
+    /// allocation so a simulator loop can reuse one outcome per access.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.read_hit = false;
+        self.write_hit = false;
+        self.served_by_cache = false;
+    }
+
     /// Appends a derived operation.
     pub fn push(&mut self, op: DerivedOp) {
         self.ops.push(op);

@@ -26,94 +26,9 @@ impl fmt::Display for ReplacementKind {
     }
 }
 
-/// Per-set recency bookkeeping used to pick eviction victims.
-///
-/// Stores way indices ordered from coldest (front) to hottest (back). Under
-/// FIFO, `touch` on an existing way is a no-op; under LRU it moves the way to
-/// the hot end.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct RecencyList {
-    order: Vec<usize>,
-    kind: ReplacementKind,
-}
-
-impl RecencyList {
-    /// Creates an empty list with the given policy.
-    pub fn new(kind: ReplacementKind) -> Self {
-        RecencyList { order: Vec::new(), kind }
-    }
-
-    /// Number of tracked ways.
-    pub fn len(&self) -> usize {
-        self.order.len()
-    }
-
-    /// Whether no ways are tracked.
-    pub fn is_empty(&self) -> bool {
-        self.order.is_empty()
-    }
-
-    /// Records an access to `way`: inserts it if new, and under LRU promotes
-    /// it to most-recently-used.
-    pub fn touch(&mut self, way: usize) {
-        match self.order.iter().position(|&w| w == way) {
-            Some(pos) => {
-                if self.kind == ReplacementKind::Lru {
-                    self.order.remove(pos);
-                    self.order.push(way);
-                }
-            }
-            None => self.order.push(way),
-        }
-    }
-
-    /// Removes `way` from the tracking list (slot invalidated).
-    pub fn remove(&mut self, way: usize) {
-        self.order.retain(|&w| w != way);
-    }
-
-    /// The coldest way — the eviction victim — without removing it.
-    pub fn victim(&self) -> Option<usize> {
-        self.order.first().copied()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn lru_promotes_touched_ways() {
-        let mut l = RecencyList::new(ReplacementKind::Lru);
-        l.touch(0);
-        l.touch(1);
-        l.touch(2);
-        assert_eq!(l.victim(), Some(0));
-        l.touch(0); // 0 becomes hottest
-        assert_eq!(l.victim(), Some(1));
-    }
-
-    #[test]
-    fn fifo_ignores_reaccess() {
-        let mut l = RecencyList::new(ReplacementKind::Fifo);
-        l.touch(0);
-        l.touch(1);
-        l.touch(0);
-        assert_eq!(l.victim(), Some(0));
-    }
-
-    #[test]
-    fn remove_drops_way() {
-        let mut l = RecencyList::new(ReplacementKind::Lru);
-        l.touch(3);
-        l.touch(4);
-        l.remove(3);
-        assert_eq!(l.victim(), Some(4));
-        assert_eq!(l.len(), 1);
-        l.remove(4);
-        assert!(l.is_empty());
-        assert_eq!(l.victim(), None);
-    }
 
     #[test]
     fn display_labels() {

@@ -1,10 +1,25 @@
 //! Set-associative block-to-slot mapping.
+//!
+//! The map is a single contiguous slot arena: per-slot `tags` and `meta`
+//! arrays indexed by `set * associativity + way`, with an intrusive
+//! index-linked recency list per set instead of a side `Vec` of way
+//! indices. Lookups walk a packed tag array (one cache line covers many
+//! ways), recency updates are O(1) pointer splices, and `dirty_candidates`
+//! skips whole sets via a per-set dirty counter. The observable semantics
+//! are bit-identical to the seed's boxed-slot representation (a
+//! `Vec<Option<Slot>>` per set plus a recency `Vec` of way indices): same
+//! hit/eviction decisions, same victim order, same candidate enumeration
+//! order — pinned by the model-based proptest in
+//! `tests/model_equivalence.rs`.
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::replacement::{RecencyList, ReplacementKind};
+use crate::replacement::ReplacementKind;
+
+/// Sentinel for "no slot" in the intrusive recency links.
+const NIL: u32 = u32::MAX;
 
 /// The state of one cache slot (one way of one set).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -16,29 +31,32 @@ pub enum SlotState {
     Dirty,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-struct Slot {
-    block: u64,
-    state: SlotState,
+/// Per-slot occupancy + dirty state, packed into one byte-sized enum so the
+/// hot lookup loop reads a contiguous array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum SlotMeta {
+    /// The slot is unoccupied.
+    Empty,
+    /// The slot holds a clean block.
+    Clean,
+    /// The slot holds a dirty block.
+    Dirty,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct CacheSet {
-    ways: Vec<Option<Slot>>,
-    recency: RecencyList,
-}
-
-impl CacheSet {
-    fn new(associativity: usize, replacement: ReplacementKind) -> Self {
-        CacheSet { ways: vec![None; associativity], recency: RecencyList::new(replacement) }
+impl SlotMeta {
+    fn state(self) -> Option<SlotState> {
+        match self {
+            SlotMeta::Empty => None,
+            SlotMeta::Clean => Some(SlotState::Clean),
+            SlotMeta::Dirty => Some(SlotState::Dirty),
+        }
     }
 
-    fn find(&self, block: u64) -> Option<usize> {
-        self.ways.iter().position(|slot| slot.as_ref().map(|s| s.block == block).unwrap_or(false))
-    }
-
-    fn free_way(&self) -> Option<usize> {
-        self.ways.iter().position(|slot| slot.is_none())
+    fn from_state(state: SlotState) -> Self {
+        match state {
+            SlotState::Clean => SlotMeta::Clean,
+            SlotState::Dirty => SlotMeta::Dirty,
+        }
     }
 }
 
@@ -75,8 +93,27 @@ pub enum InsertOutcome {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SetAssociativeMap {
-    sets: Vec<CacheSet>,
+    num_sets: usize,
     associativity: usize,
+    /// `num_sets - 1` when `num_sets` is a power of two: `block & mask`
+    /// then replaces the integer division in [`SetAssociativeMap::set_of`].
+    set_mask: Option<u64>,
+    replacement: ReplacementKind,
+    /// Block tag per slot; meaningless where `meta` is `Empty`.
+    tags: Vec<u64>,
+    /// Occupancy/dirty state per slot.
+    meta: Vec<SlotMeta>,
+    /// Intrusive recency links per slot: `next` points one step hotter,
+    /// `prev` one step colder; `NIL` terminates.
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    /// Coldest slot per set (the eviction victim), `NIL` when empty.
+    head: Vec<u32>,
+    /// Hottest slot per set, `NIL` when empty.
+    tail: Vec<u32>,
+    /// Dirty-slot count per set, so clean sets are skipped wholesale when
+    /// enumerating flush candidates.
+    set_dirty: Vec<u32>,
     len: usize,
     dirty: usize,
 }
@@ -86,13 +123,28 @@ impl SetAssociativeMap {
     ///
     /// # Panics
     ///
-    /// Panics if `num_sets` or `associativity` is zero.
+    /// Panics if `num_sets` or `associativity` is zero, or if the total
+    /// slot count overflows the `u32` slot-index space.
     pub fn new(num_sets: usize, associativity: usize, replacement: ReplacementKind) -> Self {
         assert!(num_sets > 0, "a cache needs at least one set");
         assert!(associativity > 0, "a cache needs at least one way per set");
+        let slots = num_sets
+            .checked_mul(associativity)
+            .filter(|&n| n < NIL as usize)
+            .expect("slot count must fit the u32 index space");
+        let set_mask = if num_sets.is_power_of_two() { Some(num_sets as u64 - 1) } else { None };
         SetAssociativeMap {
-            sets: (0..num_sets).map(|_| CacheSet::new(associativity, replacement)).collect(),
+            num_sets,
             associativity,
+            set_mask,
+            replacement,
+            tags: vec![0; slots],
+            meta: vec![SlotMeta::Empty; slots],
+            next: vec![NIL; slots],
+            prev: vec![NIL; slots],
+            head: vec![NIL; num_sets],
+            tail: vec![NIL; num_sets],
+            set_dirty: vec![0; num_sets],
             len: 0,
             dirty: 0,
         }
@@ -100,7 +152,7 @@ impl SetAssociativeMap {
 
     /// Total number of slots (blocks the cache can hold).
     pub fn capacity_blocks(&self) -> usize {
-        self.sets.len() * self.associativity
+        self.num_sets * self.associativity
     }
 
     /// Number of blocks currently cached.
@@ -118,30 +170,92 @@ impl SetAssociativeMap {
         self.dirty
     }
 
-    fn set_index(&self, block: u64) -> usize {
-        (block % self.sets.len() as u64) as usize
+    /// The set a block maps to. Power-of-two set counts take a bitmask
+    /// fast path; the mapping is identical to `block % num_sets` either
+    /// way.
+    pub fn set_of(&self, block: u64) -> usize {
+        match self.set_mask {
+            Some(mask) => (block & mask) as usize,
+            None => (block % self.num_sets as u64) as usize,
+        }
+    }
+
+    /// The slot range `[base, base + associativity)` backing a set.
+    fn set_base(&self, set: usize) -> usize {
+        set * self.associativity
+    }
+
+    /// Finds the slot holding `block` within its set.
+    fn find(&self, block: u64) -> Option<usize> {
+        let base = self.set_base(self.set_of(block));
+        (base..base + self.associativity)
+            .find(|&slot| self.meta[slot] != SlotMeta::Empty && self.tags[slot] == block)
+    }
+
+    /// The first unoccupied slot of a set, mirroring the original
+    /// first-free-way scan.
+    fn free_slot(&self, set: usize) -> Option<usize> {
+        let base = self.set_base(set);
+        (base..base + self.associativity).find(|&slot| self.meta[slot] == SlotMeta::Empty)
+    }
+
+    /// Appends `slot` at the hot end of its set's recency list.
+    fn push_hot(&mut self, set: usize, slot: usize) {
+        let slot = slot as u32;
+        let old_tail = self.tail[set];
+        self.prev[slot as usize] = old_tail;
+        self.next[slot as usize] = NIL;
+        if old_tail == NIL {
+            self.head[set] = slot;
+        } else {
+            self.next[old_tail as usize] = slot;
+        }
+        self.tail[set] = slot;
+    }
+
+    /// Splices `slot` out of its set's recency list.
+    fn unlink(&mut self, set: usize, slot: usize) {
+        let p = self.prev[slot];
+        let n = self.next[slot];
+        if p == NIL {
+            self.head[set] = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NIL {
+            self.tail[set] = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+        self.prev[slot] = NIL;
+        self.next[slot] = NIL;
+    }
+
+    /// Records an access to an occupied slot: under LRU it moves to the hot
+    /// end, under FIFO the insertion order is left untouched.
+    fn touch_slot(&mut self, set: usize, slot: usize) {
+        if self.replacement == ReplacementKind::Lru && self.tail[set] != slot as u32 {
+            self.unlink(set, slot);
+            self.push_hot(set, slot);
+        }
     }
 
     /// Whether `block` is cached.
     pub fn contains(&self, block: u64) -> bool {
-        let set = &self.sets[self.set_index(block)];
-        set.find(block).is_some()
+        self.find(block).is_some()
     }
 
     /// The state of `block` if cached.
     pub fn state(&self, block: u64) -> Option<SlotState> {
-        let set = &self.sets[self.set_index(block)];
-        set.find(block).and_then(|way| set.ways[way].as_ref().map(|s| s.state))
+        self.find(block).and_then(|slot| self.meta[slot].state())
     }
 
     /// Records a hit on `block` (recency update). Returns `false` when the
     /// block is not cached.
     pub fn touch(&mut self, block: u64) -> bool {
-        let idx = self.set_index(block);
-        let set = &mut self.sets[idx];
-        match set.find(block) {
-            Some(way) => {
-                set.recency.touch(way);
+        match self.find(block) {
+            Some(slot) => {
+                self.touch_slot(self.set_of(block), slot);
                 true
             }
             None => false,
@@ -152,119 +266,144 @@ impl SetAssociativeMap {
     /// is full. Inserting an already-present block updates its state
     /// (clean→dirty transitions are recorded; dirty blocks stay dirty).
     pub fn insert(&mut self, block: u64, state: SlotState) -> InsertOutcome {
-        let idx = self.set_index(block);
-        let set_len = self.sets.len();
-        debug_assert!(idx < set_len);
-        let set = &mut self.sets[idx];
+        let set = self.set_of(block);
 
-        if let Some(way) = set.find(block) {
-            set.recency.touch(way);
-            if let Some(slot) = set.ways[way].as_mut() {
-                if slot.state == SlotState::Clean && state == SlotState::Dirty {
-                    slot.state = SlotState::Dirty;
-                    self.dirty += 1;
-                }
+        if let Some(slot) = self.find(block) {
+            self.touch_slot(set, slot);
+            if self.meta[slot] == SlotMeta::Clean && state == SlotState::Dirty {
+                self.meta[slot] = SlotMeta::Dirty;
+                self.dirty += 1;
+                self.set_dirty[set] += 1;
             }
             return InsertOutcome::AlreadyPresent;
         }
 
-        if let Some(way) = set.free_way() {
-            set.ways[way] = Some(Slot { block, state });
-            set.recency.touch(way);
+        if let Some(slot) = self.free_slot(set) {
+            self.tags[slot] = block;
+            self.meta[slot] = SlotMeta::from_state(state);
+            self.push_hot(set, slot);
             self.len += 1;
             if state == SlotState::Dirty {
                 self.dirty += 1;
+                self.set_dirty[set] += 1;
             }
             return InsertOutcome::Inserted;
         }
 
-        // Set is full: evict the recency victim.
-        let victim_way = set.recency.victim().expect("full set has a victim");
-        let victim = set.ways[victim_way].take().expect("victim way is occupied");
-        set.recency.remove(victim_way);
-        set.ways[victim_way] = Some(Slot { block, state });
-        set.recency.touch(victim_way);
+        // Set is full: evict the recency victim (the coldest slot).
+        let victim_slot = self.head[set] as usize;
+        debug_assert!(self.head[set] != NIL, "full set has a victim");
+        let victim = self.tags[victim_slot];
+        let victim_state = self.meta[victim_slot];
+        self.unlink(set, victim_slot);
+        self.tags[victim_slot] = block;
+        self.meta[victim_slot] = SlotMeta::from_state(state);
+        self.push_hot(set, victim_slot);
 
         if state == SlotState::Dirty {
             self.dirty += 1;
+            self.set_dirty[set] += 1;
         }
-        match victim.state {
-            SlotState::Dirty => {
+        match victim_state {
+            SlotMeta::Dirty => {
                 self.dirty -= 1;
-                InsertOutcome::EvictedDirty { victim: victim.block }
+                self.set_dirty[set] -= 1;
+                InsertOutcome::EvictedDirty { victim }
             }
-            SlotState::Clean => InsertOutcome::EvictedClean { victim: victim.block },
+            SlotMeta::Clean => InsertOutcome::EvictedClean { victim },
+            SlotMeta::Empty => unreachable!("victim slot is occupied"),
         }
     }
 
     /// Marks a cached block dirty. Returns `false` when the block is not
     /// cached.
     pub fn mark_dirty(&mut self, block: u64) -> bool {
-        let idx = self.set_index(block);
-        let set = &mut self.sets[idx];
-        if let Some(way) = set.find(block) {
-            if let Some(slot) = set.ways[way].as_mut() {
-                if slot.state == SlotState::Clean {
-                    slot.state = SlotState::Dirty;
+        match self.find(block) {
+            Some(slot) => {
+                if self.meta[slot] == SlotMeta::Clean {
+                    let set = self.set_of(block);
+                    self.meta[slot] = SlotMeta::Dirty;
                     self.dirty += 1;
+                    self.set_dirty[set] += 1;
                 }
-                return true;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Marks a cached block clean (after a flush). Returns `false` when the
     /// block is not cached.
     pub fn mark_clean(&mut self, block: u64) -> bool {
-        let idx = self.set_index(block);
-        let set = &mut self.sets[idx];
-        if let Some(way) = set.find(block) {
-            if let Some(slot) = set.ways[way].as_mut() {
-                if slot.state == SlotState::Dirty {
-                    slot.state = SlotState::Clean;
+        match self.find(block) {
+            Some(slot) => {
+                if self.meta[slot] == SlotMeta::Dirty {
+                    let set = self.set_of(block);
+                    self.meta[slot] = SlotMeta::Clean;
                     self.dirty -= 1;
+                    self.set_dirty[set] -= 1;
                 }
-                return true;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Removes `block` from the cache, returning its state if it was cached.
     pub fn invalidate(&mut self, block: u64) -> Option<SlotState> {
-        let idx = self.set_index(block);
-        let set = &mut self.sets[idx];
-        let way = set.find(block)?;
-        let slot = set.ways[way].take()?;
-        set.recency.remove(way);
+        let slot = self.find(block)?;
+        let set = self.set_of(block);
+        let state = self.meta[slot].state().expect("found slot is occupied");
+        self.meta[slot] = SlotMeta::Empty;
+        self.unlink(set, slot);
         self.len -= 1;
-        if slot.state == SlotState::Dirty {
+        if state == SlotState::Dirty {
             self.dirty -= 1;
+            self.set_dirty[set] -= 1;
         }
-        Some(slot.state)
+        Some(state)
     }
 
     /// Returns up to `max` dirty block indices, coldest sets first, for the
     /// background flusher.
     pub fn dirty_candidates(&self, max: usize) -> Vec<u64> {
         let mut out = Vec::new();
-        'outer: for set in &self.sets {
-            for slot in set.ways.iter().flatten() {
-                if slot.state == SlotState::Dirty {
-                    out.push(slot.block);
+        self.dirty_candidates_into(max, &mut out);
+        out
+    }
+
+    /// [`SetAssociativeMap::dirty_candidates`] into a caller-owned buffer,
+    /// so a periodic flusher reuses one allocation. The buffer is cleared
+    /// first. Sets with no dirty blocks are skipped without scanning their
+    /// ways.
+    pub fn dirty_candidates_into(&self, max: usize, out: &mut Vec<u64>) {
+        out.clear();
+        if max == 0 || self.dirty == 0 {
+            return;
+        }
+        for set in 0..self.num_sets {
+            if self.set_dirty[set] == 0 {
+                continue;
+            }
+            let base = self.set_base(set);
+            for slot in base..base + self.associativity {
+                if self.meta[slot] == SlotMeta::Dirty {
+                    out.push(self.tags[slot]);
                     if out.len() >= max {
-                        break 'outer;
+                        return;
                     }
                 }
             }
         }
-        out
     }
 
     /// Iterates all cached block indices.
     pub fn blocks(&self) -> impl Iterator<Item = u64> + '_ {
-        self.sets.iter().flat_map(|set| set.ways.iter().flatten().map(|s| s.block))
+        self.meta
+            .iter()
+            .zip(self.tags.iter())
+            .filter(|(meta, _)| **meta != SlotMeta::Empty)
+            .map(|(_, tag)| *tag)
     }
 }
 
@@ -349,6 +488,16 @@ mod tests {
     }
 
     #[test]
+    fn fifo_victims_follow_insertion_order_despite_touches() {
+        let mut m = SetAssociativeMap::new(4, 2, ReplacementKind::Fifo);
+        m.insert(0, SlotState::Clean);
+        m.insert(4, SlotState::Clean);
+        m.touch(0); // FIFO ignores the re-access
+        let outcome = m.insert(8, SlotState::Clean);
+        assert_eq!(outcome, InsertOutcome::EvictedClean { victim: 0 });
+    }
+
+    #[test]
     fn mark_dirty_and_clean_round_trip() {
         let mut m = map();
         m.insert(3, SlotState::Clean);
@@ -383,6 +532,34 @@ mod tests {
     }
 
     #[test]
+    fn dirty_candidates_into_reuses_the_buffer() {
+        let mut m = SetAssociativeMap::new(8, 2, ReplacementKind::Lru);
+        for b in 0..6 {
+            m.insert(b, SlotState::Dirty);
+        }
+        let mut buf = vec![99, 98, 97];
+        m.dirty_candidates_into(4, &mut buf);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf, m.dirty_candidates(4));
+        m.dirty_candidates_into(0, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn set_mapping_matches_modulo_for_pow2_and_non_pow2() {
+        for num_sets in [1usize, 3, 4, 7, 8, 12, 64, 100, 128] {
+            let m = SetAssociativeMap::new(num_sets, 2, ReplacementKind::Lru);
+            for block in (0u64..256).chain([1 << 33, (1 << 47) + 5, u64::MAX]) {
+                assert_eq!(
+                    m.set_of(block),
+                    (block % num_sets as u64) as usize,
+                    "block {block} with {num_sets} sets"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn len_never_exceeds_capacity() {
         let mut m = SetAssociativeMap::new(2, 2, ReplacementKind::Fifo);
         for b in 0..100 {
@@ -391,6 +568,20 @@ mod tests {
         }
         assert_eq!(m.len(), m.capacity_blocks());
         assert_eq!(m.blocks().count(), 4);
+    }
+
+    #[test]
+    fn per_set_dirty_counters_track_global_count() {
+        let mut m = SetAssociativeMap::new(4, 4, ReplacementKind::Lru);
+        for b in 0..12 {
+            m.insert(b, if b % 2 == 0 { SlotState::Dirty } else { SlotState::Clean });
+        }
+        assert_eq!(m.set_dirty.iter().map(|&d| d as usize).sum::<usize>(), m.dirty_blocks());
+        for b in 0..12 {
+            m.invalidate(b);
+        }
+        assert_eq!(m.dirty_blocks(), 0);
+        assert!(m.set_dirty.iter().all(|&d| d == 0));
     }
 
     #[test]

@@ -219,6 +219,7 @@ mod tests {
             app_max_latency_us: latency * 2,
             bypassed_requests: 0,
             cache_stats: CacheStats::default(),
+            perf: Default::default(),
         }
     }
 

@@ -1,7 +1,24 @@
 //! The discrete-event core: events and the time-ordered event queue.
+//!
+//! The queue is two sorted lanes merged at pop time:
+//!
+//! * an **in-order lane** (`VecDeque`) for events scheduled at a time at or
+//!   after the lane's tail — the application arrival stream, which the
+//!   generators emit in nondecreasing time order, costs O(1) per event
+//!   here instead of a heap sift over every pending arrival;
+//! * an **out-of-order lane** for everything else (device completions,
+//!   whose `now + service_time` jitters): a `BinaryHeap` of small `Copy`
+//!   keys `(time, seq, payload index)` over a free-list payload slab, so
+//!   sift operations move 24-byte keys instead of ~100-byte events. Since
+//!   only in-flight completions live here, this heap stays shallow
+//!   (≈ device parallelism) even when thousands of arrivals are pending.
+//!
+//! Both lanes are individually sorted by `(time, seq)`, so popping the
+//! smaller front yields exactly the same global order as the original
+//! single-heap implementation.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use lbica_storage::request::IoRequest;
 use lbica_storage::time::SimTime;
@@ -33,24 +50,56 @@ pub struct Event {
     pub kind: EventKind,
 }
 
-impl Ord for Event {
+/// The heap entry: everything ordering needs, nothing more.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapKey {
+    time: SimTime,
+    seq: u64,
+    payload: u32,
+}
+
+impl Ord for HeapKey {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        // `seq` is unique, so the payload index never decides the order (it
+        // participates only to keep Ord consistent with the derived Eq).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.payload.cmp(&self.payload))
     }
 }
 
-impl PartialOrd for Event {
+impl PartialOrd for HeapKey {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
+/// An entry of the in-order lane (payload held inline — the lane is a
+/// FIFO, so nothing ever sifts past it).
+#[derive(Debug)]
+struct SortedEntry {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
 /// A time-ordered queue of pending events.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Event>,
+    /// In-order lane: sorted by `(time, seq)` by construction (an event is
+    /// only appended when its time is at or after the tail's).
+    sorted: VecDeque<SortedEntry>,
+    /// Out-of-order lane.
+    heap: BinaryHeap<HeapKey>,
+    /// Payload slab: `heap` keys index into it; `None` slots are free.
+    payloads: Vec<Option<EventKind>>,
+    /// Indices of free `payloads` slots, reused before the slab grows.
+    free: Vec<u32>,
     next_seq: u64,
+    peak_len: usize,
 }
 
 impl EventQueue {
@@ -61,37 +110,89 @@ impl EventQueue {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.sorted.len() + self.heap.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.sorted.is_empty() && self.heap.is_empty()
+    }
+
+    /// The largest number of simultaneously pending events ever observed.
+    pub const fn peak_len(&self) -> usize {
+        self.peak_len
     }
 
     /// Schedules `kind` to fire at `time`.
     pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        if self.sorted.back().is_none_or(|tail| time >= tail.time) {
+            self.sorted.push_back(SortedEntry { time, seq, kind });
+        } else {
+            let payload = match self.free.pop() {
+                Some(idx) => {
+                    self.payloads[idx as usize] = Some(kind);
+                    idx
+                }
+                None => {
+                    let idx =
+                        u32::try_from(self.payloads.len()).expect("event slab fits u32 indices");
+                    self.payloads.push(Some(kind));
+                    idx
+                }
+            };
+            self.heap.push(HeapKey { time, seq, payload });
+        }
+        self.peak_len = self.peak_len.max(self.len());
     }
 
     /// The firing time of the earliest pending event.
     pub fn next_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        match (self.sorted.front(), self.heap.peek()) {
+            (Some(s), Some(h)) => Some(s.time.min(h.time)),
+            (Some(s), None) => Some(s.time),
+            (None, Some(h)) => Some(h.time),
+            (None, None) => None,
+        }
+    }
+
+    /// Whether the next pop comes from the in-order lane. `None` when the
+    /// queue is empty. Both lanes are sorted by `(time, seq)`, so the
+    /// smaller front is the global minimum.
+    fn pop_from_sorted(&self) -> Option<bool> {
+        match (self.sorted.front(), self.heap.peek()) {
+            (Some(s), Some(h)) => Some((s.time, s.seq) <= (h.time, h.seq)),
+            (Some(_), None) => Some(true),
+            (None, Some(_)) => Some(false),
+            (None, None) => None,
+        }
+    }
+
+    /// Reclaims a popped key's payload slot and assembles the public event.
+    fn take(&mut self, key: HeapKey) -> Event {
+        let kind = self.payloads[key.payload as usize].take().expect("scheduled payload present");
+        self.free.push(key.payload);
+        Event { time: key.time, seq: key.seq, kind }
     }
 
     /// Pops the earliest pending event if it fires at or before `limit`.
     pub fn pop_until(&mut self, limit: SimTime) -> Option<Event> {
-        match self.heap.peek() {
-            Some(e) if e.time <= limit => self.heap.pop(),
+        match self.next_time() {
+            Some(t) if t <= limit => self.pop(),
             _ => None,
         }
     }
 
     /// Pops the earliest pending event unconditionally.
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        if self.pop_from_sorted()? {
+            let entry = self.sorted.pop_front().expect("front exists");
+            Some(Event { time: entry.time, seq: entry.seq, kind: entry.kind })
+        } else {
+            let key = self.heap.pop().expect("peek exists");
+            Some(self.take(key))
+        }
     }
 }
 
@@ -157,6 +258,73 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert_eq!(q.next_time(), Some(SimTime::from_micros(500)));
         assert!(q.pop_until(SimTime::from_micros(500)).is_some());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn payload_slots_are_reused_after_pops() {
+        let mut q = EventQueue::new();
+        for _round in 0..10 {
+            // Decreasing times force the out-of-order lane (all but the
+            // first land before the lane tail).
+            for id in 0..4u64 {
+                let (time, kind) = arrival(id, 1000 - id);
+                q.schedule(time, kind);
+            }
+            while q.pop().is_some() {}
+        }
+        // Ten rounds of four events never grow the slab past one round's
+        // worth of simultaneously pending payloads.
+        assert!(q.payloads.len() <= 4, "slab grew to {}", q.payloads.len());
+        assert_eq!(q.peak_len(), 4);
+    }
+
+    #[test]
+    fn in_order_arrivals_bypass_the_heap() {
+        let mut q = EventQueue::new();
+        for id in 0..100u64 {
+            let (time, kind) = arrival(id, id * 10);
+            q.schedule(time, kind);
+        }
+        assert!(q.heap.is_empty(), "a sorted stream must stay in the FIFO lane");
+        assert_eq!(q.sorted.len(), 100);
+    }
+
+    #[test]
+    fn lanes_merge_in_exact_time_seq_order() {
+        let mut q = EventQueue::new();
+        // Sorted lane: 100, 200, 300; then out-of-order events landing
+        // between, before, at-equal-time-after those.
+        for (id, t) in [(0u64, 100u64), (1, 200), (2, 300)] {
+            let (time, kind) = arrival(id, t);
+            q.schedule(time, kind);
+        }
+        for (id, t) in [(3u64, 150u64), (4, 50), (5, 200), (6, 300)] {
+            let (time, kind) = arrival(id, t);
+            q.schedule(time, kind);
+        }
+        assert!(!q.heap.is_empty());
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Arrival(r) => r.id(),
+                _ => unreachable!(),
+            })
+            .collect();
+        // Time order, seq-stable within equal times: 50, 100, 150,
+        // 200(seq1), 200(seq5), 300(seq2), 300(seq6).
+        assert_eq!(order, vec![4, 0, 3, 1, 5, 2, 6]);
+    }
+
+    #[test]
+    fn peak_len_tracks_the_high_watermark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        for id in 0..7u64 {
+            let (time, kind) = arrival(id, 10 + id);
+            q.schedule(time, kind);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.peak_len(), 7);
         assert!(q.is_empty());
     }
 }

@@ -41,12 +41,14 @@ pub mod event;
 pub mod report;
 pub mod runner;
 pub mod system;
+pub mod tracker;
 
 pub use config::{DiskDeviceConfig, SimulationConfig};
 pub use controller::{
     BypassDirective, CacheController, ControllerContext, ControllerDecision, StaticPolicyController,
 };
 pub use event::{Event, EventKind, EventQueue};
-pub use report::{PolicyChange, SimulationReport};
+pub use report::{PolicyChange, SimPerf, SimulationReport};
 pub use runner::Simulation;
 pub use system::{DeviceStation, StorageSystem};
+pub use tracker::AppTracker;

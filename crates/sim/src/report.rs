@@ -15,6 +15,19 @@ pub struct PolicyChange {
     pub policy: String,
 }
 
+/// Deterministic simulator-performance counters gathered during a run —
+/// the denominator data for events-per-second throughput benchmarks.
+/// Everything here depends only on the workload/config/seed (never on
+/// wall-clock), so reports stay comparable across serial and parallel
+/// execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SimPerf {
+    /// Discrete events processed by the event loop (arrivals + completions).
+    pub events_processed: u64,
+    /// Largest number of simultaneously pending events.
+    pub peak_event_queue_depth: usize,
+}
+
 /// Everything measured during one simulation run: the per-interval series
 /// of Figures 4–6 plus the aggregate latency of Fig. 7.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,6 +52,8 @@ pub struct SimulationReport {
     pub bypassed_requests: u64,
     /// Final cache statistics.
     pub cache_stats: CacheStats,
+    /// Simulator-performance counters (event counts, peak queue depth).
+    pub perf: SimPerf,
 }
 
 impl SimulationReport {
@@ -141,6 +156,7 @@ mod tests {
             app_max_latency_us: 0,
             bypassed_requests: 0,
             cache_stats: CacheStats::default(),
+            perf: SimPerf::default(),
         }
     }
 

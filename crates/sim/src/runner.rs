@@ -124,6 +124,10 @@ impl Simulation {
             app_max_latency_us: system.app_max_latency_us(),
             bypassed_requests: bypassed_total,
             cache_stats: *system.cache().stats(),
+            perf: crate::report::SimPerf {
+                events_processed: system.events_processed(),
+                peak_event_queue_depth: system.peak_event_queue_depth(),
+            },
         }
     }
 }

@@ -1,7 +1,5 @@
 //! The simulated storage system: cache module + two device stations.
 
-use std::collections::HashMap;
-
 use lbica_cache::{CacheModule, CacheOutcome, TargetDevice, WritePolicy};
 use lbica_storage::device::{DeviceModel, HddModel, SsdModel};
 use lbica_storage::queue::DeviceQueue;
@@ -13,6 +11,7 @@ use lbica_trace::record::TraceRecord;
 use crate::config::{DiskDeviceConfig, SimulationConfig};
 use crate::controller::BypassDirective;
 use crate::event::{EventKind, EventQueue};
+use crate::tracker::AppTracker;
 
 /// Identifies one of the two device stations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -96,45 +95,6 @@ impl DeviceStation {
     }
 }
 
-#[derive(Debug, Default)]
-struct AppTracker {
-    outstanding: HashMap<RequestId, AppEntry>,
-    completed: u64,
-    total_latency_us: u64,
-    max_latency_us: u64,
-}
-
-#[derive(Debug)]
-struct AppEntry {
-    arrival: SimTime,
-    pending_ops: u32,
-}
-
-impl AppTracker {
-    fn register(&mut self, id: RequestId, arrival: SimTime, pending_ops: u32) {
-        if pending_ops == 0 {
-            // Nothing in the datapath (cannot normally happen) — count as an
-            // instantaneous completion.
-            self.completed += 1;
-            return;
-        }
-        self.outstanding.insert(id, AppEntry { arrival, pending_ops });
-    }
-
-    fn complete_op(&mut self, parent: RequestId, now: SimTime) {
-        if let Some(entry) = self.outstanding.get_mut(&parent) {
-            entry.pending_ops -= 1;
-            if entry.pending_ops == 0 {
-                let latency = now.saturating_since(entry.arrival).as_micros();
-                self.completed += 1;
-                self.total_latency_us += latency;
-                self.max_latency_us = self.max_latency_us.max(latency);
-                self.outstanding.remove(&parent);
-            }
-        }
-    }
-}
-
 /// The full simulated system: application entry point, cache module, SSD and
 /// disk stations, monitors and the event queue.
 #[derive(Debug)]
@@ -148,6 +108,9 @@ pub struct StorageSystem {
     probe: BlktraceProbe,
     app: AppTracker,
     next_id: RequestId,
+    events_processed: u64,
+    /// Reused per-arrival outcome buffer (no allocation in the hot loop).
+    outcome_scratch: CacheOutcome,
 }
 
 impl StorageSystem {
@@ -170,8 +133,10 @@ impl StorageSystem {
             clock: SimTime::ZERO,
             iostat: IostatCollector::new(),
             probe: BlktraceProbe::new(),
-            app: AppTracker::default(),
+            app: AppTracker::new(),
             next_id: 1,
+            events_processed: 0,
+            outcome_scratch: CacheOutcome::new(),
         }
     }
 
@@ -197,17 +162,27 @@ impl StorageSystem {
 
     /// Number of application requests fully completed so far.
     pub fn app_completed(&self) -> u64 {
-        self.app.completed
+        self.app.completed()
     }
 
     /// Mean end-to-end latency of completed application requests, µs.
     pub fn app_avg_latency_us(&self) -> u64 {
-        self.app.total_latency_us.checked_div(self.app.completed).unwrap_or(0)
+        self.app.total_latency_us().checked_div(self.app.completed()).unwrap_or(0)
     }
 
     /// Maximum end-to-end latency of completed application requests, µs.
     pub const fn app_max_latency_us(&self) -> u64 {
-        self.app.max_latency_us
+        self.app.max_latency_us()
+    }
+
+    /// Total number of discrete events processed by the event loop.
+    pub const fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The largest event-queue depth ever reached.
+    pub const fn peak_event_queue_depth(&self) -> usize {
+        self.events.peak_len()
     }
 
     fn fresh_id(&mut self) -> RequestId {
@@ -229,6 +204,7 @@ impl StorageSystem {
     pub fn run_until(&mut self, limit: SimTime) {
         while let Some(event) = self.events.pop_until(limit) {
             self.clock = event.time;
+            self.events_processed += 1;
             match event.kind {
                 EventKind::Arrival(request) => self.handle_arrival(request),
                 EventKind::Completion { tier, request } => self.handle_completion(tier, request),
@@ -239,15 +215,20 @@ impl StorageSystem {
 
     fn handle_arrival(&mut self, request: IoRequest) {
         let now = self.clock;
-        let outcome = self.cache.access(&request);
+        // Temporarily take the scratch buffer so the cache can fill it
+        // while `self` stays borrowable for the enqueue fan-out.
+        let mut outcome = std::mem::take(&mut self.outcome_scratch);
+        self.cache.access_into(&request, &mut outcome);
         let datapath_ops =
             outcome.ops().iter().filter(|op| op.origin == RequestOrigin::Application).count()
                 as u32;
         self.app.register(request.id(), now, datapath_ops);
         self.enqueue_outcome(request.id(), &outcome, now);
+        self.outcome_scratch = outcome;
     }
 
     fn enqueue_outcome(&mut self, parent: RequestId, outcome: &CacheOutcome, now: SimTime) {
+        let mut touched = [false; 2];
         for op in outcome.ops() {
             let id = self.fresh_id();
             let derived = IoRequest::from_range(id, op.kind, op.origin, op.range)
@@ -257,10 +238,18 @@ impl StorageSystem {
                 TargetDevice::Ssd => TierId::Ssd,
                 TargetDevice::Hdd => TierId::Disk,
             };
+            touched[(tier == TierId::Disk) as usize] = true;
             self.enqueue_at(tier, derived);
         }
-        self.try_dispatch(TierId::Ssd);
-        self.try_dispatch(TierId::Disk);
+        // A tier that received nothing cannot have become dispatchable:
+        // capacity only frees on completion, which dispatches that tier
+        // itself — so skipping it is a semantic no-op.
+        if touched[0] {
+            self.try_dispatch(TierId::Ssd);
+        }
+        if touched[1] {
+            self.try_dispatch(TierId::Disk);
+        }
     }
 
     fn enqueue_at(&mut self, tier: TierId, request: IoRequest) {
@@ -268,9 +257,7 @@ impl StorageSystem {
         if tier == TierId::Ssd {
             // The blktrace-style probe counts every request that enters the
             // cache queue during the interval.
-            let mut single = lbica_storage::queue::QueueSnapshot::default();
-            single.record(request.class());
-            self.probe.observe_snapshot(&single);
+            self.probe.observe_class(request.class());
         }
         let station = self.station_mut(tier);
         station.queue.enqueue(request);

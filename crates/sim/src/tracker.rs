@@ -1,0 +1,194 @@
+//! Outstanding-application-request accounting.
+//!
+//! Request ids are dense and sequential (the system hands them out from a
+//! counter), so keying a `HashMap` by them pays SipHash for nothing. The
+//! tracker instead keeps a flat id→slot index (4 bytes per id ever issued)
+//! into a free-list slab of live entries: register and complete are both a
+//! pair of array indexing operations.
+
+use lbica_storage::request::RequestId;
+use lbica_storage::time::SimTime;
+
+/// Sentinel for "no slot" in the id→slot index.
+const NIL: u32 = u32::MAX;
+
+/// One outstanding application request.
+#[derive(Debug, Clone, Copy)]
+struct AppEntry {
+    arrival: SimTime,
+    pending_ops: u32,
+}
+
+/// Tracks in-flight application requests and aggregates end-to-end latency
+/// over completed ones.
+///
+/// ```
+/// use lbica_sim::tracker::AppTracker;
+/// use lbica_storage::time::SimTime;
+///
+/// let mut t = AppTracker::new();
+/// t.register(1, SimTime::ZERO, 2);
+/// t.complete_op(1, SimTime::from_micros(100));
+/// t.complete_op(1, SimTime::from_micros(250));
+/// assert_eq!(t.completed(), 1);
+/// assert_eq!(t.total_latency_us(), 250);
+/// ```
+#[derive(Debug, Default)]
+pub struct AppTracker {
+    /// Request id → slab slot (`NIL` when the id has no live entry). Grows
+    /// to the highest registered id; ids are dense, so this stays compact.
+    index: Vec<u32>,
+    /// Live entries, slots reused via `free`.
+    slots: Vec<AppEntry>,
+    free: Vec<u32>,
+    completed: u64,
+    total_latency_us: u64,
+    max_latency_us: u64,
+}
+
+impl AppTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        AppTracker::default()
+    }
+
+    /// Number of application requests fully completed.
+    pub const fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Sum of end-to-end latencies of completed requests, µs.
+    pub const fn total_latency_us(&self) -> u64 {
+        self.total_latency_us
+    }
+
+    /// Largest end-to-end latency of a completed request, µs.
+    pub const fn max_latency_us(&self) -> u64 {
+        self.max_latency_us
+    }
+
+    /// Number of requests currently in flight.
+    pub fn outstanding(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Registers an application request that fans out into `pending_ops`
+    /// datapath operations.
+    pub fn register(&mut self, id: RequestId, arrival: SimTime, pending_ops: u32) {
+        if pending_ops == 0 {
+            // Nothing in the datapath (cannot normally happen) — count as an
+            // instantaneous completion.
+            self.completed += 1;
+            return;
+        }
+        let id = id as usize;
+        if self.index.len() <= id {
+            self.index.resize(id + 1, NIL);
+        }
+        debug_assert_eq!(self.index[id], NIL, "request id registered twice");
+        let entry = AppEntry { arrival, pending_ops };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = entry;
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("slab fits u32 indices");
+                self.slots.push(entry);
+                slot
+            }
+        };
+        self.index[id] = slot;
+    }
+
+    /// Records the completion of one datapath operation belonging to
+    /// application request `parent`. When the last one lands the request's
+    /// end-to-end latency is folded into the aggregates. Unknown parents
+    /// are ignored (their request completed through another path).
+    pub fn complete_op(&mut self, parent: RequestId, now: SimTime) {
+        let Some(&slot) = self.index.get(parent as usize) else {
+            return;
+        };
+        if slot == NIL {
+            return;
+        }
+        let entry = &mut self.slots[slot as usize];
+        entry.pending_ops -= 1;
+        if entry.pending_ops == 0 {
+            let latency = now.saturating_since(entry.arrival).as_micros();
+            self.completed += 1;
+            self.total_latency_us += latency;
+            self.max_latency_us = self.max_latency_us.max(latency);
+            self.index[parent as usize] = NIL;
+            self.free.push(slot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_op_registration_counts_as_instant_completion() {
+        let mut t = AppTracker::new();
+        t.register(1, SimTime::ZERO, 0);
+        assert_eq!(t.completed(), 1);
+        assert_eq!(t.outstanding(), 0);
+        assert_eq!(t.total_latency_us(), 0);
+    }
+
+    #[test]
+    fn latency_is_taken_from_the_last_op() {
+        let mut t = AppTracker::new();
+        t.register(5, SimTime::from_micros(100), 3);
+        t.complete_op(5, SimTime::from_micros(150));
+        t.complete_op(5, SimTime::from_micros(200));
+        assert_eq!(t.completed(), 0);
+        assert_eq!(t.outstanding(), 1);
+        t.complete_op(5, SimTime::from_micros(400));
+        assert_eq!(t.completed(), 1);
+        assert_eq!(t.total_latency_us(), 300);
+        assert_eq!(t.max_latency_us(), 300);
+        assert_eq!(t.outstanding(), 0);
+    }
+
+    #[test]
+    fn unknown_parents_are_ignored() {
+        let mut t = AppTracker::new();
+        t.complete_op(42, SimTime::from_micros(10));
+        t.register(1, SimTime::ZERO, 1);
+        t.complete_op(99, SimTime::from_micros(10));
+        assert_eq!(t.completed(), 0);
+        assert_eq!(t.outstanding(), 1);
+    }
+
+    #[test]
+    fn slots_are_reused_across_request_generations() {
+        let mut t = AppTracker::new();
+        for id in 1..=100u64 {
+            t.register(id, SimTime::from_micros(id), 1);
+            t.complete_op(id, SimTime::from_micros(id + 7));
+        }
+        assert_eq!(t.completed(), 100);
+        assert_eq!(t.outstanding(), 0);
+        // One request in flight at a time → one slab slot, ever.
+        assert_eq!(t.slots.len(), 1);
+        assert_eq!(t.total_latency_us(), 700);
+        assert_eq!(t.max_latency_us(), 7);
+    }
+
+    #[test]
+    fn interleaved_requests_complete_independently() {
+        let mut t = AppTracker::new();
+        t.register(1, SimTime::ZERO, 2);
+        t.register(2, SimTime::from_micros(50), 1);
+        t.complete_op(1, SimTime::from_micros(60));
+        t.complete_op(2, SimTime::from_micros(80));
+        assert_eq!(t.completed(), 1);
+        t.complete_op(1, SimTime::from_micros(120));
+        assert_eq!(t.completed(), 2);
+        assert_eq!(t.max_latency_us(), 120);
+        assert_eq!(t.total_latency_us(), 150);
+    }
+}

@@ -54,6 +54,17 @@ impl QueueSnapshot {
         }
     }
 
+    /// Removes one request of `class` from the snapshot (the inverse of
+    /// [`QueueSnapshot::record`], used by incrementally maintained counts).
+    pub fn unrecord(&mut self, class: RequestClass) {
+        match class {
+            RequestClass::Read => self.reads -= 1,
+            RequestClass::Write => self.writes -= 1,
+            RequestClass::Promote => self.promotes -= 1,
+            RequestClass::Evict => self.evicts -= 1,
+        }
+    }
+
     /// Merges another snapshot into this one.
     pub fn merge(&mut self, other: &QueueSnapshot) {
         self.reads += other.reads;
@@ -109,6 +120,10 @@ pub struct DeviceQueue {
     pending: VecDeque<IoRequest>,
     merge_enabled: bool,
     stats: QueueStats,
+    /// Class counts of the pending requests, maintained incrementally on
+    /// enqueue/dispatch/drain so [`DeviceQueue::snapshot`] is O(1) instead
+    /// of a per-probe scan of the whole queue.
+    mix: QueueSnapshot,
 }
 
 impl DeviceQueue {
@@ -119,6 +134,7 @@ impl DeviceQueue {
             pending: VecDeque::new(),
             merge_enabled: true,
             stats: QueueStats::default(),
+            mix: QueueSnapshot::default(),
         }
     }
 
@@ -176,6 +192,7 @@ impl DeviceQueue {
                 }
             }
         }
+        self.mix.record(request.class());
         self.pending.push_back(request);
         self.stats.peak_depth = self.stats.peak_depth.max(self.pending.len());
         false
@@ -185,6 +202,7 @@ impl DeviceQueue {
     /// its dispatch time.
     pub fn dispatch(&mut self, now: SimTime) -> Option<IoRequest> {
         let mut request = self.pending.pop_front()?;
+        self.mix.unrecord(request.class());
         request.mark_dispatched(now);
         self.stats.dispatched += 1;
         if let Some(wait) = request.queue_time() {
@@ -208,6 +226,7 @@ impl DeviceQueue {
             idx -= 1;
             if predicate(&self.pending[idx]) {
                 if let Some(req) = self.pending.remove(idx) {
+                    self.mix.unrecord(req.class());
                     taken.push(req);
                 }
             }
@@ -219,18 +238,27 @@ impl DeviceQueue {
     /// Removes specific requests by id, returning them in queue order. Used
     /// by SIB, which selects individual victims after estimating their wait
     /// times.
+    ///
+    /// Runs in a single pass over the queue: the ids are sorted once and
+    /// membership is a binary search, replacing the old O(depth × ids)
+    /// `contains` + `VecDeque::remove` shuffle.
     pub fn remove_by_ids(&mut self, ids: &[RequestId]) -> Vec<IoRequest> {
-        let mut taken = Vec::new();
-        let mut idx = 0;
-        while idx < self.pending.len() {
-            if ids.contains(&self.pending[idx].id()) {
-                if let Some(req) = self.pending.remove(idx) {
-                    taken.push(req);
-                    continue;
-                }
-            }
-            idx += 1;
+        if ids.is_empty() || self.pending.is_empty() {
+            return Vec::new();
         }
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        let mut taken = Vec::new();
+        let mut kept = VecDeque::with_capacity(self.pending.len());
+        for req in self.pending.drain(..) {
+            if sorted.binary_search(&req.id()).is_ok() {
+                self.mix.unrecord(req.class());
+                taken.push(req);
+            } else {
+                kept.push_back(req);
+            }
+        }
+        self.pending = kept;
         self.stats.bypassed += taken.len() as u64;
         taken
     }
@@ -240,13 +268,10 @@ impl DeviceQueue {
         self.pending.iter()
     }
 
-    /// A `blktrace`-style class histogram of the in-queue requests.
+    /// A `blktrace`-style class histogram of the in-queue requests. O(1):
+    /// the counts are maintained incrementally as requests enter and leave.
     pub fn snapshot(&self) -> QueueSnapshot {
-        let mut snap = QueueSnapshot::default();
-        for req in &self.pending {
-            snap.record(req.class());
-        }
-        snap
+        self.mix
     }
 
     /// The age of the oldest in-queue request at `now`, or zero when empty.
@@ -257,6 +282,7 @@ impl DeviceQueue {
     /// Discards every pending request (used when tearing a simulation down).
     pub fn clear(&mut self) {
         self.pending.clear();
+        self.mix = QueueSnapshot::default();
     }
 }
 
@@ -362,6 +388,69 @@ mod tests {
         let taken = q.remove_by_ids(&[1, 3]);
         assert_eq!(taken.iter().map(|r| r.id()).collect::<Vec<_>>(), vec![1, 3]);
         assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn remove_by_ids_handles_a_deep_queue_with_many_ids() {
+        let mut q = DeviceQueue::without_merging("ssd");
+        for i in 0..1_000u64 {
+            q.enqueue(req(i, RequestKind::Write, RequestOrigin::Application, i * 1000));
+        }
+        // Every 10th request, in scrambled order with a duplicate and a
+        // few misses thrown in.
+        let mut ids: Vec<u64> = (0..100u64).map(|i| i * 10).rev().collect();
+        ids.push(500); // duplicate
+        ids.push(1_000_000); // not in the queue
+        let taken = q.remove_by_ids(&ids);
+        assert_eq!(taken.len(), 100);
+        // Queue order is preserved among the taken requests...
+        assert!(taken.windows(2).all(|w| w[0].id() < w[1].id()));
+        // ...and among the survivors.
+        assert_eq!(q.depth(), 900);
+        let survivors: Vec<u64> = q.iter().map(|r| r.id()).collect();
+        assert!(survivors.windows(2).all(|w| w[0] < w[1]));
+        assert!(survivors.iter().all(|id| id % 10 != 0));
+        assert_eq!(q.stats().bypassed, 100);
+        assert_eq!(q.snapshot().total(), 900);
+    }
+
+    #[test]
+    fn snapshot_stays_consistent_with_a_full_recount() {
+        let recount = |q: &DeviceQueue| {
+            let mut snap = QueueSnapshot::default();
+            for r in q.iter() {
+                snap.record(r.class());
+            }
+            snap
+        };
+        let mut q = DeviceQueue::without_merging("ssd");
+        for i in 0..40u64 {
+            let origin = match i % 4 {
+                0 => RequestOrigin::Application,
+                1 => RequestOrigin::Promote,
+                2 => RequestOrigin::Evict,
+                _ => RequestOrigin::Flush,
+            };
+            q.enqueue(req(i, RequestKind::Write, origin, i * 1000));
+            assert_eq!(q.snapshot(), recount(&q));
+        }
+        q.dispatch(SimTime::from_secs(1));
+        assert_eq!(q.snapshot(), recount(&q));
+        q.drain_tail(5, |r| r.kind().is_write());
+        assert_eq!(q.snapshot(), recount(&q));
+        q.remove_by_ids(&[9, 13, 21]);
+        assert_eq!(q.snapshot(), recount(&q));
+        q.clear();
+        assert_eq!(q.snapshot(), QueueSnapshot::default());
+    }
+
+    #[test]
+    fn merged_requests_are_not_double_counted_in_the_snapshot() {
+        let mut q = DeviceQueue::new("ssd");
+        q.enqueue(req(1, RequestKind::Read, RequestOrigin::Application, 0));
+        assert!(q.enqueue(req(2, RequestKind::Read, RequestOrigin::Application, 8)));
+        assert_eq!(q.snapshot().reads, 1);
+        assert_eq!(q.snapshot().total(), 1);
     }
 
     #[test]

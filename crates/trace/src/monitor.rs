@@ -15,6 +15,7 @@
 use serde::{Deserialize, Serialize};
 
 use lbica_storage::queue::{DeviceQueue, QueueSnapshot};
+use lbica_storage::request::RequestClass;
 use lbica_storage::time::SimDuration;
 
 /// The two tiers of the storage hierarchy, as the monitors see them.
@@ -205,6 +206,14 @@ impl BlktraceProbe {
     /// Adds a pre-computed snapshot (e.g. counted at enqueue time).
     pub fn observe_snapshot(&mut self, snapshot: &QueueSnapshot) {
         self.accumulated.merge(snapshot);
+        self.samples += 1;
+    }
+
+    /// Adds a single-request observation by class — the enqueue-time hot
+    /// path, equivalent to observing a one-entry snapshot without building
+    /// one.
+    pub fn observe_class(&mut self, class: RequestClass) {
+        self.accumulated.record(class);
         self.samples += 1;
     }
 
