@@ -123,6 +123,7 @@ fn bench_sib_selection(c: &mut Criterion) {
                     cache_queue_mix: QueueSnapshot::default(),
                     current_policy: lbica_cache::WritePolicy::WriteThrough,
                     cache_queue: &queue,
+                    tier_loads: &[],
                 };
                 sib.on_interval(&ctx)
             },
@@ -253,6 +254,71 @@ fn bench_remove_by_ids(c: &mut Criterion) {
     });
 }
 
+/// The tiered hierarchy's promotion/demotion hot path: warm-tier hits that
+/// promote into a full hot tier (each promotion demotes a victim down the
+/// chain), and sustained write churn whose evictions cascade level to
+/// level — the two inter-tier data movements every tiered simulation pays.
+fn bench_tier_movement(c: &mut Criterion) {
+    use lbica_cache::WritePolicy;
+    use lbica_tier::{TierLevelSpec, TierTopology, TieredCacheModule, TieredOutcome};
+
+    fn level(num_sets: usize) -> TierLevelSpec {
+        TierLevelSpec::new(
+            CacheConfig {
+                num_sets,
+                associativity: 4,
+                replacement: ReplacementKind::Lru,
+                initial_policy: WritePolicy::WriteBack,
+            },
+            lbica_storage::device::SsdConfig::samsung_863a(),
+            1,
+        )
+    }
+
+    c.bench_function("tier/promote_on_hit_with_demotion", |b| {
+        // Hot tier full; every other read hits the warm tier, promoting
+        // the block up and demoting the hot tier's LRU victim down.
+        let mut cache = TieredCacheModule::new(TierTopology::two_level(level(64), level(256)));
+        cache.prewarm_to_capacity();
+        let mut outcome = TieredOutcome::new();
+        let mut block = 0u64;
+        b.iter(|| {
+            // Alternate between hot-resident and warm-resident blocks.
+            block = (block + 257) % 1280;
+            let req =
+                IoRequest::new(1, RequestKind::Read, RequestOrigin::Application, block * 8, 8);
+            cache.access_into(std::hint::black_box(&req), &mut outcome);
+            outcome.ops().len()
+        })
+    });
+
+    c.bench_function("tier/write_churn_cascade_demotion", |b| {
+        b.iter_batched(
+            || {
+                let mut cache =
+                    TieredCacheModule::new(TierTopology::two_level(level(16), level(64)));
+                cache.prewarm_to_capacity();
+                cache
+            },
+            |mut cache| {
+                let mut outcome = TieredOutcome::new();
+                for i in 0..256u64 {
+                    let req = IoRequest::new(
+                        i,
+                        RequestKind::Write,
+                        RequestOrigin::Application,
+                        (2_000 + i) * 8,
+                        8,
+                    );
+                    cache.access_into(&req, &mut outcome);
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 trait BenchQueueExt {
     fn default_for_bench() -> DeviceQueue;
 }
@@ -274,6 +340,7 @@ criterion_group!(
     bench_set_assoc,
     bench_app_tracker,
     bench_snapshot,
-    bench_remove_by_ids
+    bench_remove_by_ids,
+    bench_tier_movement
 );
 criterion_main!(benches);

@@ -2,11 +2,16 @@
 //! repo's perf-trajectory document.
 //!
 //! ```text
-//! bench_throughput [--matrix tiny|geometry|devices|paper] [--jobs N]
+//! bench_throughput [--matrix tiny|geometry|devices|tiered|replacement|
+//!                   replay|paper|paper-tiered] [--jobs N]
 //!                  [--iters N] [--out FILE]
 //!                  [--baseline-wall-us N] [--baseline-label STR]
 //! bench_throughput --validate FILE
 //! ```
+//!
+//! The committed `BENCH_sim.json` tracks `paper-tiered`: the canonical
+//! 9-cell figure matrix plus the same workloads against the harness-scale
+//! two-level hierarchy, so the perf trajectory covers both datapaths.
 //!
 //! Each cell runs `--iters` times serially (best wall-clock wins, so a
 //! noisy neighbour cannot inflate a cell), then the whole matrix is swept
@@ -46,7 +51,7 @@ struct Options {
 
 fn parse_args() -> Result<Option<Options>, String> {
     let mut opts = Options {
-        matrix: "paper".to_string(),
+        matrix: "paper-tiered".to_string(),
         jobs: 0,
         iters: 3,
         out: PathBuf::from("target/bench/BENCH_sim.json"),
@@ -122,9 +127,16 @@ fn build_matrix(name: &str) -> Result<ScenarioMatrix, String> {
         "tiny" => Ok(ScenarioMatrix::tiny()),
         "geometry" => Ok(ScenarioMatrix::geometry()),
         "devices" => Ok(ScenarioMatrix::devices()),
+        "tiered" => Ok(ScenarioMatrix::tiered()),
+        "replacement" => Ok(ScenarioMatrix::replacement()),
+        "replay" => Ok(ScenarioMatrix::replay_demo()),
         "paper" => {
             let config = SuiteConfig::harness();
             Ok(ScenarioMatrix::paper(config.scale, config.sim, config.seed))
+        }
+        "paper-tiered" => {
+            let config = SuiteConfig::harness();
+            Ok(ScenarioMatrix::paper_tiered(config.scale, config.sim, config.seed))
         }
         other => Err(format!("unknown matrix `{other}`")),
     }

@@ -2,7 +2,8 @@
 //! CSV/JSON summaries.
 //!
 //! ```text
-//! sweep [--matrix tiny|geometry|devices|paper] [--jobs N] [--out DIR] [--list]
+//! sweep [--matrix tiny|geometry|devices|tiered|replacement|replay|paper]
+//!       [--jobs N] [--out DIR] [--list]
 //! ```
 //!
 //! Named matrices:
@@ -12,6 +13,11 @@
 //! * `geometry` — cache-size sweep (3 workloads × 3 geometries × 3
 //!   controllers, 27 cells).
 //! * `devices` — SSD vs HDD disk subsystem (18 cells).
+//! * `tiered` — flat vs two-level vs three-level cache hierarchy
+//!   (27 cells).
+//! * `replacement` — LRU vs FIFO victim selection (18 cells).
+//! * `replay` — captured traces round-tripped through the binary codec
+//!   and replayed (6 cells).
 //! * `paper` — the canonical figure matrix at published scale (9 cells,
 //!   slow).
 //!
@@ -28,10 +34,13 @@ use std::time::Instant;
 use lbica_bench::SuiteConfig;
 use lbica_lab::{CsvSink, JsonSink, ScenarioMatrix, SweepExecutor, SweepSummary};
 
-const MATRICES: [(&str, &str); 4] = [
+const MATRICES: [(&str, &str); 7] = [
     ("tiny", "4 workloads x 3 controllers x 3 seeds, tiny scale (36 cells)"),
     ("geometry", "cache-size sweep: 64/128/256 sets (27 cells)"),
     ("devices", "mid-range-SSD vs 7.2K-HDD disk subsystem (18 cells)"),
+    ("tiered", "flat vs 2-level vs 3-level cache hierarchy (27 cells)"),
+    ("replacement", "LRU vs FIFO victim selection (18 cells)"),
+    ("replay", "codec-round-tripped trace-replay cells (6 cells)"),
     ("paper", "the canonical figure matrix at published scale (9 cells, slow)"),
 ];
 
@@ -69,7 +78,7 @@ fn parse_args() -> Result<Option<Options>, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: sweep [--matrix tiny|geometry|devices|paper] [--jobs N] [--out DIR] [--list]"
+                    "usage: sweep [--matrix tiny|geometry|devices|tiered|replacement|replay|paper] [--jobs N] [--out DIR] [--list]"
                 );
                 return Ok(None);
             }
@@ -84,6 +93,9 @@ fn build_matrix(name: &str) -> Result<ScenarioMatrix, String> {
         "tiny" => Ok(ScenarioMatrix::tiny()),
         "geometry" => Ok(ScenarioMatrix::geometry()),
         "devices" => Ok(ScenarioMatrix::devices()),
+        "tiered" => Ok(ScenarioMatrix::tiered()),
+        "replacement" => Ok(ScenarioMatrix::replacement()),
+        "replay" => Ok(ScenarioMatrix::replay_demo()),
         "paper" => {
             let config = SuiteConfig::harness();
             Ok(ScenarioMatrix::paper(config.scale, config.sim, config.seed))

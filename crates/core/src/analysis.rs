@@ -220,6 +220,7 @@ mod tests {
             bypassed_requests: 0,
             cache_stats: CacheStats::default(),
             perf: Default::default(),
+            tier_stats: Vec::new(),
         }
     }
 

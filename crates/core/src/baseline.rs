@@ -213,6 +213,7 @@ mod tests {
             cache_queue_mix: QueueSnapshot::default(),
             current_policy: WritePolicy::WriteThrough,
             cache_queue: queue,
+            tier_loads: &[],
         }
     }
 

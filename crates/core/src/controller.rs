@@ -10,6 +10,7 @@ use crate::balancer::{LoadBalancer, PolicyMap};
 use crate::characterizer::{RequestMix, WorkloadCharacterizer, WorkloadGroup};
 use crate::detector::BottleneckDetector;
 use crate::history::{DecisionLog, DecisionRecord};
+use crate::tier::{SpillPlanner, SpillTarget};
 
 /// Tunables of the [`LbicaController`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -68,9 +69,11 @@ pub struct LbicaController {
     detector: BottleneckDetector,
     characterizer: WorkloadCharacterizer,
     balancer: LoadBalancer,
+    spill_planner: SpillPlanner,
     calm_streak: u32,
     last_group: Option<WorkloadGroup>,
     bursts_detected: u64,
+    spill_decisions: u64,
     log: DecisionLog,
 }
 
@@ -87,10 +90,12 @@ impl LbicaController {
                 .with_min_cache_queue(config.min_cache_queue),
             characterizer: WorkloadCharacterizer::new(),
             balancer: LoadBalancer::with_policy_map(config.policy_map),
+            spill_planner: SpillPlanner::with_threshold_ratio(config.threshold_ratio),
             config,
             calm_streak: 0,
             last_group: None,
             bursts_detected: 0,
+            spill_decisions: 0,
             log: DecisionLog::new(),
         }
     }
@@ -108,6 +113,12 @@ impl LbicaController {
     /// How many intervals have been flagged as bursts so far.
     pub const fn bursts_detected(&self) -> u64 {
         self.bursts_detected
+    }
+
+    /// How many burst decisions routed the queue tail to a lower cache
+    /// level instead of the disk (tiered hierarchies only).
+    pub const fn spill_decisions(&self) -> u64 {
+        self.spill_decisions
     }
 
     /// The per-interval decision log (the controller's own Fig. 6 view).
@@ -182,7 +193,30 @@ impl CacheController for LbicaController {
             verdict.disk_qtime,
         );
         let bypass = if action.tail_bypass > 0 {
-            BypassDirective::TailWrites { max_requests: action.tail_bypass }
+            // Tier-aware spill chain: with two or more cache levels the
+            // reclassified tail spills to the first non-saturated level
+            // before bypassing all the way to the disk subsystem.
+            if ctx.tier_loads.len() >= 2 {
+                let plan = self.spill_planner.plan(
+                    ctx.tier_loads,
+                    ctx.disk_queue_depth,
+                    ctx.disk_avg_latency,
+                );
+                match plan.target {
+                    SpillTarget::Level(level) => {
+                        self.spill_decisions += 1;
+                        BypassDirective::SpillTailWrites {
+                            max_requests: action.tail_bypass,
+                            target_level: level,
+                        }
+                    }
+                    SpillTarget::Disk => {
+                        BypassDirective::TailWrites { max_requests: action.tail_bypass }
+                    }
+                }
+            } else {
+                BypassDirective::TailWrites { max_requests: action.tail_bypass }
+            }
         } else {
             BypassDirective::None
         };
@@ -222,6 +256,7 @@ mod tests {
             cache_queue_mix: mix,
             current_policy: current,
             cache_queue: queue,
+            tier_loads: &[],
         }
     }
 
@@ -259,6 +294,53 @@ mod tests {
         assert!(
             matches!(d.bypass, BypassDirective::TailWrites { max_requests } if max_requests > 0)
         );
+    }
+
+    #[test]
+    fn write_burst_with_an_idle_warm_tier_spills_instead_of_bypassing() {
+        use lbica_sim::TierLoad;
+        let queue = DeviceQueue::new("ssd");
+        let mut lbica = LbicaController::new();
+        let mix = QueueSnapshot { reads: 20, writes: 650, promotes: 30, evicts: 300 };
+        let tier_loads = [
+            TierLoad { queue_depth: 100, avg_latency: SimDuration::from_micros(75) },
+            TierLoad { queue_depth: 1, avg_latency: SimDuration::from_micros(150) },
+        ];
+        let mut ctx = ctx(&queue, 100, 1, mix, WritePolicy::WriteBack);
+        ctx.tier_loads = &tier_loads;
+        let d = lbica.on_interval(&ctx);
+        assert!(d.burst_detected);
+        assert!(
+            matches!(
+                d.bypass,
+                BypassDirective::SpillTailWrites { max_requests, target_level: 1 }
+                    if max_requests > 0
+            ),
+            "an idle warm tier must absorb the tail: {:?}",
+            d.bypass
+        );
+        assert_eq!(lbica.spill_decisions(), 1);
+    }
+
+    #[test]
+    fn write_burst_with_a_saturated_chain_bypasses_to_disk() {
+        use lbica_sim::TierLoad;
+        let queue = DeviceQueue::new("ssd");
+        let mut lbica = LbicaController::new();
+        let mix = QueueSnapshot { reads: 20, writes: 650, promotes: 30, evicts: 300 };
+        let tier_loads = [
+            TierLoad { queue_depth: 100, avg_latency: SimDuration::from_micros(75) },
+            TierLoad { queue_depth: 90, avg_latency: SimDuration::from_micros(150) },
+        ];
+        let mut ctx = ctx(&queue, 100, 1, mix, WritePolicy::WriteBack);
+        ctx.tier_loads = &tier_loads;
+        let d = lbica.on_interval(&ctx);
+        assert!(
+            matches!(d.bypass, BypassDirective::TailWrites { max_requests } if max_requests > 0),
+            "a saturated chain falls back to the paper's disk bypass: {:?}",
+            d.bypass
+        );
+        assert_eq!(lbica.spill_decisions(), 0);
     }
 
     #[test]

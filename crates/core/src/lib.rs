@@ -17,6 +17,11 @@
 //!    Groups 3/4 → WB) and, for write-intensive bursts, bypasses the tail
 //!    of the cache queue to the disk subsystem.
 //!
+//! [`tier`] generalizes step 3 to multi-SSD cache hierarchies: the
+//! [`tier::SpillPlanner`] decides, over the per-tier load vector, whether a
+//! reclassified queue tail spills to a lower cache level or bypasses all
+//! the way to the disk (the *spill chain*).
+//!
 //! [`controller::LbicaController`] glues the three together behind the
 //! simulator's [`lbica_sim::CacheController`] interface. The comparison
 //! points of the evaluation — the plain write-back cache and SIB, the
@@ -47,6 +52,7 @@ pub mod characterizer;
 pub mod controller;
 pub mod detector;
 pub mod history;
+pub mod tier;
 
 pub use analysis::{percent_reduction, HeadlineSummary, WorkloadComparison};
 pub use balancer::{BalancingAction, LoadBalancer, PolicyMap};
@@ -55,3 +61,4 @@ pub use characterizer::{RequestMix, WorkloadCharacterizer, WorkloadGroup};
 pub use controller::{LbicaConfig, LbicaController};
 pub use detector::{BottleneckDetector, BottleneckVerdict};
 pub use history::{DecisionLog, DecisionRecord, DecisionSummary};
+pub use tier::{SpillPlan, SpillPlanner, SpillTarget};

@@ -1,0 +1,169 @@
+//! Tier-aware load balancing: the spill chain.
+//!
+//! The paper's balancer has exactly one relief valve — reclassify requests
+//! from the overloaded I/O cache to the disk subsystem. With a multi-SSD
+//! tiered cache ([`lbica_tier`]'s hierarchy) there are intermediate
+//! stations between the hot tier and the disk, and the natural
+//! generalization of Eq. 1 is a *chain*: when the hot tier's queue crosses
+//! the LBICA threshold, reclassified requests should spill to the first
+//! lower tier that is not itself saturated, and only bypass all the way to
+//! the disk when the whole chain is.
+//!
+//! [`SpillPlanner`] makes that decision over the per-tier load vector the
+//! simulator snapshots at every interval boundary ([`TierLoad`]), reusing
+//! the paper's [`BottleneckDetector`] pairwise: tier `k` is an acceptable
+//! spill target when its queue time does not exceed the threshold ratio
+//! times the disk subsystem's queue time (i.e. the detector does *not*
+//! flag tier `k` as a bottleneck relative to the disk).
+
+use serde::{Deserialize, Serialize};
+
+use lbica_sim::TierLoad;
+use lbica_storage::time::SimDuration;
+
+use crate::detector::BottleneckDetector;
+
+/// Where the spill chain routes reclassified requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpillTarget {
+    /// Spill to cache level `level` (≥ 1): the level's queue time is under
+    /// the threshold, so it can absorb the hot tier's excess.
+    Level(usize),
+    /// Every lower level is saturated too — bypass to the disk subsystem,
+    /// the paper's original action.
+    Disk,
+}
+
+/// The spill-chain decision for one interval: the route plus the per-level
+/// queue times it was derived from (hot tier first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpillPlan {
+    /// Where the hot tier's excess should go.
+    pub target: SpillTarget,
+    /// `Qtime = depth × latency` per cache level, hot tier first.
+    pub tier_qtimes: Vec<SimDuration>,
+    /// The disk subsystem's queue time the levels were compared against.
+    pub disk_qtime: SimDuration,
+}
+
+/// Decides where reclassified requests spill in a tiered hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpillPlanner {
+    detector: BottleneckDetector,
+}
+
+impl SpillPlanner {
+    /// A planner using the paper's threshold (`Qtime_k > Qtime_disk` marks
+    /// level `k` saturated).
+    pub fn new() -> Self {
+        SpillPlanner { detector: BottleneckDetector::new() }
+    }
+
+    /// A planner with a custom threshold ratio (see
+    /// [`BottleneckDetector::with_threshold_ratio`]).
+    pub fn with_threshold_ratio(ratio: f64) -> Self {
+        SpillPlanner { detector: BottleneckDetector::with_threshold_ratio(ratio) }
+    }
+
+    /// Plans the spill route for the current tier-load vector. Levels are
+    /// scanned hot-to-cold below the hot tier; the first level whose queue
+    /// time is within the threshold of the disk's absorbs the spill.
+    ///
+    /// With fewer than two levels the answer is always
+    /// [`SpillTarget::Disk`] — the flat system's only option.
+    pub fn plan(
+        &self,
+        tier_loads: &[TierLoad],
+        disk_queue_depth: usize,
+        disk_avg_latency: SimDuration,
+    ) -> SpillPlan {
+        let disk_qtime = self.detector.disk_qtime(disk_queue_depth, disk_avg_latency);
+        let tier_qtimes: Vec<SimDuration> = tier_loads.iter().map(|t| t.queue_time()).collect();
+        let mut target = SpillTarget::Disk;
+        for (level, load) in tier_loads.iter().enumerate().skip(1) {
+            let verdict = self.detector.evaluate(
+                load.queue_depth,
+                load.avg_latency,
+                disk_queue_depth,
+                disk_avg_latency,
+            );
+            if !verdict.cache_is_bottleneck {
+                target = SpillTarget::Level(level);
+                break;
+            }
+        }
+        SpillPlan { target, tier_qtimes, disk_qtime }
+    }
+}
+
+impl Default for SpillPlanner {
+    fn default() -> Self {
+        SpillPlanner::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(depth: usize, latency_us: u64) -> TierLoad {
+        TierLoad { queue_depth: depth, avg_latency: SimDuration::from_micros(latency_us) }
+    }
+
+    #[test]
+    fn idle_warm_tier_absorbs_the_spill() {
+        let planner = SpillPlanner::new();
+        // Hot tier deeply queued, warm tier idle, disk mildly loaded.
+        let plan = planner.plan(&[load(80, 75), load(2, 150)], 4, SimDuration::from_micros(385));
+        assert_eq!(plan.target, SpillTarget::Level(1));
+        assert_eq!(plan.tier_qtimes[0].as_micros(), 6_000);
+        assert_eq!(plan.disk_qtime.as_micros(), 1_540);
+    }
+
+    #[test]
+    fn saturated_chain_falls_back_to_the_disk() {
+        let planner = SpillPlanner::new();
+        // Both lower tiers above the disk's queue time.
+        let plan = planner.plan(
+            &[load(80, 75), load(40, 150), load(30, 350)],
+            2,
+            SimDuration::from_micros(385),
+        );
+        assert_eq!(plan.target, SpillTarget::Disk);
+    }
+
+    #[test]
+    fn first_acceptable_level_wins() {
+        let planner = SpillPlanner::new();
+        // Warm tier saturated, cold tier fine: the chain skips to level 2.
+        let plan = planner.plan(
+            &[load(80, 75), load(40, 150), load(1, 350)],
+            2,
+            SimDuration::from_micros(385),
+        );
+        assert_eq!(plan.target, SpillTarget::Level(2));
+    }
+
+    #[test]
+    fn flat_vector_always_routes_to_disk() {
+        let planner = SpillPlanner::new();
+        assert_eq!(planner.plan(&[], 1, SimDuration::from_micros(385)).target, SpillTarget::Disk);
+        assert_eq!(
+            planner.plan(&[load(80, 75)], 1, SimDuration::from_micros(385)).target,
+            SpillTarget::Disk
+        );
+    }
+
+    #[test]
+    fn threshold_ratio_makes_the_chain_more_permissive() {
+        // Warm tier slightly above the disk's queue time: the paper
+        // threshold rejects it, a 2x ratio accepts it.
+        let tiers = [load(80, 75), load(5, 150)];
+        let disk_latency = SimDuration::from_micros(385);
+        assert_eq!(SpillPlanner::new().plan(&tiers, 1, disk_latency).target, SpillTarget::Disk);
+        assert_eq!(
+            SpillPlanner::with_threshold_ratio(2.0).plan(&tiers, 1, disk_latency).target,
+            SpillTarget::Level(1)
+        );
+    }
+}

@@ -1,6 +1,8 @@
 //! Declarative scenario matrices.
 
+use lbica_cache::ReplacementKind;
 use lbica_sim::{DiskDeviceConfig, SimulationConfig};
+use lbica_trace::io::BinaryTraceCodec;
 use lbica_trace::workload::{WorkloadScale, WorkloadSpec};
 
 use crate::controller::ControllerKind;
@@ -231,6 +233,14 @@ impl ScenarioMatrix {
             .with_literal_seed(seed)
     }
 
+    /// The perf-trajectory matrix tracked by the committed
+    /// `BENCH_sim.json`: the paper's canonical cells plus the same
+    /// workloads against a two-level (hot + QLC warm) hierarchy derived
+    /// from the same configuration — 18 cells sharing one literal seed.
+    pub fn paper_tiered(scale: WorkloadScale, sim: SimulationConfig, seed: u64) -> Self {
+        ScenarioMatrix::paper(scale, sim, seed).push_config("tier2", sim.two_tier_qlc())
+    }
+
     /// The CI smoke matrix: 4 workloads (the paper's three plus a
     /// parameterized synthetic mix) × 3 controllers × 3 seeds at tiny
     /// scale — 36 cells.
@@ -275,6 +285,60 @@ impl ScenarioMatrix {
             .with_workloads(WorkloadSpec::paper_suite(scale))
             .push_config("midrange-ssd", base)
             .push_config("hdd", base.with_disk_device(DiskDeviceConfig::seagate_hdd()))
+    }
+
+    /// The tier-count/tier-geometry axis: the paper's workloads at tiny
+    /// scale against the flat cache, a two-level and a three-level
+    /// hierarchy — 27 cells exercising the tiered datapath end to end.
+    pub fn tiered() -> Self {
+        let scale = WorkloadScale::tiny();
+        ScenarioMatrix::new()
+            .with_workloads(WorkloadSpec::paper_suite(scale))
+            .push_config("flat", SimulationConfig::tiny())
+            .push_config("tier2", SimulationConfig::tiny_two_tier())
+            .push_config("tier3", SimulationConfig::tiny_three_tier())
+    }
+
+    /// The replacement-policy axis: the paper's workloads at tiny scale
+    /// under LRU and FIFO victim selection — 18 cells.
+    pub fn replacement() -> Self {
+        let scale = WorkloadScale::tiny();
+        let base = SimulationConfig::tiny();
+        ScenarioMatrix::new()
+            .with_workloads(WorkloadSpec::paper_suite(scale))
+            .push_config("lru", base.with_replacement(ReplacementKind::Lru))
+            .push_config("fifo", base.with_replacement(ReplacementKind::Fifo))
+    }
+
+    /// Trace-replay cells: captured [`lbica_trace::record::TraceRecord`]
+    /// streams fed through the matrix instead of synthetic generators.
+    /// Each workload replays the same recorded arrivals for every
+    /// controller, seed and worker count, so the whole matrix is
+    /// deterministic by construction.
+    pub fn replay(traces: Vec<WorkloadSpec>, config: SimulationConfig) -> Self {
+        for spec in &traces {
+            assert!(spec.is_replay(), "`{}` is not a replay workload", spec.name());
+        }
+        ScenarioMatrix::new().with_workloads(traces).push_config("replay", config)
+    }
+
+    /// A self-contained replay demo matrix: two synthetic captures are
+    /// generated, round-tripped through the [`BinaryTraceCodec`] (so the
+    /// cells exercise the real capture→encode→decode→replay pipeline) and
+    /// swept under all three controllers — 6 cells.
+    pub fn replay_demo() -> Self {
+        let scale = WorkloadScale::tiny();
+        let codec = BinaryTraceCodec;
+        let traces = [("replay-mixed", 0.5f64), ("replay-writes", 0.1)]
+            .iter()
+            .map(|(name, read_fraction)| {
+                let synthetic = WorkloadSpec::synthetic_scaled(*name, scale, *read_fraction);
+                let captured = codec.encode(&synthetic.generate_all(0x000b_1b1c));
+                WorkloadSpec::replay_from_binary(*name, synthetic.interval_us(), captured)
+                    .expect("the codec round-trips its own encoding")
+            })
+            .collect();
+        ScenarioMatrix::replay(traces, SimulationConfig::tiny())
     }
 }
 
@@ -369,5 +433,47 @@ mod tests {
         let d = ScenarioMatrix::devices();
         assert_eq!(d.len(), 3 * 2 * 3);
         assert_ne!(d.configs()[0].config.disk_device, d.configs()[1].config.disk_device);
+    }
+
+    #[test]
+    fn tiered_matrix_spans_tier_counts() {
+        let t = ScenarioMatrix::tiered();
+        assert_eq!(t.len(), 3 * 3 * 3);
+        let counts: Vec<usize> = t.configs().iter().map(|c| c.config.tier_count()).collect();
+        assert_eq!(counts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn replacement_matrix_spans_both_policies() {
+        use lbica_cache::ReplacementKind;
+        let m = ScenarioMatrix::replacement();
+        assert_eq!(m.len(), 3 * 2 * 3);
+        assert_eq!(m.configs()[0].config.cache.replacement, ReplacementKind::Lru);
+        assert_eq!(m.configs()[1].config.cache.replacement, ReplacementKind::Fifo);
+    }
+
+    #[test]
+    fn paper_tiered_matrix_extends_the_canonical_grid() {
+        let m = ScenarioMatrix::paper_tiered(WorkloadScale::tiny(), SimulationConfig::tiny(), 9);
+        assert_eq!(m.len(), 3 * 2 * 3);
+        assert_eq!(m.seed_mode(), SeedMode::Literal);
+        assert_eq!(m.configs()[0].config.tier_count(), 1);
+        assert_eq!(m.configs()[1].config.tier_count(), 2);
+        assert!(m.cells().all(|c| c.stream_seed() == 9));
+    }
+
+    #[test]
+    fn replay_demo_matrix_builds_codec_backed_cells() {
+        let m = ScenarioMatrix::replay_demo();
+        assert_eq!(m.len(), 6, "2 replay workloads x 1 config x 3 controllers");
+        assert!(m.workloads().iter().all(|w| w.is_replay()));
+        assert!(m.workloads().iter().all(|w| !w.replay_records().is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a replay workload")]
+    fn replay_matrix_rejects_synthetic_workloads() {
+        let synthetic = WorkloadSpec::web_server_scaled(WorkloadScale::tiny());
+        let _ = ScenarioMatrix::replay(vec![synthetic], SimulationConfig::tiny());
     }
 }

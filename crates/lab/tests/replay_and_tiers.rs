@@ -1,0 +1,110 @@
+//! End-to-end sweeps of the two new scenario axes: trace-replay cells and
+//! tiered cache hierarchies, including the replay determinism guarantee
+//! (the same captured trace gives bit-identical sweeps at any worker
+//! count) and the tiered LBICA spill chain working through a real run.
+
+use lbica_core::LbicaController;
+use lbica_lab::{ControllerKind, ScenarioMatrix, SweepExecutor};
+use lbica_sim::{Simulation, SimulationConfig};
+use lbica_trace::io::BinaryTraceCodec;
+use lbica_trace::workload::{WorkloadScale, WorkloadSpec};
+
+/// Same trace, jobs=1 vs jobs=8: the replay matrix must produce identical
+/// reports and identical aggregates — the determinism contract for
+/// trace-replay cells.
+#[test]
+fn replay_matrix_is_deterministic_across_worker_counts() {
+    let matrix = ScenarioMatrix::replay_demo();
+    let serial = SweepExecutor::new(1).run(&matrix);
+    let parallel = SweepExecutor::new(8).run(&matrix);
+    assert_eq!(serial, parallel, "replay cells must not depend on the worker count");
+    assert!(serial.iter().all(|r| r.app_completed > 0), "replayed arrivals are served");
+
+    let a = SweepExecutor::new(1).aggregate(&matrix);
+    let b = SweepExecutor::new(8).aggregate(&matrix);
+    assert_eq!(a, b);
+    assert_eq!(a.total.cells, matrix.len() as u64);
+}
+
+/// A replay cell serves exactly the captured request stream: the number of
+/// completed application requests equals the capture's length, for every
+/// controller.
+#[test]
+fn replay_cells_serve_the_whole_capture() {
+    let scale = WorkloadScale::tiny();
+    let synthetic = WorkloadSpec::synthetic_scaled("cap", scale, 0.4);
+    let encoded = BinaryTraceCodec.encode(&synthetic.generate_all(11));
+    let captured = encoded.len() / BinaryTraceCodec::RECORD_BYTES;
+    let replay = WorkloadSpec::replay_from_binary("cap", synthetic.interval_us(), encoded).unwrap();
+    let matrix = ScenarioMatrix::replay(vec![replay], SimulationConfig::tiny());
+    for (cell, report) in matrix.cells().zip(SweepExecutor::serial().run(&matrix)) {
+        assert_eq!(
+            report.app_completed as usize,
+            captured,
+            "{}: every captured request must complete",
+            cell.id()
+        );
+    }
+}
+
+/// The 27-cell tiered matrix runs end to end and its multi-level cells
+/// carry per-tier statistics.
+#[test]
+fn tiered_matrix_sweeps_end_to_end() {
+    let matrix = ScenarioMatrix::tiered();
+    let reports = SweepExecutor::new(0).run(&matrix);
+    assert_eq!(reports.len(), 27);
+    for (cell, report) in matrix.cells().zip(&reports) {
+        assert!(report.app_completed > 0, "{} completed nothing", cell.id());
+        match cell.config().tier_count() {
+            1 => assert!(report.tier_stats.is_empty(), "{}", cell.id()),
+            n => {
+                assert_eq!(report.tier_stats.len(), n, "{}", cell.id());
+                assert!(report.tier(0).unwrap().hits > 0, "{}", cell.id());
+            }
+        }
+    }
+    // The sweep is deterministic across worker counts, tiered cells
+    // included.
+    assert_eq!(SweepExecutor::serial().run(&matrix), reports);
+}
+
+/// Under a write-heavy burst, the tiered LBICA controller spills
+/// reclassified requests into the warm tier (the spill chain) instead of
+/// sending every bypass to the disk.
+#[test]
+fn tiered_lbica_uses_the_spill_chain_on_write_bursts() {
+    let spec = WorkloadSpec::mail_server_scaled(WorkloadScale::tiny());
+    let report = Simulation::new(SimulationConfig::tiny_two_tier(), spec, 20190325)
+        .run(&mut LbicaController::new());
+    assert!(report.burst_intervals() > 0, "the mail-server burst must be detected");
+    assert!(
+        report.bypassed_requests + report.spilled_requests() > 0,
+        "the balancer must reclassify requests"
+    );
+    assert!(
+        report.spilled_requests() > 0,
+        "with an absorbing warm tier some reclassified requests must spill instead of \
+         hitting the disk: {:?}",
+        report.tier_stats
+    );
+}
+
+/// Flat and tiered cells of one workload see the same arrival stream
+/// (paired comparison), and all three controllers complete the same
+/// workload on the tiered path — conservation across schemes.
+#[test]
+fn tiered_cells_conserve_the_workload_across_controllers() {
+    let spec = WorkloadSpec::web_server_scaled(WorkloadScale::tiny());
+    let completed: Vec<u64> = ControllerKind::ALL
+        .iter()
+        .map(|kind| {
+            let mut controller = kind.build();
+            Simulation::new(SimulationConfig::tiny_two_tier(), spec.clone(), 5)
+                .run(controller.as_mut())
+                .app_completed
+        })
+        .collect();
+    assert!(completed[0] > 0);
+    assert!(completed.windows(2).all(|w| w[0] == w[1]), "{completed:?}");
+}

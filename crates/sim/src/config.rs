@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use lbica_cache::{CacheConfig, ReplacementKind, WritePolicy};
 use lbica_storage::device::{HddConfig, SsdConfig};
+use lbica_tier::{TierLevelSpec, TierTopology};
 
 /// Which device model backs the disk-subsystem tier.
 ///
@@ -55,6 +56,12 @@ pub struct SimulationConfig {
     /// workload that has passed its warm-up interval (the paper's
     /// assumption in Section III-B).
     pub prewarm_cache: bool,
+    /// Optional multi-level cache hierarchy. `None` (the default) runs the
+    /// paper's flat single-SSD cache; a topology with two or more levels
+    /// switches the simulation onto the tiered datapath. A one-level
+    /// topology still runs the flat path (it is semantically identical),
+    /// so every historical configuration is untouched.
+    pub tiers: Option<TierTopology>,
 }
 
 impl SimulationConfig {
@@ -74,6 +81,7 @@ impl SimulationConfig {
             ssd_parallelism: 1,
             disk_parallelism: 4,
             prewarm_cache: true,
+            tiers: None,
         }
     }
 
@@ -91,6 +99,7 @@ impl SimulationConfig {
             ssd_parallelism: 1,
             disk_parallelism: 4,
             prewarm_cache: true,
+            tiers: None,
         }
     }
 
@@ -117,11 +126,96 @@ impl SimulationConfig {
         self
     }
 
+    /// Returns a copy with the cache's replacement policy replaced (builder
+    /// style) — the `ReplacementKind` scenario axis. When a tier topology
+    /// is attached, this governs the flat fallback only; per-level
+    /// replacement lives in the topology.
+    pub const fn with_replacement(mut self, replacement: ReplacementKind) -> Self {
+        self.cache.replacement = replacement;
+        self
+    }
+
     /// Returns a copy with the disk-subsystem device model replaced
     /// (builder style).
     pub const fn with_disk_device(mut self, disk_device: DiskDeviceConfig) -> Self {
         self.disk_device = disk_device;
         self
+    }
+
+    /// Returns a copy with a cache-tier topology attached (builder style).
+    /// The flat cache fields are re-synced from the topology's hot tier so
+    /// that capacity accessors and one-level topologies stay coherent with
+    /// the flat path.
+    pub fn with_tiers(mut self, tiers: TierTopology) -> Self {
+        let hot = *tiers.level(0);
+        self.cache = hot.cache;
+        self.cache_device = hot.device;
+        self.ssd_parallelism = hot.parallelism;
+        self.tiers = Some(tiers);
+        self
+    }
+
+    /// Number of cache levels the configuration describes (1 for the flat
+    /// cache).
+    pub fn tier_count(&self) -> usize {
+        self.tiers.map_or(1, |t| t.len())
+    }
+
+    /// Whether the configuration runs the tiered datapath (two or more
+    /// cache levels).
+    pub fn is_tiered(&self) -> bool {
+        self.tier_count() >= 2
+    }
+
+    /// A two-level hierarchy at test scale: the tiny hot tier over a
+    /// 4x-larger QLC warm tier, with the tiny disk subsystem.
+    pub fn tiny_two_tier() -> Self {
+        let base = SimulationConfig::tiny();
+        let hot = TierLevelSpec::new(base.cache, base.cache_device, base.ssd_parallelism);
+        let warm = TierLevelSpec::new(
+            CacheConfig { num_sets: 512, ..base.cache },
+            SsdConfig::qlc_capacity(),
+            2,
+        );
+        base.with_tiers(TierTopology::two_level(hot, warm))
+    }
+
+    /// Derives a two-level variant of this configuration: the current
+    /// cache becomes the hot tier, backed by a QLC warm tier with twice
+    /// the sets and two service slots. The generic way any scenario axis
+    /// turns a flat cell into a tiered one.
+    pub fn two_tier_qlc(self) -> Self {
+        let hot = TierLevelSpec::new(self.cache, self.cache_device, self.ssd_parallelism);
+        let warm = TierLevelSpec::new(
+            CacheConfig { num_sets: self.cache.num_sets * 2, ..self.cache },
+            SsdConfig::qlc_capacity(),
+            2,
+        );
+        self.with_tiers(TierTopology::two_level(hot, warm))
+    }
+
+    /// A two-level hierarchy at the published figure scale: the harness
+    /// cache as hot tier over a 2x-larger QLC warm tier.
+    pub fn harness_two_tier() -> Self {
+        SimulationConfig::harness().two_tier_qlc()
+    }
+
+    /// A three-level hierarchy at test scale (tiny hot tier, QLC warm tier,
+    /// an even larger mid-range cold tier).
+    pub fn tiny_three_tier() -> Self {
+        let base = SimulationConfig::tiny();
+        let hot = TierLevelSpec::new(base.cache, base.cache_device, base.ssd_parallelism);
+        let warm = TierLevelSpec::new(
+            CacheConfig { num_sets: 256, ..base.cache },
+            SsdConfig::qlc_capacity(),
+            2,
+        );
+        let cold = TierLevelSpec::new(
+            CacheConfig { num_sets: 1_024, ..base.cache },
+            SsdConfig::midrange_sata(),
+            4,
+        );
+        base.with_tiers(TierTopology::three_level(hot, warm, cold))
     }
 
     /// Returns a copy with the service parallelism of both tiers replaced
@@ -132,9 +226,13 @@ impl SimulationConfig {
         self
     }
 
-    /// Total cache capacity in blocks (`num_sets × associativity`).
-    pub const fn cache_capacity_blocks(&self) -> usize {
-        self.cache.capacity_blocks()
+    /// Total cache capacity in blocks: `num_sets × associativity` for the
+    /// flat cache, the sum over every level for a tiered hierarchy.
+    pub fn cache_capacity_blocks(&self) -> usize {
+        match &self.tiers {
+            Some(t) => t.capacity_blocks(),
+            None => self.cache.capacity_blocks(),
+        }
     }
 }
 
@@ -175,6 +273,51 @@ mod tests {
         assert_eq!(parallel.disk_parallelism, 8);
         // Builders copy: the base config is untouched.
         assert_eq!(base, SimulationConfig::tiny());
+    }
+
+    #[test]
+    fn with_replacement_swaps_the_policy_axis() {
+        let base = SimulationConfig::tiny();
+        let fifo = base.with_replacement(ReplacementKind::Fifo);
+        assert_eq!(fifo.cache.replacement, ReplacementKind::Fifo);
+        assert_eq!(base.cache.replacement, ReplacementKind::Lru);
+        assert_eq!(fifo.cache_capacity_blocks(), base.cache_capacity_blocks());
+    }
+
+    #[test]
+    fn tier_presets_describe_multi_level_hierarchies() {
+        let flat = SimulationConfig::tiny();
+        assert_eq!(flat.tier_count(), 1);
+        assert!(!flat.is_tiered());
+
+        let two = SimulationConfig::tiny_two_tier();
+        assert_eq!(two.tier_count(), 2);
+        assert!(two.is_tiered());
+        // Hot tier re-syncs the flat fields; capacity spans both levels.
+        assert_eq!(two.cache, flat.cache);
+        assert_eq!(two.cache_capacity_blocks(), 512 + 2_048);
+
+        let three = SimulationConfig::tiny_three_tier();
+        assert_eq!(three.tier_count(), 3);
+        assert_eq!(three.cache_capacity_blocks(), 512 + 1_024 + 4_096);
+
+        let harness = SimulationConfig::harness_two_tier();
+        assert_eq!(harness.tier_count(), 2);
+        assert_eq!(harness.cache_capacity_blocks(), 16_384 + 32_768);
+    }
+
+    #[test]
+    fn one_level_topology_still_reports_flat() {
+        use lbica_tier::{TierLevelSpec, TierTopology};
+        let base = SimulationConfig::tiny();
+        let single = base.with_tiers(TierTopology::single(TierLevelSpec::new(
+            base.cache,
+            base.cache_device,
+            base.ssd_parallelism,
+        )));
+        assert_eq!(single.tier_count(), 1);
+        assert!(!single.is_tiered());
+        assert_eq!(single.cache_capacity_blocks(), base.cache_capacity_blocks());
     }
 
     #[test]

@@ -15,6 +15,24 @@ use lbica_storage::queue::{DeviceQueue, QueueSnapshot};
 use lbica_storage::request::RequestId;
 use lbica_storage::time::{SimDuration, SimTime};
 
+/// One cache level's observable load at an interval boundary — the tier
+/// vector the spill-chain balancer decides over. Flat (single-SSD) runs
+/// pass an empty slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierLoad {
+    /// Outstanding requests at the level's station (queued + in service).
+    pub queue_depth: usize,
+    /// Blended average service latency of the level's device.
+    pub avg_latency: SimDuration,
+}
+
+impl TierLoad {
+    /// The level's estimated queue time (Eq. 1 generalized per tier).
+    pub fn queue_time(&self) -> SimDuration {
+        self.avg_latency.saturating_mul(self.queue_depth as u64)
+    }
+}
+
 /// Everything a controller can observe at an interval boundary.
 #[derive(Debug)]
 pub struct ControllerContext<'a> {
@@ -38,6 +56,11 @@ pub struct ControllerContext<'a> {
     /// Read-only view of the cache queue, for per-request wait estimation
     /// (used by SIB).
     pub cache_queue: &'a DeviceQueue,
+    /// Per-cache-level loads, hot tier first — empty for flat runs. When
+    /// two or more levels are present, tier-aware controllers may answer
+    /// with [`BypassDirective::SpillTailWrites`] instead of bypassing
+    /// straight to the disk subsystem.
+    pub tier_loads: &'a [TierLoad],
 }
 
 /// Which queued requests the controller wants redirected to the disk
@@ -58,6 +81,16 @@ pub enum BypassDirective {
     /// highest-estimated-wait victims) and serve the application ones from
     /// the disk subsystem.
     Requests(Vec<RequestId>),
+    /// Remove up to `max_requests` application writes from the tail of the
+    /// *hot tier's* queue and spill them to cache level `target_level`
+    /// instead of the disk — the tier-aware spill-chain action. On a flat
+    /// system this degrades gracefully to [`BypassDirective::TailWrites`].
+    SpillTailWrites {
+        /// Upper bound on how many requests to move.
+        max_requests: usize,
+        /// The cache level the spilled requests are re-homed at (≥ 1).
+        target_level: usize,
+    },
 }
 
 /// A controller's answer for the next interval.
@@ -148,7 +181,16 @@ mod tests {
             cache_queue_mix: QueueSnapshot::default(),
             current_policy: WritePolicy::WriteBack,
             cache_queue: queue,
+            tier_loads: &[],
         }
+    }
+
+    #[test]
+    fn tier_load_queue_time_is_depth_times_latency() {
+        let load = TierLoad { queue_depth: 12, avg_latency: SimDuration::from_micros(80) };
+        assert_eq!(load.queue_time().as_micros(), 960);
+        let idle = TierLoad { queue_depth: 0, avg_latency: SimDuration::from_micros(80) };
+        assert_eq!(idle.queue_time(), SimDuration::ZERO);
     }
 
     #[test]

@@ -37,6 +37,14 @@ pub enum EventKind {
         /// The serviced request (dispatch timestamp already set).
         request: IoRequest,
     },
+    /// A cache-level station of a *tiered* hierarchy finishes servicing a
+    /// request. Never scheduled by the flat [`crate::StorageSystem`].
+    LevelCompletion {
+        /// Which cache level (0 = hot tier) finished the request.
+        level: usize,
+        /// The serviced request (dispatch timestamp already set).
+        request: IoRequest,
+    },
 }
 
 /// A timestamped event.

@@ -41,14 +41,17 @@ pub mod event;
 pub mod report;
 pub mod runner;
 pub mod system;
+pub mod tiered;
 pub mod tracker;
 
 pub use config::{DiskDeviceConfig, SimulationConfig};
 pub use controller::{
-    BypassDirective, CacheController, ControllerContext, ControllerDecision, StaticPolicyController,
+    BypassDirective, CacheController, ControllerContext, ControllerDecision,
+    StaticPolicyController, TierLoad,
 };
 pub use event::{Event, EventKind, EventQueue};
-pub use report::{PolicyChange, SimPerf, SimulationReport};
+pub use report::{PolicyChange, SimPerf, SimulationReport, TierLevelStats};
 pub use runner::Simulation;
 pub use system::{DeviceStation, StorageSystem};
+pub use tiered::TieredStorageSystem;
 pub use tracker::AppTracker;

@@ -28,6 +28,37 @@ pub struct SimPerf {
     pub peak_event_queue_depth: usize,
 }
 
+/// Cumulative statistics of one cache level of a tiered run — hit, data
+/// movement (promotion / demotion / spill) and queue figures per tier.
+/// Flat (single-SSD) runs carry no rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TierLevelStats {
+    /// Level index, 0 = hot tier.
+    pub level: usize,
+    /// Application reads + writes that hit at this level.
+    pub hits: u64,
+    /// Blocks promoted into this level on lower-level hits.
+    pub promotions_in: u64,
+    /// Blocks demoted into this level by evictions above it.
+    pub demotions_in: u64,
+    /// Requests the load balancer spilled into this level.
+    pub spills_in: u64,
+    /// Requests enqueued at this level's station.
+    pub enqueued: u64,
+    /// Requests completed at this level's station.
+    pub completed: u64,
+    /// Largest queue depth the level's station ever reached.
+    pub peak_queue_depth: usize,
+    /// Mean end-to-end latency of requests completed at this level, µs.
+    pub avg_latency_us: u64,
+    /// Maximum end-to-end latency of requests completed at this level, µs.
+    pub max_latency_us: u64,
+    /// Blocks resident at this level at the end of the run.
+    pub cached_blocks: usize,
+    /// Dirty blocks resident at this level at the end of the run.
+    pub dirty_blocks: usize,
+}
+
 /// Everything measured during one simulation run: the per-interval series
 /// of Figures 4–6 plus the aggregate latency of Fig. 7.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -54,6 +85,9 @@ pub struct SimulationReport {
     pub cache_stats: CacheStats,
     /// Simulator-performance counters (event counts, peak queue depth).
     pub perf: SimPerf,
+    /// Per-cache-level statistics of a tiered run (hot tier first); empty
+    /// for flat single-SSD runs.
+    pub tier_stats: Vec<TierLevelStats>,
 }
 
 impl SimulationReport {
@@ -109,6 +143,23 @@ impl SimulationReport {
     pub fn policy_series(&self) -> Vec<&str> {
         self.intervals.iter().map(|i| i.policy_label.as_str()).collect()
     }
+
+    /// Number of cache levels the run simulated (1 for the flat cache).
+    pub fn tier_count(&self) -> usize {
+        self.tier_stats.len().max(1)
+    }
+
+    /// The per-level statistics row for cache level `level`, if the run
+    /// was tiered.
+    pub fn tier(&self, level: usize) -> Option<&TierLevelStats> {
+        self.tier_stats.iter().find(|t| t.level == level)
+    }
+
+    /// Total requests the balancer spilled into lower cache levels (zero
+    /// for flat runs, where every bypass goes to the disk).
+    pub fn spilled_requests(&self) -> u64 {
+        self.tier_stats.iter().map(|t| t.spills_in).sum()
+    }
 }
 
 fn mean(values: impl Iterator<Item = u64>) -> f64 {
@@ -157,6 +208,7 @@ mod tests {
             bypassed_requests: 0,
             cache_stats: CacheStats::default(),
             perf: SimPerf::default(),
+            tier_stats: Vec::new(),
         }
     }
 

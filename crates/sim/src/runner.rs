@@ -3,9 +3,10 @@
 use lbica_trace::workload::WorkloadSpec;
 
 use crate::config::SimulationConfig;
-use crate::controller::{CacheController, ControllerContext};
+use crate::controller::{CacheController, ControllerContext, TierLoad};
 use crate::report::{PolicyChange, SimulationReport};
 use crate::system::StorageSystem;
+use crate::tiered::TieredStorageSystem;
 
 use lbica_storage::time::SimTime;
 
@@ -51,7 +52,15 @@ impl Simulation {
     }
 
     /// Runs the full workload under `controller` and returns the report.
+    ///
+    /// Configurations describing two or more cache levels run on the
+    /// tiered datapath ([`TieredStorageSystem`]); everything else takes
+    /// the paper's flat single-SSD path, which is untouched by the tier
+    /// subsystem (single-tier results are bit-identical to the seed).
     pub fn run(&mut self, controller: &mut dyn CacheController) -> SimulationReport {
+        if self.config.is_tiered() {
+            return self.run_tiered(controller);
+        }
         let mut system = StorageSystem::new(&self.config);
         system.set_policy(controller.initial_policy());
 
@@ -88,6 +97,7 @@ impl Simulation {
                     cache_queue_mix: report.cache_queue_mix,
                     current_policy: system.policy(),
                     cache_queue: system.cache_queue(),
+                    tier_loads: &[],
                 };
                 controller.on_interval(&ctx)
             };
@@ -128,6 +138,101 @@ impl Simulation {
                 events_processed: system.events_processed(),
                 peak_event_queue_depth: system.peak_event_queue_depth(),
             },
+            tier_stats: Vec::new(),
+        }
+    }
+
+    /// The tiered-datapath twin of [`Simulation::run`]: same interval loop,
+    /// same controller protocol, but the system is an N-level hierarchy and
+    /// the controller additionally sees the per-level tier-load vector (so
+    /// tier-aware balancers can answer with spill directives).
+    ///
+    /// The loop is deliberately duplicated rather than abstracted over the
+    /// two system types: the flat path is pinned bit-identical to the seed
+    /// by the figure characterization tests, and keeping it monomorphic and
+    /// untouched is the cheapest way to guarantee that. Changes to the
+    /// interval protocol must be applied to both loops.
+    fn run_tiered(&mut self, controller: &mut dyn CacheController) -> SimulationReport {
+        let mut system = TieredStorageSystem::new(&self.config);
+        system.set_policy(controller.initial_policy());
+
+        let total_intervals = self.spec.total_intervals();
+        let interval_us = self.spec.interval_us();
+        let mut intervals = Vec::with_capacity(total_intervals as usize);
+        let mut policy_changes = vec![PolicyChange {
+            interval: 0,
+            policy: controller.initial_policy().label().to_string(),
+        }];
+        let mut bypassed_total = 0u64;
+        let mut tier_loads: Vec<TierLoad> = Vec::with_capacity(system.tier_count());
+
+        for index in 0..total_intervals {
+            for record in self.spec.generate_interval(index, self.seed) {
+                system.schedule_record(&record);
+            }
+            let boundary = SimTime::from_micros((index as u64 + 1) * interval_us);
+            system.run_until(boundary);
+
+            let mut report = system.end_interval(index);
+            system.tier_loads_into(&mut tier_loads);
+
+            let decision = {
+                let ctx = ControllerContext {
+                    interval_index: index,
+                    now: system.now(),
+                    cache_queue_depth: report.cache.queue_depth,
+                    disk_queue_depth: report.disk.queue_depth,
+                    cache_avg_latency: system.cache_avg_latency(),
+                    disk_avg_latency: system.disk_avg_latency(),
+                    cache_queue_mix: report.cache_queue_mix,
+                    current_policy: system.policy(),
+                    cache_queue: system.cache_queue(),
+                    tier_loads: &tier_loads,
+                };
+                controller.on_interval(&ctx)
+            };
+
+            report.burst_detected = decision.burst_detected;
+            if decision.policy != system.policy() {
+                system.set_policy(decision.policy);
+                policy_changes.push(PolicyChange {
+                    interval: index + 1,
+                    policy: decision.policy.label().to_string(),
+                });
+            }
+            // `bypassed_requests` keeps its flat-path meaning — requests
+            // reclassified *to the disk*. Spills stay in the hierarchy and
+            // are accounted separately (tier_stats / spilled_requests()).
+            let spilled_before = system.spilled_requests();
+            let moved = system.apply_bypass(&decision.bypass) as u64;
+            bypassed_total += moved - (system.spilled_requests() - spilled_before);
+
+            intervals.push(report);
+        }
+
+        if self.drain_at_end {
+            system.drain(600);
+        }
+
+        // The headline cache stats stay hot-tier shaped (hit/miss/bypass of
+        // the level every application request is judged against); the full
+        // per-level breakdown rides in `tier_stats`.
+        SimulationReport {
+            workload: self.spec.name().to_string(),
+            controller: controller.name().to_string(),
+            total_intervals,
+            intervals,
+            policy_changes,
+            app_completed: system.app_completed(),
+            app_avg_latency_us: system.app_avg_latency_us(),
+            app_max_latency_us: system.app_max_latency_us(),
+            bypassed_requests: bypassed_total,
+            cache_stats: *system.cache().stats(0),
+            perf: crate::report::SimPerf {
+                events_processed: system.events_processed(),
+                peak_event_queue_depth: system.peak_event_queue_depth(),
+            },
+            tier_stats: system.tier_level_stats(),
         }
     }
 }
@@ -211,6 +316,41 @@ mod tests {
         let b = Simulation::new(SimulationConfig::tiny(), spec, 3)
             .run(&mut StaticPolicyController::write_back());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiered_runs_complete_and_surface_per_tier_stats() {
+        let spec = WorkloadSpec::mail_server_scaled(WorkloadScale::tiny());
+        let total = spec.total_intervals();
+        let mut sim = Simulation::new(SimulationConfig::tiny_two_tier(), spec, 7);
+        let report = sim.run(&mut StaticPolicyController::write_back());
+        assert_eq!(report.intervals.len() as u32, total);
+        assert!(report.app_completed > 100);
+        assert_eq!(report.tier_stats.len(), 2);
+        assert_eq!(report.tier_count(), 2);
+        assert!(report.tier(0).unwrap().hits > 0, "hot tier serves traffic");
+        assert!(report.tier(0).unwrap().completed > 0);
+        assert!(report.tier(1).is_some());
+        assert!(report.tier(2).is_none());
+    }
+
+    #[test]
+    fn tiered_runs_are_deterministic_for_a_fixed_seed() {
+        let spec = WorkloadSpec::web_server_scaled(WorkloadScale::tiny());
+        let a = Simulation::new(SimulationConfig::tiny_two_tier(), spec.clone(), 3)
+            .run(&mut StaticPolicyController::write_back());
+        let b = Simulation::new(SimulationConfig::tiny_two_tier(), spec, 3)
+            .run(&mut StaticPolicyController::write_back());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flat_reports_carry_no_tier_stats() {
+        let spec = WorkloadSpec::web_server_scaled(WorkloadScale::tiny());
+        let report = tiny_sim(spec).run(&mut StaticPolicyController::write_back());
+        assert!(report.tier_stats.is_empty());
+        assert_eq!(report.tier_count(), 1);
+        assert_eq!(report.spilled_requests(), 0);
     }
 
     #[test]

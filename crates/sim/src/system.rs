@@ -34,10 +34,10 @@ impl TierId {
 /// A device and the queue in front of it, with a fixed number of concurrent
 /// service slots.
 pub struct DeviceStation {
-    queue: DeviceQueue,
-    model: Box<dyn DeviceModel + Send>,
-    parallelism: usize,
-    in_service: usize,
+    pub(crate) queue: DeviceQueue,
+    pub(crate) model: Box<dyn DeviceModel + Send>,
+    pub(crate) parallelism: usize,
+    pub(crate) in_service: usize,
 }
 
 impl std::fmt::Debug for DeviceStation {
@@ -208,6 +208,9 @@ impl StorageSystem {
             match event.kind {
                 EventKind::Arrival(request) => self.handle_arrival(request),
                 EventKind::Completion { tier, request } => self.handle_completion(tier, request),
+                EventKind::LevelCompletion { .. } => {
+                    unreachable!("the flat storage system schedules no tiered-level completions")
+                }
             }
         }
         self.clock = limit;
@@ -344,7 +347,10 @@ impl StorageSystem {
     pub fn apply_bypass(&mut self, directive: &BypassDirective) -> usize {
         let moved = match directive {
             BypassDirective::None => Vec::new(),
-            BypassDirective::TailWrites { max_requests } => {
+            // A spill on a flat system has nowhere to go but the disk, so
+            // the two tail directives coincide here.
+            BypassDirective::TailWrites { max_requests }
+            | BypassDirective::SpillTailWrites { max_requests, .. } => {
                 self.ssd.queue.drain_tail(*max_requests, |r| r.class() == RequestClass::Write)
             }
             BypassDirective::Requests(ids) => self.ssd.queue.remove_by_ids(ids),

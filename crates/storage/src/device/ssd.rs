@@ -48,6 +48,22 @@ impl SsdConfig {
         }
     }
 
+    /// Parameters approximating a capacity-optimized QLC SATA SSD — slower
+    /// than the enterprise cache device but still an order of magnitude
+    /// ahead of spinning disks. The default *warm tier* of the tiered
+    /// cache hierarchies in `lbica-tier`.
+    pub const fn qlc_capacity() -> Self {
+        SsdConfig {
+            capacity_sectors: 8_000_000_000 * 2, // ~8 TB in 512 B sectors
+            read_latency_us: 150,
+            write_latency_us: 220,
+            bandwidth_mib_s: 400,
+            channels: 4,
+            gc_penalty_us: 300,
+            gc_window: 1024,
+        }
+    }
+
     /// Parameters approximating a mid-range SATA SSD.
     ///
     /// The paper notes that enterprise disk subsystems are "mainly built

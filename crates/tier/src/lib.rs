@@ -1,0 +1,67 @@
+//! A multi-SSD tiered cache hierarchy for the LBICA reproduction.
+//!
+//! The paper load-balances a *single* SSD I/O cache in front of a disk
+//! subsystem. This crate generalizes that cache into an N-level hierarchy:
+//!
+//! * [`TierTopology`] — up to [`MAX_TIERS`] cache levels (hot → cold), each
+//!   with its own set-associative geometry ([`lbica_cache::CacheConfig`]),
+//!   device service-time model ([`lbica_storage::device::SsdConfig`]) and
+//!   station parallelism, plus three inter-tier data-movement policies:
+//!   [`PlacementPolicy`] (where read-miss fills land), [`PromotionPolicy`]
+//!   (whether lower-level hits move the block up) and [`DemotionPolicy`]
+//!   (whether evicted victims cascade down instead of dropping to disk).
+//! * [`TieredCacheModule`] — the datapath itself: feed it an application
+//!   [`lbica_storage::request::IoRequest`] and it returns a
+//!   [`TieredOutcome`] listing the derived per-level operations under the
+//!   current [`lbica_cache::WritePolicy`]. A single-level instance is
+//!   bit-identical to the flat [`lbica_cache::CacheModule`] — same ops in
+//!   the same order, same statistics — so the flat simulator path is a
+//!   strict special case.
+//! * [`TierMovement`] — promotion / demotion / spill accounting per level,
+//!   surfaced by the simulator as per-tier report statistics.
+//!
+//! The simulator (`lbica-sim`) wires this module into an event-driven
+//! `TieredStorageSystem` with one device station per level, and the
+//! controller layer (`lbica-core`) extends the paper's
+//! balancer into a tier-aware *spill chain*: reclassified requests spill to
+//! the next level down before bypassing all the way to the disk subsystem.
+//!
+//! # Example
+//!
+//! ```
+//! use lbica_cache::{CacheConfig, ReplacementKind, WritePolicy};
+//! use lbica_storage::device::SsdConfig;
+//! use lbica_storage::request::{IoRequest, RequestKind, RequestOrigin};
+//! use lbica_tier::{TierLevelSpec, TierTopology, TieredCacheModule};
+//!
+//! let geometry = CacheConfig {
+//!     num_sets: 4,
+//!     associativity: 2,
+//!     replacement: ReplacementKind::Lru,
+//!     initial_policy: WritePolicy::WriteBack,
+//! };
+//! let hot = TierLevelSpec::new(geometry, SsdConfig::samsung_863a(), 1);
+//! let warm = TierLevelSpec::new(geometry, SsdConfig::midrange_sata(), 2);
+//! let mut cache = TieredCacheModule::new(TierTopology::two_level(hot, warm));
+//!
+//! let miss = cache.access(&IoRequest::new(
+//!     1, RequestKind::Read, RequestOrigin::Application, 0, 8,
+//! ));
+//! assert!(!miss.read_hit());
+//! // The miss is served by the disk and filled into the hot tier.
+//! assert_eq!(miss.disk_ops().len(), 1);
+//! assert_eq!(miss.level_ops(0).len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod module;
+pub mod outcome;
+
+pub use config::{
+    DemotionPolicy, PlacementPolicy, PromotionPolicy, TierLevelSpec, TierTopology, MAX_TIERS,
+};
+pub use module::{TierMovement, TieredCacheModule};
+pub use outcome::{TierTarget, TieredOp, TieredOutcome};

@@ -1,0 +1,691 @@
+//! The datapath tiered cache module.
+
+use serde::{Deserialize, Serialize};
+
+use lbica_cache::{CacheStats, InsertOutcome, SetAssociativeMap, SlotState, WritePolicy};
+use lbica_storage::block::{BlockRange, Lba, BLOCK_SECTORS};
+use lbica_storage::request::{IoRequest, RequestKind, RequestOrigin};
+
+use crate::config::{DemotionPolicy, PromotionPolicy, TierTopology};
+use crate::outcome::{TierTarget, TieredOp, TieredOutcome};
+
+/// Inter-tier data-movement counters for one level.
+///
+/// `promotions_in` counts *block moves* and is distinct from
+/// [`CacheStats::promotes`], which counts Promote-class *operations
+/// emitted* (read-miss fills and read-hit promotions; a write-hit
+/// promotion moves the block but its data travels on the application
+/// write itself, so no Promote op — and no `promotes` increment — exists
+/// for it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TierMovement {
+    /// Blocks moved up into this level by promotion-on-hit.
+    pub promotions_in: u64,
+    /// Blocks demoted into this level from the level above.
+    pub demotions_in: u64,
+    /// Blocks demoted out of this level into the level below.
+    pub demotions_out: u64,
+    /// Reclassified requests the load balancer spilled into this level.
+    pub spills_in: u64,
+}
+
+/// An N-level generalization of [`lbica_cache::CacheModule`]: a stack of
+/// set-associative maps (hot tier first) sharing one [`WritePolicy`],
+/// with configurable fill placement, promotion-on-hit and
+/// demotion-on-eviction.
+///
+/// The hierarchy is **exclusive**: a block resides in exactly one level at
+/// a time. A single-level instance is bit-identical to the flat cache
+/// module — same derived operations in the same order, same statistics —
+/// which the `flat_equivalence` property suite pins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TieredCacheModule {
+    topology: TierTopology,
+    maps: Vec<SetAssociativeMap>,
+    stats: Vec<CacheStats>,
+    movement: Vec<TierMovement>,
+    policy: WritePolicy,
+}
+
+impl TieredCacheModule {
+    /// Builds a hierarchy from a topology. The write policy starts as the
+    /// hot tier's `initial_policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no levels.
+    pub fn new(topology: TierTopology) -> Self {
+        assert!(!topology.is_empty(), "a tiered cache needs at least one level");
+        let maps = topology
+            .levels()
+            .map(|l| {
+                SetAssociativeMap::new(l.cache.num_sets, l.cache.associativity, l.cache.replacement)
+            })
+            .collect::<Vec<_>>();
+        let n = maps.len();
+        TieredCacheModule {
+            policy: topology.level(0).cache.initial_policy,
+            maps,
+            stats: vec![CacheStats::default(); n],
+            movement: vec![TierMovement::default(); n],
+            topology,
+        }
+    }
+
+    /// The topology this hierarchy was built from.
+    pub const fn topology(&self) -> &TierTopology {
+        &self.topology
+    }
+
+    /// Number of cache levels.
+    pub fn levels(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// The currently assigned write policy (shared by every level).
+    pub const fn policy(&self) -> WritePolicy {
+        self.policy
+    }
+
+    /// Assigns a new write policy, effective for subsequent accesses.
+    pub fn set_policy(&mut self, policy: WritePolicy) {
+        self.policy = policy;
+    }
+
+    /// Cumulative statistics of level `level`.
+    pub fn stats(&self, level: usize) -> &CacheStats {
+        &self.stats[level]
+    }
+
+    /// Inter-tier movement counters of level `level`.
+    pub fn movement(&self, level: usize) -> &TierMovement {
+        &self.movement[level]
+    }
+
+    /// Number of blocks currently cached at `level`.
+    pub fn cached_blocks(&self, level: usize) -> usize {
+        self.maps[level].len()
+    }
+
+    /// Number of dirty blocks currently held at `level`.
+    pub fn dirty_blocks(&self, level: usize) -> usize {
+        self.maps[level].dirty_blocks()
+    }
+
+    /// Total block capacity across every level.
+    pub fn capacity_blocks(&self) -> usize {
+        self.maps.iter().map(|m| m.capacity_blocks()).sum()
+    }
+
+    /// The level currently holding `block`, if any.
+    pub fn resident_level(&self, block: u64) -> Option<usize> {
+        (0..self.maps.len()).find(|&i| self.maps[i].contains(block))
+    }
+
+    fn block_range(block: u64) -> BlockRange {
+        BlockRange::new(Lba::new(block * BLOCK_SECTORS), BLOCK_SECTORS)
+    }
+
+    /// Pushes one application request through the hierarchy and returns the
+    /// derived station operations under the current policy.
+    pub fn access(&mut self, request: &IoRequest) -> TieredOutcome {
+        let mut outcome = TieredOutcome::new();
+        self.access_into(request, &mut outcome);
+        outcome
+    }
+
+    /// [`TieredCacheModule::access`] into a caller-owned outcome, clearing
+    /// it first — the allocation-free hot path for simulator event loops.
+    pub fn access_into(&mut self, request: &IoRequest, outcome: &mut TieredOutcome) {
+        debug_assert_eq!(
+            request.origin(),
+            RequestOrigin::Application,
+            "only application requests enter the tiered cache module"
+        );
+        outcome.clear();
+        let mut any_miss = false;
+        let mut any_hit = false;
+
+        for block in request.range().block_indices() {
+            let hit = match request.kind() {
+                RequestKind::Read => self.handle_read_block(block, outcome),
+                RequestKind::Write => self.handle_write_block(block, outcome),
+            };
+            if hit {
+                any_hit = true;
+            } else {
+                any_miss = true;
+            }
+        }
+
+        match request.kind() {
+            RequestKind::Read => outcome.set_read_hit(any_hit && !any_miss),
+            RequestKind::Write => outcome.set_write_hit(any_hit && !any_miss),
+        }
+        let disk_in_datapath = outcome
+            .ops()
+            .iter()
+            .any(|op| op.target == TierTarget::Disk && op.origin == RequestOrigin::Application);
+        outcome.set_served_by_cache(!disk_in_datapath);
+    }
+
+    /// Handles one block of an application read. Returns `true` on hit.
+    fn handle_read_block(&mut self, block: u64, outcome: &mut TieredOutcome) -> bool {
+        let range = Self::block_range(block);
+        if let Some(level) = (0..self.maps.len()).find(|&i| self.maps[i].touch(block)) {
+            self.stats[level].read_hits += 1;
+            outcome.note_hit_level(level);
+            outcome.push(TieredOp::new(
+                TierTarget::Level(level),
+                RequestKind::Read,
+                RequestOrigin::Application,
+                range,
+            ));
+            if level > 0 && self.topology.promotion == PromotionPolicy::OnHit {
+                let state = self.maps[level].invalidate(block).expect("hit block is resident");
+                self.insert_cascading(0, block, state, outcome);
+                self.movement[0].promotions_in += 1;
+                self.stats[0].promotes += 1;
+                outcome.push(TieredOp::new(
+                    TierTarget::Level(0),
+                    RequestKind::Write,
+                    RequestOrigin::Promote,
+                    range,
+                ));
+            }
+            return true;
+        }
+
+        // Miss at every level: the disk subsystem supplies the data...
+        self.stats[0].read_misses += 1;
+        outcome.push(TieredOp::new(
+            TierTarget::Disk,
+            RequestKind::Read,
+            RequestOrigin::Application,
+            range,
+        ));
+
+        // ...and, policy permitting, the block is installed per placement.
+        if self.policy.promotes_read_misses() {
+            let place = self.topology.placement_level();
+            self.insert_cascading(place, block, SlotState::Clean, outcome);
+            self.stats[place].promotes += 1;
+            outcome.push(TieredOp::new(
+                TierTarget::Level(place),
+                RequestKind::Write,
+                RequestOrigin::Promote,
+                range,
+            ));
+        } else {
+            self.stats[0].unpromoted_read_misses += 1;
+        }
+        false
+    }
+
+    /// Handles one block of an application write. Returns `true` when the
+    /// write is absorbed by the hierarchy.
+    fn handle_write_block(&mut self, block: u64, outcome: &mut TieredOutcome) -> bool {
+        let range = Self::block_range(block);
+
+        if !self.policy.buffers_writes() {
+            // Read-only cache: the write bypasses to the disk subsystem and
+            // any cached copy becomes stale.
+            self.stats[0].write_bypasses += 1;
+            self.stats[0].write_misses += 1;
+            if let Some(level) = self.resident_level(block) {
+                self.maps[level].invalidate(block);
+                self.stats[level].invalidations += 1;
+            }
+            outcome.push(TieredOp::new(
+                TierTarget::Disk,
+                RequestKind::Write,
+                RequestOrigin::Application,
+                range,
+            ));
+            return false;
+        }
+
+        // Write is absorbed by the hierarchy (WB, WT or WO): write-allocate.
+        let resident = self.resident_level(block);
+        match resident {
+            Some(level) => self.stats[level].write_hits += 1,
+            None => self.stats[0].write_misses += 1,
+        }
+        let state =
+            if self.policy.leaves_dirty_blocks() { SlotState::Dirty } else { SlotState::Clean };
+        let target = match resident {
+            Some(level) if level > 0 && self.topology.promotion == PromotionPolicy::OnHit => {
+                // The write overwrites the block, so it moves to the hot
+                // tier carrying the dirtier of its old and new states.
+                let old = self.maps[level].invalidate(block).expect("hit block is resident");
+                let merged = if old == SlotState::Dirty { SlotState::Dirty } else { state };
+                self.insert_cascading(0, block, merged, outcome);
+                self.movement[0].promotions_in += 1;
+                outcome.note_hit_level(level);
+                0
+            }
+            Some(level) => {
+                // In-place write: refresh recency and upgrade the state,
+                // exactly like the flat module's write-allocate insert.
+                self.insert_cascading(level, block, state, outcome);
+                if self.policy.leaves_dirty_blocks() {
+                    self.maps[level].mark_dirty(block);
+                }
+                outcome.note_hit_level(level);
+                level
+            }
+            None => {
+                self.insert_cascading(0, block, state, outcome);
+                0
+            }
+        };
+
+        outcome.push(TieredOp::new(
+            TierTarget::Level(target),
+            RequestKind::Write,
+            RequestOrigin::Application,
+            range,
+        ));
+
+        if self.policy.writes_through() {
+            outcome.push(TieredOp::new(
+                TierTarget::Disk,
+                RequestKind::Write,
+                RequestOrigin::Application,
+                range,
+            ));
+        }
+        true
+    }
+
+    /// Installs `block` at `level`, cascading any evicted victims down the
+    /// hierarchy per the demotion policy and emitting the data-movement
+    /// operations (always *before* the caller pushes the op that triggered
+    /// the install, matching the flat module's eviction-before-write order).
+    fn insert_cascading(
+        &mut self,
+        level: usize,
+        block: u64,
+        state: SlotState,
+        outcome: &mut TieredOutcome,
+    ) {
+        let mut lvl = level;
+        let mut pending = Some((block, state));
+        while let Some((blk, st)) = pending.take() {
+            match self.maps[lvl].insert(blk, st) {
+                InsertOutcome::Inserted => {}
+                InsertOutcome::AlreadyPresent => {
+                    if st == SlotState::Dirty {
+                        self.maps[lvl].mark_dirty(blk);
+                    }
+                }
+                InsertOutcome::EvictedDirty { victim } => {
+                    pending = self.handle_eviction(lvl, victim, SlotState::Dirty, outcome);
+                }
+                InsertOutcome::EvictedClean { victim } => {
+                    pending = self.handle_eviction(lvl, victim, SlotState::Clean, outcome);
+                }
+            }
+            lvl += 1;
+        }
+    }
+
+    /// Emits the operations for a victim evicted from `from`. Returns the
+    /// `(block, state)` to install one level down when the victim cascades.
+    fn handle_eviction(
+        &mut self,
+        from: usize,
+        victim: u64,
+        state: SlotState,
+        outcome: &mut TieredOutcome,
+    ) -> Option<(u64, SlotState)> {
+        let range = Self::block_range(victim);
+        let last = from + 1 == self.maps.len();
+        let cascades = !last
+            && match (self.topology.demotion, state) {
+                (DemotionPolicy::None, _) => false,
+                (DemotionPolicy::DirtyCascade, SlotState::Clean) => false,
+                (DemotionPolicy::DirtyCascade, SlotState::Dirty) => true,
+                (DemotionPolicy::Cascade, _) => true,
+            };
+        if cascades {
+            match state {
+                SlotState::Dirty => self.stats[from].dirty_evictions += 1,
+                SlotState::Clean => self.stats[from].clean_evictions += 1,
+            }
+            self.movement[from].demotions_out += 1;
+            self.movement[from + 1].demotions_in += 1;
+            // Reading the victim off its level and writing it one level
+            // down: both legs carry the Evict class.
+            outcome.push(TieredOp::new(
+                TierTarget::Level(from),
+                RequestKind::Read,
+                RequestOrigin::Evict,
+                range,
+            ));
+            outcome.push(TieredOp::new(
+                TierTarget::Level(from + 1),
+                RequestKind::Write,
+                RequestOrigin::Evict,
+                range,
+            ));
+            return Some((victim, state));
+        }
+        match state {
+            SlotState::Dirty => {
+                // Flat-cache behaviour: dirty victims write back to the
+                // disk subsystem (SSD read + disk write, Evict class).
+                self.stats[from].dirty_evictions += 1;
+                outcome.push(TieredOp::new(
+                    TierTarget::Level(from),
+                    RequestKind::Read,
+                    RequestOrigin::Evict,
+                    range,
+                ));
+                outcome.push(TieredOp::new(
+                    TierTarget::Disk,
+                    RequestKind::Write,
+                    RequestOrigin::Evict,
+                    range,
+                ));
+            }
+            SlotState::Clean => {
+                self.stats[from].clean_evictions += 1;
+            }
+        }
+        None
+    }
+
+    /// Absorbs a load-balancer spill: a queued application write pulled off
+    /// the hot tier's queue is re-homed at `level`. The block's metadata
+    /// moves with it (dirty under dirty-leaving policies); any demotions
+    /// the installation causes are emitted into `outcome`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is 0 (spills always move *down* the hierarchy) or
+    /// out of bounds.
+    pub fn absorb_spill(&mut self, block: u64, level: usize, outcome: &mut TieredOutcome) {
+        assert!(level > 0 && level < self.maps.len(), "spill target must be a lower level");
+        // Pull the block out of *whichever* level holds it — not just the
+        // levels above the target: by the time a queued write is spilled,
+        // later accesses may already have demoted its metadata below the
+        // target, and leaving that copy behind would break the exclusive-
+        // hierarchy invariant (one resident level per block).
+        let removed =
+            self.resident_level(block).and_then(|i| self.maps[i].invalidate(block).map(|s| (i, s)));
+        let state = match removed {
+            Some((_, SlotState::Dirty)) => SlotState::Dirty,
+            _ if self.policy.leaves_dirty_blocks() => SlotState::Dirty,
+            _ => SlotState::Clean,
+        };
+        self.insert_cascading(level, block, state, outcome);
+        self.movement[level].spills_in += 1;
+    }
+
+    /// Invalidates a cached block wherever it resides (e.g. because a
+    /// controller bypassed the write that would have updated it to the disk
+    /// subsystem), returning its previous state if it was cached.
+    pub fn invalidate_block(&mut self, block: u64) -> Option<SlotState> {
+        let level = self.resident_level(block)?;
+        let state = self.maps[level].invalidate(block);
+        if state.is_some() {
+            self.stats[level].invalidations += 1;
+        }
+        state
+    }
+
+    /// Pre-populates every level to capacity with clean blocks (level 0
+    /// holds blocks `0..cap0`, level 1 the next `cap1`, and so on) without
+    /// touching the statistics — the tiered analogue of the flat module's
+    /// warm-up skip.
+    pub fn prewarm_to_capacity(&mut self) {
+        let mut next = 0u64;
+        for map in &mut self.maps {
+            let cap = map.capacity_blocks() as u64;
+            for block in next..next + cap {
+                let _ = map.insert(block, SlotState::Clean);
+            }
+            next += cap;
+        }
+    }
+
+    /// Pre-populates the *hot tier* with clean copies of the given blocks
+    /// without touching the statistics (the flat module's `prewarm`).
+    pub fn prewarm<I: IntoIterator<Item = u64>>(&mut self, blocks: I) {
+        for block in blocks {
+            let _ = self.maps[0].insert(block, SlotState::Clean);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PlacementPolicy, TierLevelSpec};
+    use lbica_cache::{CacheConfig, ReplacementKind};
+    use lbica_storage::device::SsdConfig;
+    use lbica_storage::request::RequestClass;
+
+    fn spec(num_sets: usize, associativity: usize) -> TierLevelSpec {
+        TierLevelSpec::new(
+            CacheConfig {
+                num_sets,
+                associativity,
+                replacement: ReplacementKind::Lru,
+                initial_policy: WritePolicy::WriteBack,
+            },
+            SsdConfig::samsung_863a(),
+            1,
+        )
+    }
+
+    fn two_level() -> TieredCacheModule {
+        TieredCacheModule::new(TierTopology::two_level(spec(2, 2), spec(4, 2)))
+    }
+
+    fn read(id: u64, sector: u64) -> IoRequest {
+        IoRequest::new(id, RequestKind::Read, RequestOrigin::Application, sector, 8)
+    }
+
+    fn write(id: u64, sector: u64) -> IoRequest {
+        IoRequest::new(id, RequestKind::Write, RequestOrigin::Application, sector, 8)
+    }
+
+    #[test]
+    fn miss_fills_the_hot_tier_and_hits_there() {
+        let mut cache = two_level();
+        let miss = cache.access(&read(1, 0));
+        assert!(!miss.read_hit());
+        assert_eq!(miss.disk_ops().len(), 1);
+        assert_eq!(miss.level_ops(0).len(), 1);
+        assert_eq!(miss.level_ops(0)[0].class(), RequestClass::Promote);
+        let hit = cache.access(&read(2, 0));
+        assert!(hit.read_hit());
+        assert_eq!(hit.hit_level(), Some(0));
+        assert!(hit.served_by_cache());
+        assert_eq!(cache.stats(0).read_hits, 1);
+        assert_eq!(cache.stats(0).read_misses, 1);
+    }
+
+    #[test]
+    fn hot_tier_eviction_demotes_into_the_warm_tier() {
+        let mut cache = two_level();
+        // Hot tier: 2 sets x 2 ways. Blocks 0 and 2 fill set 0; block 4
+        // maps to the same set and forces a dirty eviction of block 0.
+        cache.access(&write(1, 0));
+        cache.access(&write(2, 2 * 8));
+        let out = cache.access(&write(3, 4 * 8));
+        let evict_ops: Vec<_> =
+            out.ops().iter().filter(|op| op.class() == RequestClass::Evict).collect();
+        assert_eq!(evict_ops.len(), 2, "demotion is a level-0 read + level-1 write");
+        assert_eq!(evict_ops[0].target, TierTarget::Level(0));
+        assert_eq!(evict_ops[1].target, TierTarget::Level(1));
+        assert_eq!(cache.movement(0).demotions_out, 1);
+        assert_eq!(cache.movement(1).demotions_in, 1);
+        assert_eq!(cache.cached_blocks(1), 1);
+        assert_eq!(cache.dirty_blocks(1), 1, "the demoted block stays dirty");
+    }
+
+    #[test]
+    fn warm_tier_hit_promotes_back_to_the_hot_tier() {
+        let mut cache = two_level();
+        for i in 0..4u64 {
+            cache.access(&write(i, i * 2 * 8)); // fill set 0, demoting block 0
+        }
+        assert_eq!(cache.resident_level(0), Some(1));
+        let hit = cache.access(&read(10, 0));
+        assert!(hit.read_hit());
+        assert_eq!(hit.hit_level(), Some(1));
+        // The hit is served at level 1, then the block moves up (with a
+        // promote write at level 0 and a demotion of level 0's victim).
+        assert_eq!(hit.level_ops(1)[0].kind, RequestKind::Read);
+        assert!(hit.level_ops(0).iter().any(|op| op.class() == RequestClass::Promote));
+        assert_eq!(cache.resident_level(0), Some(0));
+        assert_eq!(cache.movement(0).promotions_in, 1);
+        assert_eq!(cache.dirty_blocks(0) + cache.dirty_blocks(1), 4, "dirty state survives moves");
+    }
+
+    #[test]
+    fn promotion_never_serves_hits_in_place() {
+        let topo =
+            TierTopology::two_level(spec(2, 2), spec(4, 2)).with_promotion(PromotionPolicy::Never);
+        let mut cache = TieredCacheModule::new(topo);
+        for i in 0..4u64 {
+            cache.access(&write(i, i * 2 * 8));
+        }
+        assert_eq!(cache.resident_level(0), Some(1));
+        let hit = cache.access(&read(10, 0));
+        assert!(hit.read_hit());
+        assert_eq!(cache.resident_level(0), Some(1), "block stays in the warm tier");
+        assert_eq!(cache.movement(0).promotions_in, 0);
+    }
+
+    #[test]
+    fn cold_placement_installs_fills_in_the_last_level() {
+        let topo = TierTopology::two_level(spec(2, 2), spec(4, 2))
+            .with_placement(PlacementPolicy::ColdTier);
+        let mut cache = TieredCacheModule::new(topo);
+        let miss = cache.access(&read(1, 0));
+        assert_eq!(miss.level_ops(1).len(), 1, "the fill lands in the cold tier");
+        assert_eq!(cache.resident_level(0), Some(1));
+        assert_eq!(cache.stats(1).promotes, 1);
+    }
+
+    #[test]
+    fn last_level_dirty_eviction_writes_back_to_disk() {
+        let mut cache = TieredCacheModule::new(TierTopology::single(spec(1, 2)));
+        cache.access(&write(1, 0));
+        cache.access(&write(2, 8));
+        let out = cache.access(&write(3, 16));
+        let evict_targets: Vec<TierTarget> = out
+            .ops()
+            .iter()
+            .filter(|op| op.class() == RequestClass::Evict)
+            .map(|op| op.target)
+            .collect();
+        assert_eq!(evict_targets, vec![TierTarget::Level(0), TierTarget::Disk]);
+        assert_eq!(cache.stats(0).dirty_evictions, 1);
+    }
+
+    #[test]
+    fn dirty_cascade_drops_clean_victims() {
+        let topo = TierTopology::two_level(spec(1, 1), spec(2, 2))
+            .with_promotion(PromotionPolicy::Never)
+            .with_demotion(DemotionPolicy::DirtyCascade);
+        let mut cache = TieredCacheModule::new(topo);
+        cache.access(&read(1, 0)); // clean fill of block 0
+        let out = cache.access(&read(2, 8)); // evicts clean block 0
+        assert!(out.ops().iter().all(|op| op.class() != RequestClass::Evict));
+        assert_eq!(cache.stats(0).clean_evictions, 1);
+        assert_eq!(cache.movement(1).demotions_in, 0);
+        // A dirty victim does cascade.
+        cache.access(&write(3, 16));
+        let out = cache.access(&write(4, 24));
+        assert!(out.ops().iter().any(|op| op.class() == RequestClass::Evict));
+        assert_eq!(cache.movement(1).demotions_in, 1);
+    }
+
+    #[test]
+    fn absorb_spill_rehomes_the_block_dirty() {
+        let mut cache = two_level();
+        cache.access(&write(1, 0));
+        assert_eq!(cache.resident_level(0), Some(0));
+        let mut outcome = TieredOutcome::new();
+        cache.absorb_spill(0, 1, &mut outcome);
+        assert_eq!(cache.resident_level(0), Some(1));
+        assert_eq!(cache.dirty_blocks(1), 1);
+        assert_eq!(cache.movement(1).spills_in, 1);
+    }
+
+    #[test]
+    fn absorb_spill_never_duplicates_a_block_resident_below_the_target() {
+        // Three levels; block 0 is demoted all the way to level 2, then a
+        // stale queued write for it is spilled with target level 1. The
+        // level-2 copy must move, not be shadowed: exactly one resident
+        // level afterwards.
+        let topo = TierTopology::three_level(spec(1, 1), spec(1, 1), spec(4, 2))
+            .with_promotion(PromotionPolicy::Never);
+        let mut cache = TieredCacheModule::new(topo);
+        cache.access(&write(1, 0)); // block 0 dirty at level 0
+        cache.access(&write(2, 8)); // demotes 0 -> level 1
+        cache.access(&write(3, 16)); // demotes 0 -> level 2, 1 -> level 1
+        assert_eq!(cache.resident_level(0), Some(2));
+
+        let mut outcome = TieredOutcome::new();
+        cache.absorb_spill(0, 1, &mut outcome);
+        assert_eq!(cache.resident_level(0), Some(1), "the block re-homes at the target");
+        let copies = (0..3).filter(|&l| cache.cached_blocks(l) > 0).count();
+        assert_eq!(
+            cache.cached_blocks(0) + cache.cached_blocks(1) + cache.cached_blocks(2),
+            3,
+            "three distinct blocks, one copy each (levels occupied: {copies})"
+        );
+        // Invalidating once fully removes it — no stale shadow copy left.
+        assert!(cache.invalidate_block(0).is_some());
+        assert_eq!(cache.resident_level(0), None);
+    }
+
+    #[test]
+    fn ro_policy_bypasses_and_invalidates_across_levels() {
+        let mut cache = two_level();
+        for i in 0..4u64 {
+            cache.access(&write(i, i * 2 * 8)); // block 0 ends up at level 1
+        }
+        assert_eq!(cache.resident_level(0), Some(1));
+        cache.set_policy(WritePolicy::ReadOnly);
+        let out = cache.access(&write(10, 0));
+        assert_eq!(out.disk_ops().len(), 1);
+        assert!(out.level_ops(0).is_empty() && out.level_ops(1).is_empty());
+        assert_eq!(cache.resident_level(0), None);
+        assert_eq!(cache.stats(1).invalidations, 1);
+        assert_eq!(cache.stats(0).write_bypasses, 1);
+    }
+
+    #[test]
+    fn prewarm_to_capacity_fills_every_level() {
+        let mut cache = two_level();
+        cache.prewarm_to_capacity();
+        assert_eq!(cache.cached_blocks(0), 4);
+        assert_eq!(cache.cached_blocks(1), 8);
+        assert_eq!(cache.dirty_blocks(0) + cache.dirty_blocks(1), 0);
+        assert_eq!(cache.stats(0).reads() + cache.stats(0).writes(), 0);
+        // Prewarmed blocks hit: block 5 lives in the warm tier.
+        assert!(cache.access(&read(1, 5 * 8)).read_hit());
+    }
+
+    #[test]
+    fn invalidate_block_finds_any_level() {
+        let mut cache = two_level();
+        cache.prewarm_to_capacity();
+        assert_eq!(cache.invalidate_block(6), Some(SlotState::Clean));
+        assert_eq!(cache.invalidate_block(6), None);
+        assert_eq!(cache.stats(1).invalidations, 1);
+    }
+
+    #[test]
+    fn capacity_sums_levels() {
+        assert_eq!(two_level().capacity_blocks(), 4 + 8);
+        assert_eq!(two_level().levels(), 2);
+    }
+}

@@ -1,0 +1,237 @@
+//! The result of pushing an application request through a tiered cache.
+
+use serde::{Deserialize, Serialize};
+
+use lbica_cache::{CacheOutcome, DerivedOp, TargetDevice};
+use lbica_storage::block::BlockRange;
+use lbica_storage::request::{RequestClass, RequestKind, RequestOrigin};
+
+/// Which station of the tiered hierarchy an operation is destined for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TierTarget {
+    /// Cache level `0..n` (0 = hot tier).
+    Level(usize),
+    /// The backing disk subsystem.
+    Disk,
+}
+
+impl TierTarget {
+    /// The cache-level index, or `None` for the disk subsystem.
+    pub const fn level(self) -> Option<usize> {
+        match self {
+            TierTarget::Level(l) => Some(l),
+            TierTarget::Disk => None,
+        }
+    }
+}
+
+/// One device-level operation derived from an application request by the
+/// tiered cache — the N-level generalization of [`DerivedOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TieredOp {
+    /// Station the operation must be queued at.
+    pub target: TierTarget,
+    /// Transfer direction at that station.
+    pub kind: RequestKind,
+    /// Origin (application / promote / evict / flush) — determines the
+    /// R/W/P/E class seen by the monitors.
+    pub origin: RequestOrigin,
+    /// Sector range of the operation.
+    pub range: BlockRange,
+}
+
+impl TieredOp {
+    /// Creates a tiered operation.
+    pub fn new(
+        target: TierTarget,
+        kind: RequestKind,
+        origin: RequestOrigin,
+        range: BlockRange,
+    ) -> Self {
+        TieredOp { target, kind, origin, range }
+    }
+
+    /// The paper's R/W/P/E class of the operation.
+    pub fn class(&self) -> RequestClass {
+        RequestClass::classify(self.kind, self.origin)
+    }
+}
+
+/// Everything the tiered cache decided for one application request.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TieredOutcome {
+    ops: Vec<TieredOp>,
+    read_hit: bool,
+    write_hit: bool,
+    served_by_cache: bool,
+    hit_level: Option<usize>,
+}
+
+impl TieredOutcome {
+    /// Creates an empty outcome.
+    pub fn new() -> Self {
+        TieredOutcome::default()
+    }
+
+    /// Resets the outcome to its empty state, keeping the op buffer's
+    /// allocation so a simulator loop can reuse one outcome per access.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.read_hit = false;
+        self.write_hit = false;
+        self.served_by_cache = false;
+        self.hit_level = None;
+    }
+
+    /// Appends a derived operation.
+    pub fn push(&mut self, op: TieredOp) {
+        self.ops.push(op);
+    }
+
+    pub(crate) fn set_read_hit(&mut self, hit: bool) {
+        self.read_hit = hit;
+    }
+
+    pub(crate) fn set_write_hit(&mut self, hit: bool) {
+        self.write_hit = hit;
+    }
+
+    pub(crate) fn set_served_by_cache(&mut self, by_cache: bool) {
+        self.served_by_cache = by_cache;
+    }
+
+    pub(crate) fn note_hit_level(&mut self, level: usize) {
+        self.hit_level = Some(match self.hit_level {
+            Some(existing) => existing.max(level),
+            None => level,
+        });
+    }
+
+    /// Whether the read was served entirely from the hierarchy.
+    pub fn read_hit(&self) -> bool {
+        self.read_hit
+    }
+
+    /// Whether the write was absorbed entirely by the hierarchy.
+    pub fn write_hit(&self) -> bool {
+        self.write_hit
+    }
+
+    /// Whether the application-visible latency is determined by a cache
+    /// level (as opposed to the disk subsystem).
+    pub fn served_by_cache(&self) -> bool {
+        self.served_by_cache
+    }
+
+    /// The deepest (coldest) level any block of the request hit at, if any
+    /// block hit at all.
+    pub fn hit_level(&self) -> Option<usize> {
+        self.hit_level
+    }
+
+    /// All derived operations, in issue order.
+    pub fn ops(&self) -> &[TieredOp] {
+        &self.ops
+    }
+
+    /// The operations destined for cache level `level`.
+    pub fn level_ops(&self, level: usize) -> Vec<&TieredOp> {
+        self.ops.iter().filter(|op| op.target == TierTarget::Level(level)).collect()
+    }
+
+    /// The operations destined for the disk subsystem.
+    pub fn disk_ops(&self) -> Vec<&TieredOp> {
+        self.ops.iter().filter(|op| op.target == TierTarget::Disk).collect()
+    }
+
+    /// Renders this outcome as a flat [`CacheOutcome`], mapping every cache
+    /// level to [`TargetDevice::Ssd`] and the disk to [`TargetDevice::Hdd`].
+    /// For a single-level hierarchy this is the exact flat-cache outcome —
+    /// the equivalence the tier test-suite pins.
+    pub fn as_flat(&self) -> CacheOutcome {
+        let mut flat = CacheOutcome::new();
+        for op in &self.ops {
+            let target = match op.target {
+                TierTarget::Level(_) => TargetDevice::Ssd,
+                TierTarget::Disk => TargetDevice::Hdd,
+            };
+            flat.push(DerivedOp::new(target, op.kind, op.origin, op.range));
+        }
+        flat.set_read_hit(self.read_hit);
+        flat.set_write_hit(self.write_hit);
+        flat.set_served_by_cache(self.served_by_cache);
+        flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbica_storage::block::Lba;
+
+    fn range() -> BlockRange {
+        BlockRange::new(Lba::new(0), 8)
+    }
+
+    #[test]
+    fn tier_target_exposes_level() {
+        assert_eq!(TierTarget::Level(2).level(), Some(2));
+        assert_eq!(TierTarget::Disk.level(), None);
+    }
+
+    #[test]
+    fn ops_partition_by_target() {
+        let mut o = TieredOutcome::new();
+        o.push(TieredOp::new(
+            TierTarget::Level(0),
+            RequestKind::Read,
+            RequestOrigin::Application,
+            range(),
+        ));
+        o.push(TieredOp::new(
+            TierTarget::Level(1),
+            RequestKind::Write,
+            RequestOrigin::Evict,
+            range(),
+        ));
+        o.push(TieredOp::new(TierTarget::Disk, RequestKind::Write, RequestOrigin::Evict, range()));
+        assert_eq!(o.level_ops(0).len(), 1);
+        assert_eq!(o.level_ops(1).len(), 1);
+        assert_eq!(o.disk_ops().len(), 1);
+        assert_eq!(o.ops()[1].class(), RequestClass::Evict);
+    }
+
+    #[test]
+    fn as_flat_maps_levels_to_ssd() {
+        let mut o = TieredOutcome::new();
+        o.push(TieredOp::new(
+            TierTarget::Level(1),
+            RequestKind::Read,
+            RequestOrigin::Application,
+            range(),
+        ));
+        o.push(TieredOp::new(
+            TierTarget::Disk,
+            RequestKind::Write,
+            RequestOrigin::Application,
+            range(),
+        ));
+        o.set_read_hit(true);
+        let flat = o.as_flat();
+        assert_eq!(flat.ssd_ops().len(), 1);
+        assert_eq!(flat.hdd_ops().len(), 1);
+        assert!(flat.read_hit());
+    }
+
+    #[test]
+    fn hit_level_records_the_deepest_hit() {
+        let mut o = TieredOutcome::new();
+        assert_eq!(o.hit_level(), None);
+        o.note_hit_level(0);
+        o.note_hit_level(2);
+        o.note_hit_level(1);
+        assert_eq!(o.hit_level(), Some(2));
+        o.clear();
+        assert_eq!(o.hit_level(), None);
+    }
+}

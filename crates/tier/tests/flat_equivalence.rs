@@ -1,0 +1,131 @@
+//! Model-based equivalence: a single-level [`TieredCacheModule`] must be
+//! observably identical to the flat [`CacheModule`] — same derived
+//! operations in the same order, same statistics, same occupancy — for any
+//! sequence of accesses, policy switches and invalidations. This mirrors
+//! the PR-3 `model_equivalence` suite that pinned the slot-arena rewrite,
+//! and is what makes the tiered simulator path a pure superset of the flat
+//! one.
+
+use proptest::prelude::*;
+
+use lbica_cache::{CacheConfig, CacheModule, ReplacementKind, WritePolicy};
+use lbica_storage::request::{IoRequest, RequestKind, RequestOrigin};
+use lbica_tier::{TierLevelSpec, TierTopology, TieredCacheModule, TieredOutcome};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Read(u64),
+    Write(u64),
+    /// A multi-block request starting at `block` spanning `len` blocks.
+    BigRead(u64, u64),
+    BigWrite(u64, u64),
+    SetPolicy(WritePolicy),
+    Invalidate(u64),
+}
+
+fn arb_policy() -> impl Strategy<Value = WritePolicy> {
+    prop_oneof![
+        Just(WritePolicy::WriteBack),
+        Just(WritePolicy::WriteThrough),
+        Just(WritePolicy::ReadOnly),
+        Just(WritePolicy::WriteOnly),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0u8..6, 0u64..64, 1u64..4, arb_policy()).prop_map(|(which, block, len, policy)| match which {
+        0 => Op::Read(block),
+        1 => Op::Write(block),
+        2 => Op::BigRead(block, len),
+        3 => Op::BigWrite(block, len),
+        4 => Op::SetPolicy(policy),
+        _ => Op::Invalidate(block),
+    })
+}
+
+fn arb_geometry() -> impl Strategy<Value = (usize, usize)> {
+    prop_oneof![Just((8usize, 2usize)), Just((7, 2)), Just((4, 4)), Just((1, 8)), Just((2, 1))]
+}
+
+fn arb_replacement() -> impl Strategy<Value = ReplacementKind> {
+    prop_oneof![Just(ReplacementKind::Lru), Just(ReplacementKind::Fifo)]
+}
+
+fn request(id: u64, kind: RequestKind, block: u64, blocks: u64) -> IoRequest {
+    IoRequest::new(id, kind, RequestOrigin::Application, block * 8, blocks * 8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn one_level_hierarchy_matches_the_flat_cache(
+        (num_sets, associativity) in arb_geometry(),
+        replacement in arb_replacement(),
+        prewarm in 0u64..16,
+        ops in proptest::collection::vec(arb_op(), 1..250),
+    ) {
+        let config = CacheConfig {
+            num_sets,
+            associativity,
+            replacement,
+            initial_policy: WritePolicy::WriteBack,
+        };
+        let mut flat = CacheModule::new(config);
+        let mut tiered = TieredCacheModule::new(TierTopology::single(TierLevelSpec::new(
+            config,
+            lbica_storage::device::SsdConfig::samsung_863a(),
+            1,
+        )));
+        flat.prewarm(0..prewarm);
+        tiered.prewarm(0..prewarm);
+
+        let mut scratch = TieredOutcome::new();
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Read(block) => {
+                    let req = request(step as u64, RequestKind::Read, block, 1);
+                    let a = flat.access(&req);
+                    tiered.access_into(&req, &mut scratch);
+                    prop_assert_eq!(&a, &scratch.as_flat(), "read({}) diverged at step {}", block, step);
+                }
+                Op::Write(block) => {
+                    let req = request(step as u64, RequestKind::Write, block, 1);
+                    let a = flat.access(&req);
+                    tiered.access_into(&req, &mut scratch);
+                    prop_assert_eq!(&a, &scratch.as_flat(), "write({}) diverged at step {}", block, step);
+                }
+                Op::BigRead(block, len) => {
+                    let req = request(step as u64, RequestKind::Read, block, len);
+                    let a = flat.access(&req);
+                    tiered.access_into(&req, &mut scratch);
+                    prop_assert_eq!(&a, &scratch.as_flat(), "big read({}, {}) diverged at step {}", block, len, step);
+                }
+                Op::BigWrite(block, len) => {
+                    let req = request(step as u64, RequestKind::Write, block, len);
+                    let a = flat.access(&req);
+                    tiered.access_into(&req, &mut scratch);
+                    prop_assert_eq!(&a, &scratch.as_flat(), "big write({}, {}) diverged at step {}", block, len, step);
+                }
+                Op::SetPolicy(policy) => {
+                    flat.set_policy(policy);
+                    tiered.set_policy(policy);
+                }
+                Op::Invalidate(block) => {
+                    prop_assert_eq!(
+                        flat.invalidate_block(block),
+                        tiered.invalidate_block(block),
+                        "invalidate({}) diverged at step {}", block, step
+                    );
+                }
+            }
+
+            // Observable state agrees after every operation.
+            prop_assert_eq!(flat.policy(), tiered.policy());
+            prop_assert_eq!(flat.stats(), tiered.stats(0), "stats diverged at step {}", step);
+            prop_assert_eq!(flat.cached_blocks(), tiered.cached_blocks(0), "occupancy diverged at step {}", step);
+            prop_assert_eq!(flat.dirty_blocks(), tiered.dirty_blocks(0), "dirty count diverged at step {}", step);
+        }
+        prop_assert_eq!(flat.capacity_blocks(), tiered.capacity_blocks());
+    }
+}

@@ -59,9 +59,20 @@ impl BinaryTraceCodec {
     pub const RECORD_BYTES: usize = 8 + 8 + 4 + 1;
 
     /// Encodes records into a byte buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a record's length exceeds the format's 32-bit field
+    /// (`u32::MAX` sectors — two terabytes per request; real traces top out
+    /// at a few thousand).
     pub fn encode(&self, records: &[TraceRecord]) -> Bytes {
         let mut buf = BytesMut::with_capacity(records.len() * Self::RECORD_BYTES);
         for rec in records {
+            assert!(
+                rec.sectors <= u32::MAX as u64,
+                "record length {} sectors exceeds the binary format's 32-bit field",
+                rec.sectors
+            );
             buf.put_u64_le(rec.timestamp_us);
             buf.put_u64_le(rec.sector);
             buf.put_u32_le(rec.sectors as u32);
@@ -75,7 +86,9 @@ impl BinaryTraceCodec {
     /// # Errors
     ///
     /// Returns `InvalidData` when the buffer length is not a whole number of
-    /// records or a record is malformed (zero length).
+    /// records or a record is malformed (zero length, unknown direction
+    /// byte), and `UnexpectedEof` when a record is cut short — decoding
+    /// never panics, whatever the input.
     pub fn decode(&self, mut data: Bytes) -> io::Result<Vec<TraceRecord>> {
         if !data.len().is_multiple_of(Self::RECORD_BYTES) {
             return Err(io::Error::new(
@@ -85,6 +98,15 @@ impl BinaryTraceCodec {
         }
         let mut out = Vec::with_capacity(data.len() / Self::RECORD_BYTES);
         while data.has_remaining() {
+            // Defence in depth: the length check above makes a short record
+            // impossible, but a truncated read must surface as an error —
+            // never as a panic inside the buffer accessors.
+            if data.remaining() < Self::RECORD_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "binary trace record is truncated",
+                ));
+            }
             let ts = data.get_u64_le();
             let sector = data.get_u64_le();
             let sectors = data.get_u32_le() as u64;
@@ -95,7 +117,16 @@ impl BinaryTraceCodec {
                     "binary trace record has zero length",
                 ));
             }
-            let kind = if dir == 0 { RequestKind::Read } else { RequestKind::Write };
+            let kind = match dir {
+                0 => RequestKind::Read,
+                1 => RequestKind::Write,
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("binary trace record has unknown direction byte {other}"),
+                    ));
+                }
+            };
             out.push(TraceRecord::new(ts, sector, sectors, kind));
         }
         Ok(out)
@@ -152,6 +183,39 @@ mod tests {
         let mut encoded = codec.encode(&sample()).to_vec();
         encoded.pop();
         assert!(codec.decode(Bytes::from(encoded)).is_err());
+    }
+
+    #[test]
+    fn binary_decoder_rejects_unknown_direction_bytes() {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(0);
+        buf.put_u64_le(0);
+        buf.put_u32_le(8);
+        buf.put_u8(7); // neither read (0) nor write (1)
+        let err = BinaryTraceCodec.decode(buf.freeze()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("direction"));
+    }
+
+    #[test]
+    fn binary_codec_round_trips_extreme_field_values() {
+        let extremes = vec![
+            TraceRecord::new(u64::MAX, u64::MAX, u32::MAX as u64, RequestKind::Write),
+            TraceRecord::new(0, 0, 1, RequestKind::Read),
+        ];
+        let decoded = BinaryTraceCodec.decode(BinaryTraceCodec.encode(&extremes)).unwrap();
+        assert_eq!(decoded, extremes);
+        // The empty trace round-trips to an empty buffer.
+        let empty = BinaryTraceCodec.encode(&[]);
+        assert!(empty.is_empty());
+        assert!(BinaryTraceCodec.decode(empty).unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "32-bit field")]
+    fn binary_encoder_rejects_oversized_lengths() {
+        let too_big = vec![TraceRecord::new(0, 0, u32::MAX as u64 + 1, RequestKind::Read)];
+        let _ = BinaryTraceCodec.encode(&too_big);
     }
 
     #[test]

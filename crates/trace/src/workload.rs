@@ -16,6 +16,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::gen::{generate_stream, AccessPattern, ArrivalProcess, PatternSpec};
+use crate::io::BinaryTraceCodec;
 use crate::record::TraceRecord;
 
 /// Whether a phase is expected to overload the I/O cache.
@@ -143,7 +144,17 @@ impl Default for WorkloadScale {
     }
 }
 
-/// A complete phase-structured workload.
+/// A captured trace carried by a replay workload: records sorted by
+/// timestamp plus the number of monitoring intervals the trace spans.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ReplayTrace {
+    records: Vec<TraceRecord>,
+    intervals: u32,
+}
+
+/// A complete phase-structured workload — or, when built from a captured
+/// trace via [`WorkloadSpec::replay`], a deterministic replay that feeds
+/// the recorded arrivals through the same interval loop.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadSpec {
     name: String,
@@ -151,13 +162,81 @@ pub struct WorkloadSpec {
     interval_us: u64,
     phases: Vec<BurstPhase>,
     base_block: u64,
+    replay: Option<ReplayTrace>,
 }
 
 impl WorkloadSpec {
     /// Creates an empty workload; add phases with [`WorkloadSpec::push_phase`].
     pub fn new(name: impl Into<String>, kind: WorkloadKind, interval_us: u64) -> Self {
         assert!(interval_us > 0, "interval length must be positive");
-        WorkloadSpec { name: name.into(), kind, interval_us, phases: Vec::new(), base_block: 0 }
+        WorkloadSpec {
+            name: name.into(),
+            kind,
+            interval_us,
+            phases: Vec::new(),
+            base_block: 0,
+            replay: None,
+        }
+    }
+
+    /// Builds a workload that *replays* a captured trace instead of
+    /// generating synthetic arrivals: every monitoring interval feeds the
+    /// recorded requests whose timestamps fall inside it, in timestamp
+    /// order, ignoring the stream seed (replays are inherently
+    /// deterministic — the same trace gives bit-identical runs at any
+    /// worker count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_us` is zero.
+    pub fn replay(
+        name: impl Into<String>,
+        interval_us: u64,
+        mut records: Vec<TraceRecord>,
+    ) -> Self {
+        assert!(interval_us > 0, "interval length must be positive");
+        records.sort_by_key(|r| r.timestamp_us);
+        let intervals = match records.last() {
+            Some(last) => (last.timestamp_us / interval_us + 1)
+                .try_into()
+                .expect("trace span fits the interval counter"),
+            None => 0,
+        };
+        WorkloadSpec {
+            name: name.into(),
+            kind: WorkloadKind::Custom,
+            interval_us,
+            phases: Vec::new(),
+            base_block: 0,
+            replay: Some(ReplayTrace { records, intervals }),
+        }
+    }
+
+    /// [`WorkloadSpec::replay`] from a [`BinaryTraceCodec`]-encoded buffer —
+    /// the bridge from captured trace files to scenario-matrix cells.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the codec's decoding errors (truncated or malformed
+    /// buffers).
+    pub fn replay_from_binary(
+        name: impl Into<String>,
+        interval_us: u64,
+        data: bytes::Bytes,
+    ) -> std::io::Result<Self> {
+        let records = BinaryTraceCodec.decode(data)?;
+        Ok(WorkloadSpec::replay(name, interval_us, records))
+    }
+
+    /// Whether this workload replays a captured trace.
+    pub fn is_replay(&self) -> bool {
+        self.replay.is_some()
+    }
+
+    /// The captured records of a replay workload (empty for synthetic
+    /// workloads).
+    pub fn replay_records(&self) -> &[TraceRecord] {
+        self.replay.as_ref().map_or(&[], |r| r.records.as_slice())
     }
 
     /// Appends a phase (builder style).
@@ -192,9 +271,13 @@ impl WorkloadSpec {
         &self.phases
     }
 
-    /// Total number of monitoring intervals across all phases.
+    /// Total number of monitoring intervals: the sum over all phases, or
+    /// the captured trace's span for a replay workload.
     pub fn total_intervals(&self) -> u32 {
-        self.phases.iter().map(|p| p.intervals).sum()
+        match &self.replay {
+            Some(replay) => replay.intervals,
+            None => self.phases.iter().map(|p| p.intervals).sum(),
+        }
     }
 
     /// Total simulated duration in microseconds.
@@ -221,8 +304,17 @@ impl WorkloadSpec {
     }
 
     /// Generates the open-loop request stream for monitoring interval
-    /// `index`, deterministically for a given `seed`.
+    /// `index`, deterministically for a given `seed`. Replay workloads
+    /// return the captured records falling inside the interval window (the
+    /// seed is ignored — a replay is the same stream for every seed).
     pub fn generate_interval(&self, index: u32, seed: u64) -> Vec<TraceRecord> {
+        if let Some(replay) = &self.replay {
+            let lo = index as u64 * self.interval_us;
+            let hi = lo + self.interval_us;
+            let start = replay.records.partition_point(|r| r.timestamp_us < lo);
+            let end = replay.records.partition_point(|r| r.timestamp_us < hi);
+            return replay.records[start..end].to_vec();
+        }
         let Some((phase_idx, phase)) = self.phase_for_interval(index) else {
             return Vec::new();
         };
@@ -603,6 +695,58 @@ mod tests {
         let a = writes.generate_interval(burst_interval, 5);
         assert!(!a.is_empty());
         assert_eq!(a, writes.generate_interval(burst_interval, 5));
+    }
+
+    #[test]
+    fn replay_workload_feeds_back_the_captured_stream() {
+        use lbica_storage::request::RequestKind;
+        // Deliberately unsorted capture spanning three 1 ms intervals.
+        let records = vec![
+            TraceRecord::new(2_500, 160, 8, RequestKind::Write),
+            TraceRecord::new(100, 0, 8, RequestKind::Read),
+            TraceRecord::new(1_200, 80, 16, RequestKind::Write),
+            TraceRecord::new(999, 40, 8, RequestKind::Read),
+        ];
+        let spec = WorkloadSpec::replay("capture", 1_000, records);
+        assert!(spec.is_replay());
+        assert_eq!(spec.total_intervals(), 3);
+        assert_eq!(spec.replay_records().len(), 4);
+        // Interval 0 holds the two sub-millisecond records, sorted.
+        let i0 = spec.generate_interval(0, 42);
+        assert_eq!(i0.len(), 2);
+        assert!(i0[0].timestamp_us <= i0[1].timestamp_us);
+        assert_eq!(spec.generate_interval(1, 42).len(), 1);
+        assert_eq!(spec.generate_interval(2, 42).len(), 1);
+        assert!(spec.generate_interval(3, 42).is_empty());
+        // The seed does not matter: replays are the same stream always.
+        assert_eq!(spec.generate_all(1), spec.generate_all(99));
+        assert_eq!(spec.generate_all(1).len(), 4);
+        // Burst/phase machinery reports the replay has no phases.
+        assert!(!spec.is_burst_interval(0));
+        assert!(spec.phase_for_interval(0).is_none());
+    }
+
+    #[test]
+    fn empty_replay_has_no_intervals() {
+        let spec = WorkloadSpec::replay("empty", 1_000, Vec::new());
+        assert_eq!(spec.total_intervals(), 0);
+        assert!(spec.generate_interval(0, 1).is_empty());
+    }
+
+    #[test]
+    fn replay_from_binary_round_trips_through_the_codec() {
+        use crate::io::BinaryTraceCodec;
+        use lbica_storage::request::RequestKind;
+        let records = vec![
+            TraceRecord::new(10, 8, 8, RequestKind::Read),
+            TraceRecord::new(20, 16, 8, RequestKind::Write),
+        ];
+        let encoded = BinaryTraceCodec.encode(&records);
+        let spec = WorkloadSpec::replay_from_binary("bin", 1_000, encoded).unwrap();
+        assert_eq!(spec.replay_records(), records.as_slice());
+        // Malformed buffers propagate the codec error.
+        let bad = bytes::Bytes::from(vec![1u8, 2, 3]);
+        assert!(WorkloadSpec::replay_from_binary("bad", 1_000, bad).is_err());
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! Property-based tests of the workload generators, monitors and trace
 //! analysis.
 
+use bytes::Bytes;
 use proptest::prelude::*;
 
 use lbica_storage::block::BLOCK_SECTORS;
 use lbica_storage::request::RequestKind;
 use lbica_trace::analyze::{analyze_intervals, TraceAnalysis};
 use lbica_trace::gen::{generate_stream, AccessPattern, ArrivalProcess, PatternSpec};
+use lbica_trace::io::BinaryTraceCodec;
 use lbica_trace::monitor::{IostatCollector, Tier};
 use lbica_trace::record::TraceRecord;
 use lbica_trace::workload::{BurstPhase, PhaseIntensity, WorkloadKind, WorkloadSpec};
@@ -158,6 +160,88 @@ proptest! {
         let per_interval = analyze_intervals(&trace, 50_000);
         let split_total: u64 = per_interval.iter().map(|a| a.requests).sum();
         prop_assert_eq!(split_total, analysis.requests);
+    }
+
+    #[test]
+    fn binary_codec_round_trips_extreme_values(
+        records in proptest::collection::vec(
+            // Full-range timestamps and sector addresses, full 32-bit
+            // lengths — the fields the wire format must carry losslessly.
+            (
+                prop_oneof![Just(0u64), Just(u64::MAX), any::<u64>()],
+                prop_oneof![Just(0u64), Just(u64::MAX), any::<u64>()],
+                prop_oneof![Just(1u64), Just(u32::MAX as u64), 1u64..100_000],
+                any::<bool>(),
+            ),
+            0..64,
+        ),
+    ) {
+        // Covers the zero-length (empty) trace: the vec strategy starts
+        // at zero elements.
+        let trace: Vec<TraceRecord> = records
+            .iter()
+            .map(|(ts, sector, len, read)| {
+                TraceRecord::new(
+                    *ts,
+                    *sector,
+                    *len,
+                    if *read { RequestKind::Read } else { RequestKind::Write },
+                )
+            })
+            .collect();
+        let codec = BinaryTraceCodec;
+        let encoded = codec.encode(&trace);
+        prop_assert_eq!(encoded.len(), trace.len() * BinaryTraceCodec::RECORD_BYTES);
+        let decoded = codec.decode(encoded).expect("well-formed buffer decodes");
+        prop_assert_eq!(decoded, trace);
+    }
+
+    #[test]
+    fn binary_decoder_never_panics_on_arbitrary_bytes(
+        raw in proptest::collection::vec(any::<u64>(), 0..200),
+        cut in 0usize..64,
+    ) {
+        // Arbitrary buffers of arbitrary (including truncated) lengths:
+        // decode must return Ok or Err, never panic.
+        let mut bytes: Vec<u8> = raw.iter().flat_map(|w| w.to_le_bytes()).collect();
+        bytes.truncate(bytes.len().saturating_sub(cut));
+        let _ = BinaryTraceCodec.decode(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn replay_workloads_partition_their_trace_across_intervals(
+        records in proptest::collection::vec(
+            (0u64..500_000, 0u64..100_000, 1u64..64, any::<bool>()),
+            0..150,
+        ),
+        interval_us in 1_000u64..100_000,
+    ) {
+        let trace: Vec<TraceRecord> = records
+            .iter()
+            .map(|(ts, sector, len, read)| {
+                TraceRecord::new(
+                    *ts,
+                    *sector,
+                    *len,
+                    if *read { RequestKind::Read } else { RequestKind::Write },
+                )
+            })
+            .collect();
+        let spec = WorkloadSpec::replay("prop-replay", interval_us, trace.clone());
+        // Concatenating every interval recovers the whole capture, sorted.
+        let mut replayed = Vec::new();
+        for idx in 0..spec.total_intervals() {
+            let chunk = spec.generate_interval(idx, 7);
+            for r in &chunk {
+                let lo = idx as u64 * interval_us;
+                prop_assert!(r.timestamp_us >= lo && r.timestamp_us < lo + interval_us);
+            }
+            replayed.extend(chunk);
+        }
+        prop_assert_eq!(replayed.len(), trace.len());
+        let mut sorted = trace;
+        sorted.sort_by_key(|r| r.timestamp_us);
+        prop_assert_eq!(replayed, sorted);
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub use lbica_core as core;
 pub use lbica_lab as lab;
 pub use lbica_sim as sim;
 pub use lbica_storage as storage;
+pub use lbica_tier as tier;
 pub use lbica_trace as trace;
 
 pub mod prelude {
@@ -33,21 +34,26 @@ pub mod prelude {
         CacheConfig, CacheModule, CacheOutcome, CacheStats, ReplacementKind, WritePolicy,
     };
     pub use lbica_core::{
-        BottleneckDetector, LbicaController, RequestMix, SibController, WbController,
-        WorkloadCharacterizer, WorkloadComparison, WorkloadGroup,
+        BottleneckDetector, LbicaController, RequestMix, SibController, SpillPlanner, SpillTarget,
+        WbController, WorkloadCharacterizer, WorkloadComparison, WorkloadGroup,
     };
     pub use lbica_lab::{
         Aggregator, ConfigAxis, ControllerKind, CsvSink, JsonSink, Scenario, ScenarioMatrix,
         SeedMode, SweepExecutor, SweepSummary,
     };
     pub use lbica_sim::{
-        CacheController, ControllerContext, ControllerDecision, Simulation, SimulationConfig,
-        SimulationReport, StaticPolicyController, StorageSystem,
+        CacheController, ControllerContext, ControllerDecision, DiskDeviceConfig, Simulation,
+        SimulationConfig, SimulationReport, StaticPolicyController, StorageSystem, TierLevelStats,
+        TieredStorageSystem,
     };
     pub use lbica_storage::device::{DeviceModel, HddModel, SsdModel};
     pub use lbica_storage::queue::DeviceQueue;
     pub use lbica_storage::request::{IoRequest, RequestClass, RequestKind, RequestOrigin};
     pub use lbica_storage::time::{SimDuration, SimTime};
+    pub use lbica_tier::{
+        DemotionPolicy, PlacementPolicy, PromotionPolicy, TierLevelSpec, TierTopology,
+        TieredCacheModule,
+    };
     pub use lbica_trace::record::TraceRecord;
     pub use lbica_trace::workload::{WorkloadScale, WorkloadSpec};
 }

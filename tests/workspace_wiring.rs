@@ -65,6 +65,40 @@ fn prelude_sweep_subsystem_composes() {
 }
 
 #[test]
+fn prelude_tier_subsystem_composes() {
+    // The tiered working set must be reachable from the prelude alone:
+    // build a hierarchy over prelude types, run a workload through the
+    // tiered datapath and read the per-tier stats off the report.
+    let topology = TierTopology::two_level(
+        TierLevelSpec::new(CacheConfig::small_test(), *SsdModel::samsung_863a().config(), 1),
+        TierLevelSpec::new(CacheConfig::small_test(), *SsdModel::midrange_sata().config(), 2),
+    )
+    .with_placement(PlacementPolicy::HotTier)
+    .with_promotion(PromotionPolicy::OnHit)
+    .with_demotion(DemotionPolicy::Cascade);
+    let mut module = TieredCacheModule::new(topology);
+    let read = IoRequest::new(1, RequestKind::Read, RequestOrigin::Application, 0, 8);
+    assert!(!module.access(&read).read_hit());
+
+    let spec = WorkloadSpec::web_server_scaled(WorkloadScale::tiny());
+    let report = Simulation::new(SimulationConfig::tiny_two_tier(), spec, 11)
+        .run(&mut LbicaController::new());
+    assert_eq!(report.tier_count(), 2);
+    let hot: &TierLevelStats = report.tier(0).expect("hot tier stats");
+    assert!(hot.hits > 0);
+    assert!(report.app_completed > 0);
+
+    // The spill planner is reachable and decides over a tier vector.
+    let planner = SpillPlanner::new();
+    let loads = [
+        lbica::sim::TierLoad { queue_depth: 50, avg_latency: SimDuration::from_micros(75) },
+        lbica::sim::TierLoad { queue_depth: 1, avg_latency: SimDuration::from_micros(150) },
+    ];
+    let plan = planner.plan(&loads, 2, SimDuration::from_micros(385));
+    assert_eq!(plan.target, SpillTarget::Level(1));
+}
+
+#[test]
 fn prelude_controllers_share_one_interface() {
     let spec = WorkloadSpec::web_server_scaled(WorkloadScale::tiny());
     let mut controllers: Vec<Box<dyn CacheController>> = vec![
