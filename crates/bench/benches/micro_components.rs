@@ -124,6 +124,7 @@ fn bench_sib_selection(c: &mut Criterion) {
                     current_policy: lbica_cache::WritePolicy::WriteThrough,
                     cache_queue: &queue,
                     tier_loads: &[],
+                    tier_policies: &[],
                 };
                 sib.on_interval(&ctx)
             },

@@ -2,7 +2,8 @@
 //! CSV/JSON summaries.
 //!
 //! ```text
-//! sweep [--matrix tiny|geometry|devices|tiered|replacement|replay|paper]
+//! sweep [--matrix tiny|geometry|devices|tiered|tier-policy|inclusion
+//!               |replacement|replay|paper]
 //!       [--jobs N] [--out DIR] [--list]
 //! ```
 //!
@@ -15,6 +16,10 @@
 //! * `devices` — SSD vs HDD disk subsystem (18 cells).
 //! * `tiered` — flat vs two-level vs three-level cache hierarchy
 //!   (27 cells).
+//! * `tier-policy` — per-tier write policies (uniform WB, write-through
+//!   warm tier, read-only warm tier) under the WB baseline, LBICA and the
+//!   tier-aware LBICA-T (27 cells).
+//! * `inclusion` — exclusive vs inclusive two-level hierarchy (18 cells).
 //! * `replacement` — LRU vs FIFO victim selection (18 cells).
 //! * `replay` — captured traces round-tripped through the binary codec
 //!   and replayed (6 cells).
@@ -34,11 +39,13 @@ use std::time::Instant;
 use lbica_bench::SuiteConfig;
 use lbica_lab::{CsvSink, JsonSink, ScenarioMatrix, SweepExecutor, SweepSummary};
 
-const MATRICES: [(&str, &str); 7] = [
+const MATRICES: [(&str, &str); 9] = [
     ("tiny", "4 workloads x 3 controllers x 3 seeds, tiny scale (36 cells)"),
     ("geometry", "cache-size sweep: 64/128/256 sets (27 cells)"),
     ("devices", "mid-range-SSD vs 7.2K-HDD disk subsystem (18 cells)"),
     ("tiered", "flat vs 2-level vs 3-level cache hierarchy (27 cells)"),
+    ("tier-policy", "per-tier write policies under WB/LBICA/LBICA-T (27 cells)"),
+    ("inclusion", "exclusive vs inclusive two-level hierarchy (18 cells)"),
     ("replacement", "LRU vs FIFO victim selection (18 cells)"),
     ("replay", "codec-round-tripped trace-replay cells (6 cells)"),
     ("paper", "the canonical figure matrix at published scale (9 cells, slow)"),
@@ -78,7 +85,7 @@ fn parse_args() -> Result<Option<Options>, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: sweep [--matrix tiny|geometry|devices|tiered|replacement|replay|paper] [--jobs N] [--out DIR] [--list]"
+                    "usage: sweep [--matrix tiny|geometry|devices|tiered|tier-policy|inclusion|replacement|replay|paper] [--jobs N] [--out DIR] [--list]"
                 );
                 return Ok(None);
             }
@@ -94,6 +101,8 @@ fn build_matrix(name: &str) -> Result<ScenarioMatrix, String> {
         "geometry" => Ok(ScenarioMatrix::geometry()),
         "devices" => Ok(ScenarioMatrix::devices()),
         "tiered" => Ok(ScenarioMatrix::tiered()),
+        "tier-policy" => Ok(ScenarioMatrix::tier_policy()),
+        "inclusion" => Ok(ScenarioMatrix::inclusion()),
         "replacement" => Ok(ScenarioMatrix::replacement()),
         "replay" => Ok(ScenarioMatrix::replay_demo()),
         "paper" => {

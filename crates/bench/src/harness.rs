@@ -66,11 +66,19 @@ pub struct WorkloadResult {
 
 impl WorkloadResult {
     /// The report for a given scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`ControllerKind::LbicaTier`]: the paper's figure suite
+    /// compares exactly WB, SIB and LBICA.
     pub fn report(&self, kind: ControllerKind) -> &SimulationReport {
         match kind {
             ControllerKind::Wb => &self.wb,
             ControllerKind::Sib => &self.sib,
             ControllerKind::Lbica => &self.lbica,
+            ControllerKind::LbicaTier => {
+                panic!("the paper suite tracks WB/SIB/LBICA only")
+            }
         }
     }
 
@@ -122,6 +130,7 @@ fn group_reports(matrix: &ScenarioMatrix, reports: Vec<SimulationReport>) -> Sui
             ControllerKind::Wb => 0,
             ControllerKind::Sib => 1,
             ControllerKind::Lbica => 2,
+            ControllerKind::LbicaTier => unreachable!("the paper matrix has no LBICA-T cells"),
         };
         entry.1[slot] = Some(report);
     }

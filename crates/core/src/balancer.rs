@@ -139,6 +139,39 @@ impl LoadBalancer {
         BalancingAction::policy_only(self.map.fallback)
     }
 
+    /// The per-tier generalization of the group → policy map: the *hot*
+    /// tier — the level whose queue the paper's detector watches and whose
+    /// load the policy switch is meant to shed — gets the group's policy,
+    /// while the lower levels keep whatever policy is currently in force
+    /// (`current`, hot tier first, as reported by the controller context)
+    /// so explicitly configured per-tier policies survive the override.
+    /// Returns one policy per level, hot tier first.
+    pub fn tier_policies_for_burst(
+        &self,
+        group: WorkloadGroup,
+        current: &[WritePolicy],
+    ) -> Vec<WritePolicy> {
+        let mut policies = current.to_vec();
+        if let Some(hot) = policies.first_mut() {
+            *hot = self.map.policy_for(group);
+        }
+        policies
+    }
+
+    /// Number of tail *reads* whose reclassification would bring the cache
+    /// queue time down to roughly the disk queue time — the same Eq. 1
+    /// arithmetic as [`LoadBalancer::tail_bypass_count`], applied to the
+    /// Group-2 read-burst action (tiered hierarchies only; reads never
+    /// bypass to the disk).
+    pub fn read_spill_count(
+        &self,
+        cache_queue_depth: usize,
+        cache_avg_latency: SimDuration,
+        disk_qtime: SimDuration,
+    ) -> usize {
+        self.tail_bypass_count(cache_queue_depth, cache_avg_latency, disk_qtime)
+    }
+
     /// Number of tail requests whose bypass would bring the cache queue
     /// time down to (roughly) the disk queue time.
     pub fn tail_bypass_count(
@@ -229,6 +262,32 @@ mod tests {
         let a = lb.action_for_calm();
         assert_eq!(a.policy, WritePolicy::WriteBack);
         assert_eq!(a.tail_bypass, 0);
+    }
+
+    #[test]
+    fn tier_policies_scope_the_group_policy_to_the_hot_tier() {
+        let lb = LoadBalancer::new();
+        let uniform = [WritePolicy::WriteBack; 3];
+        assert_eq!(
+            lb.tier_policies_for_burst(WorkloadGroup::RandomRead, &uniform),
+            vec![WritePolicy::WriteOnly, WritePolicy::WriteBack, WritePolicy::WriteBack]
+        );
+        // Configured lower-level policies ride through the override.
+        let split = [WritePolicy::WriteBack, WritePolicy::WriteThrough];
+        assert_eq!(
+            lb.tier_policies_for_burst(WorkloadGroup::MixedReadWrite, &split),
+            vec![WritePolicy::ReadOnly, WritePolicy::WriteThrough]
+        );
+        assert!(lb.tier_policies_for_burst(WorkloadGroup::Unknown, &[]).is_empty());
+    }
+
+    #[test]
+    fn read_spill_count_matches_the_write_tail_arithmetic() {
+        let lb = LoadBalancer::new();
+        let ssd = SimDuration::from_micros(75);
+        let disk = SimDuration::from_micros(750);
+        assert_eq!(lb.read_spill_count(100, ssd, disk), lb.tail_bypass_count(100, ssd, disk));
+        assert_eq!(lb.read_spill_count(100, ssd, disk), 50);
     }
 
     #[test]

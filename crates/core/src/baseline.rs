@@ -162,6 +162,7 @@ impl CacheController for SibController {
         if !verdict.cache_is_bottleneck {
             return ControllerDecision {
                 policy: self.config.policy,
+                tier_policies: Vec::new(),
                 bypass: BypassDirective::None,
                 burst_detected: false,
             };
@@ -173,7 +174,12 @@ impl CacheController for SibController {
         } else {
             BypassDirective::Requests(victims)
         };
-        ControllerDecision { policy: self.config.policy, bypass, burst_detected: true }
+        ControllerDecision {
+            policy: self.config.policy,
+            tier_policies: Vec::new(),
+            bypass,
+            burst_detected: true,
+        }
     }
 }
 
@@ -214,6 +220,7 @@ mod tests {
             current_policy: WritePolicy::WriteThrough,
             cache_queue: queue,
             tier_loads: &[],
+            tier_policies: &[],
         }
     }
 

@@ -10,7 +10,7 @@ use crate::balancer::{LoadBalancer, PolicyMap};
 use crate::characterizer::{RequestMix, WorkloadCharacterizer, WorkloadGroup};
 use crate::detector::BottleneckDetector;
 use crate::history::{DecisionLog, DecisionRecord};
-use crate::tier::{SpillPlanner, SpillTarget};
+use crate::tier::SpillPlanner;
 
 /// Tunables of the [`LbicaController`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -26,6 +26,19 @@ pub struct LbicaConfig {
     /// reverts to the fallback (hysteresis so a single quiet interval in the
     /// middle of a burst does not flap the policy).
     pub calm_intervals_to_revert: u32,
+    /// Tiered hierarchies only: scope the burst group's policy to the hot
+    /// tier (lower levels keep their current, possibly explicitly
+    /// configured, policies) instead of switching the whole stack. Off in
+    /// [`LbicaConfig::paper`] — the paper has a single cache to retune —
+    /// so every pre-existing run is bit-identical; on in
+    /// [`LbicaConfig::tiered`].
+    pub tier_scoped_policies: bool,
+    /// Tiered hierarchies only: reclassify the read tail of Group-2
+    /// (mixed read/write) bursts to the first non-saturated lower level —
+    /// the tiered analogue of the paper's Group-2 action, which only
+    /// retunes the policy because a flat cache has nowhere to put reads.
+    /// Off in [`LbicaConfig::paper`]; on in [`LbicaConfig::tiered`].
+    pub spill_tail_reads: bool,
 }
 
 impl LbicaConfig {
@@ -36,7 +49,17 @@ impl LbicaConfig {
             min_cache_queue: 4,
             policy_map: PolicyMap::paper(),
             calm_intervals_to_revert: 2,
+            tier_scoped_policies: false,
+            spill_tail_reads: false,
         }
+    }
+
+    /// The paper configuration with the tier-aware actions enabled:
+    /// per-tier policy overrides and Group-2 read-tail spilling. On a flat
+    /// system this behaves exactly like [`LbicaConfig::paper`] (both knobs
+    /// only act when the controller sees two or more tier loads).
+    pub fn tiered() -> Self {
+        LbicaConfig { tier_scoped_policies: true, spill_tail_reads: true, ..LbicaConfig::paper() }
     }
 }
 
@@ -65,6 +88,7 @@ impl Default for LbicaConfig {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct LbicaController {
+    name: &'static str,
     config: LbicaConfig,
     detector: BottleneckDetector,
     characterizer: WorkloadCharacterizer,
@@ -74,6 +98,7 @@ pub struct LbicaController {
     last_group: Option<WorkloadGroup>,
     bursts_detected: u64,
     spill_decisions: u64,
+    read_spill_decisions: u64,
     log: DecisionLog,
 }
 
@@ -83,9 +108,17 @@ impl LbicaController {
         LbicaController::with_config(LbicaConfig::paper())
     }
 
+    /// Creates a controller with the tier-aware configuration
+    /// ([`LbicaConfig::tiered`]), reported under the `LBICA-T` name so
+    /// sweeps aggregate it separately from the paper's scheme.
+    pub fn tier_aware() -> Self {
+        LbicaController { name: "LBICA-T", ..LbicaController::with_config(LbicaConfig::tiered()) }
+    }
+
     /// Creates a controller with an explicit configuration.
     pub fn with_config(config: LbicaConfig) -> Self {
         LbicaController {
+            name: "LBICA",
             detector: BottleneckDetector::with_threshold_ratio(config.threshold_ratio)
                 .with_min_cache_queue(config.min_cache_queue),
             characterizer: WorkloadCharacterizer::new(),
@@ -96,6 +129,7 @@ impl LbicaController {
             last_group: None,
             bursts_detected: 0,
             spill_decisions: 0,
+            read_spill_decisions: 0,
             log: DecisionLog::new(),
         }
     }
@@ -115,10 +149,17 @@ impl LbicaController {
         self.bursts_detected
     }
 
-    /// How many burst decisions routed the queue tail to a lower cache
+    /// How many burst decisions routed the write tail to a lower cache
     /// level instead of the disk (tiered hierarchies only).
     pub const fn spill_decisions(&self) -> u64 {
         self.spill_decisions
+    }
+
+    /// How many burst decisions reclassified the *read* tail to a lower
+    /// cache level (tiered hierarchies with
+    /// [`LbicaConfig::spill_tail_reads`] only).
+    pub const fn read_spill_decisions(&self) -> u64 {
+        self.read_spill_decisions
     }
 
     /// The per-interval decision log (the controller's own Fig. 6 view).
@@ -135,7 +176,7 @@ impl Default for LbicaController {
 
 impl CacheController for LbicaController {
     fn name(&self) -> &str {
-        "LBICA"
+        self.name
     }
 
     fn initial_policy(&self) -> WritePolicy {
@@ -172,6 +213,7 @@ impl CacheController for LbicaController {
             });
             return ControllerDecision {
                 policy,
+                tier_policies: Vec::new(),
                 bypass: BypassDirective::None,
                 burst_detected: false,
             };
@@ -192,33 +234,56 @@ impl CacheController for LbicaController {
             ctx.cache_avg_latency,
             verdict.disk_qtime,
         );
+        let tiered = ctx.tier_loads.len() >= 2;
         let bypass = if action.tail_bypass > 0 {
             // Tier-aware spill chain: with two or more cache levels the
-            // reclassified tail spills to the first non-saturated level
-            // before bypassing all the way to the disk subsystem.
-            if ctx.tier_loads.len() >= 2 {
-                let plan = self.spill_planner.plan(
+            // reclassified write tail spills to the first non-saturated
+            // level before bypassing all the way to the disk subsystem.
+            if tiered {
+                let directive = self.spill_planner.write_directive(
+                    action.tail_bypass,
                     ctx.tier_loads,
                     ctx.disk_queue_depth,
                     ctx.disk_avg_latency,
                 );
-                match plan.target {
-                    SpillTarget::Level(level) => {
-                        self.spill_decisions += 1;
-                        BypassDirective::SpillTailWrites {
-                            max_requests: action.tail_bypass,
-                            target_level: level,
-                        }
-                    }
-                    SpillTarget::Disk => {
-                        BypassDirective::TailWrites { max_requests: action.tail_bypass }
-                    }
+                if matches!(directive, BypassDirective::SpillTailWrites { .. }) {
+                    self.spill_decisions += 1;
                 }
+                directive
             } else {
                 BypassDirective::TailWrites { max_requests: action.tail_bypass }
             }
+        } else if self.config.spill_tail_reads && tiered && group == WorkloadGroup::MixedReadWrite {
+            // The Group-2 read-burst analogue: the paper's only lever for
+            // a read-heavy burst is the RO policy switch, because a flat
+            // cache has nowhere else to put reads. A hierarchy does — the
+            // read tail reclassifies down the spill chain (and is left
+            // alone when the chain is saturated).
+            let read_tail = self.balancer.read_spill_count(
+                ctx.cache_queue_depth,
+                ctx.cache_avg_latency,
+                verdict.disk_qtime,
+            );
+            let directive = self.spill_planner.read_directive(
+                read_tail,
+                ctx.tier_loads,
+                ctx.disk_queue_depth,
+                ctx.disk_avg_latency,
+            );
+            if matches!(directive, BypassDirective::SpillTailReads { .. }) {
+                self.read_spill_decisions += 1;
+            }
+            directive
         } else {
             BypassDirective::None
+        };
+        // Per-tier policy overrides: scope the group's policy to the hot
+        // tier so the lower levels keep absorbing demotions and spills
+        // under their current (possibly explicitly configured) policies.
+        let tier_policies = if self.config.tier_scoped_policies && tiered {
+            self.balancer.tier_policies_for_burst(group, ctx.tier_policies)
+        } else {
+            Vec::new()
         };
         self.log.push(DecisionRecord {
             interval: ctx.interval_index,
@@ -229,7 +294,7 @@ impl CacheController for LbicaController {
             policy: action.policy,
             tail_bypass: action.tail_bypass,
         });
-        ControllerDecision { policy: action.policy, bypass, burst_detected: true }
+        ControllerDecision { policy: action.policy, tier_policies, bypass, burst_detected: true }
     }
 }
 
@@ -257,6 +322,7 @@ mod tests {
             current_policy: current,
             cache_queue: queue,
             tier_loads: &[],
+            tier_policies: &[],
         }
     }
 
@@ -308,6 +374,7 @@ mod tests {
         ];
         let mut ctx = ctx(&queue, 100, 1, mix, WritePolicy::WriteBack);
         ctx.tier_loads = &tier_loads;
+        ctx.tier_policies = &[WritePolicy::WriteBack, WritePolicy::WriteBack];
         let d = lbica.on_interval(&ctx);
         assert!(d.burst_detected);
         assert!(
@@ -334,6 +401,7 @@ mod tests {
         ];
         let mut ctx = ctx(&queue, 100, 1, mix, WritePolicy::WriteBack);
         ctx.tier_loads = &tier_loads;
+        ctx.tier_policies = &[WritePolicy::WriteBack, WritePolicy::WriteBack];
         let d = lbica.on_interval(&ctx);
         assert!(
             matches!(d.bypass, BypassDirective::TailWrites { max_requests } if max_requests > 0),
@@ -341,6 +409,82 @@ mod tests {
             d.bypass
         );
         assert_eq!(lbica.spill_decisions(), 0);
+    }
+
+    #[test]
+    fn tier_aware_mixed_burst_spills_the_read_tail() {
+        use lbica_sim::TierLoad;
+        let queue = DeviceQueue::new("ssd");
+        let mut lbica = LbicaController::tier_aware();
+        // A Group-2 mix over a deep hot queue with an idle warm tier.
+        let mix = QueueSnapshot { reads: 139, writes: 704, promotes: 39, evicts: 118 };
+        let tier_loads = [
+            TierLoad { queue_depth: 100, avg_latency: SimDuration::from_micros(75) },
+            TierLoad { queue_depth: 1, avg_latency: SimDuration::from_micros(150) },
+        ];
+        let mut ctx = ctx(&queue, 100, 1, mix, WritePolicy::WriteBack);
+        ctx.tier_loads = &tier_loads;
+        ctx.tier_policies = &[WritePolicy::WriteBack, WritePolicy::WriteBack];
+        ctx.disk_avg_latency = SimDuration::from_micros(750);
+        let d = lbica.on_interval(&ctx);
+        assert!(d.burst_detected);
+        assert_eq!(d.policy, WritePolicy::ReadOnly);
+        assert!(
+            matches!(
+                d.bypass,
+                BypassDirective::SpillTailReads { max_requests, target_level: 1 }
+                    if max_requests > 0
+            ),
+            "a Group-2 burst over an idle warm tier must spill reads: {:?}",
+            d.bypass
+        );
+        assert_eq!(lbica.read_spill_decisions(), 1);
+        // The policy override is scoped to the hot tier.
+        assert_eq!(d.tier_policies, vec![WritePolicy::ReadOnly, WritePolicy::WriteBack]);
+    }
+
+    #[test]
+    fn tier_aware_read_spill_respects_a_saturated_chain() {
+        use lbica_sim::TierLoad;
+        let queue = DeviceQueue::new("ssd");
+        let mut lbica = LbicaController::tier_aware();
+        let mix = QueueSnapshot { reads: 139, writes: 704, promotes: 39, evicts: 118 };
+        let tier_loads = [
+            TierLoad { queue_depth: 100, avg_latency: SimDuration::from_micros(75) },
+            TierLoad { queue_depth: 90, avg_latency: SimDuration::from_micros(150) },
+        ];
+        let mut ctx = ctx(&queue, 100, 1, mix, WritePolicy::WriteBack);
+        ctx.tier_loads = &tier_loads;
+        ctx.tier_policies = &[WritePolicy::WriteBack, WritePolicy::WriteBack];
+        let d = lbica.on_interval(&ctx);
+        assert!(d.burst_detected);
+        assert_eq!(
+            d.bypass,
+            BypassDirective::None,
+            "reads are left alone when the whole chain is saturated"
+        );
+        assert_eq!(lbica.read_spill_decisions(), 0);
+    }
+
+    #[test]
+    fn paper_config_never_emits_read_spills_or_tier_policies() {
+        use lbica_sim::TierLoad;
+        let queue = DeviceQueue::new("ssd");
+        let mut lbica = LbicaController::new();
+        let mix = QueueSnapshot { reads: 139, writes: 704, promotes: 39, evicts: 118 };
+        let tier_loads = [
+            TierLoad { queue_depth: 100, avg_latency: SimDuration::from_micros(75) },
+            TierLoad { queue_depth: 1, avg_latency: SimDuration::from_micros(150) },
+        ];
+        let mut ctx = ctx(&queue, 100, 1, mix, WritePolicy::WriteBack);
+        ctx.tier_loads = &tier_loads;
+        ctx.tier_policies = &[WritePolicy::WriteBack, WritePolicy::WriteBack];
+        let d = lbica.on_interval(&ctx);
+        assert!(d.burst_detected);
+        assert_eq!(d.bypass, BypassDirective::None, "pre-PR behaviour is preserved");
+        assert!(d.tier_policies.is_empty());
+        assert_eq!(lbica.name(), "LBICA");
+        assert_eq!(LbicaController::tier_aware().name(), "LBICA-T");
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //! [`tier`] generalizes step 3 to multi-SSD cache hierarchies: the
 //! [`tier::SpillPlanner`] decides, over the per-tier load vector, whether a
 //! reclassified queue tail spills to a lower cache level or bypasses all
-//! the way to the disk (the *spill chain*).
+//! the way to the disk (the *spill chain*). Write tails spill on Group-3
+//! bursts; with [`LbicaController::tier_aware`] the Group-2 read tail
+//! spills too (reads never fall through to the disk) and the burst
+//! group's policy is scoped to the hot tier.
 //!
 //! [`controller::LbicaController`] glues the three together behind the
 //! simulator's [`lbica_sim::CacheController`] interface. The comparison
@@ -43,7 +46,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod analysis;
 pub mod balancer;

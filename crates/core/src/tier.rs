@@ -2,7 +2,7 @@
 //!
 //! The paper's balancer has exactly one relief valve — reclassify requests
 //! from the overloaded I/O cache to the disk subsystem. With a multi-SSD
-//! tiered cache ([`lbica_tier`]'s hierarchy) there are intermediate
+//! tiered cache (`lbica-tier`'s hierarchy) there are intermediate
 //! stations between the hot tier and the disk, and the natural
 //! generalization of Eq. 1 is a *chain*: when the hot tier's queue crosses
 //! the LBICA threshold, reclassified requests should spill to the first
@@ -18,7 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use lbica_sim::TierLoad;
+use lbica_sim::{BypassDirective, TierLoad};
 use lbica_storage::time::SimDuration;
 
 use crate::detector::BottleneckDetector;
@@ -47,6 +47,35 @@ pub struct SpillPlan {
 }
 
 /// Decides where reclassified requests spill in a tiered hierarchy.
+///
+/// # Example
+///
+/// An overloaded hot tier over an idle warm tier: the write tail spills to
+/// level 1, and a read burst would be reclassified the same way — while a
+/// saturated chain sends writes to the disk and leaves reads alone (the
+/// paper never bypasses reads to the disk subsystem):
+///
+/// ```
+/// use lbica_core::{SpillPlanner, SpillTarget};
+/// use lbica_sim::{BypassDirective, TierLoad};
+/// use lbica_storage::time::SimDuration;
+///
+/// let planner = SpillPlanner::new();
+/// let tiers = [
+///     TierLoad { queue_depth: 80, avg_latency: SimDuration::from_micros(75) },
+///     TierLoad { queue_depth: 2, avg_latency: SimDuration::from_micros(150) },
+/// ];
+/// let disk_latency = SimDuration::from_micros(385);
+///
+/// let plan = planner.plan(&tiers, 4, disk_latency);
+/// assert_eq!(plan.target, SpillTarget::Level(1));
+///
+/// let writes = planner.write_directive(10, &tiers, 4, disk_latency);
+/// assert_eq!(writes, BypassDirective::SpillTailWrites { max_requests: 10, target_level: 1 });
+///
+/// let reads = planner.read_directive(10, &tiers, 4, disk_latency);
+/// assert_eq!(reads, BypassDirective::SpillTailReads { max_requests: 10, target_level: 1 });
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SpillPlanner {
     detector: BottleneckDetector,
@@ -93,6 +122,51 @@ impl SpillPlanner {
             }
         }
         SpillPlan { target, tier_qtimes, disk_qtime }
+    }
+
+    /// The [`BypassDirective`] for reclassifying up to `max_requests`
+    /// queued application *writes* (the Group-3 burst action): spill to the
+    /// first non-saturated lower level, or fall back to the paper's
+    /// plain-disk tail bypass when the whole chain is saturated.
+    pub fn write_directive(
+        &self,
+        max_requests: usize,
+        tier_loads: &[TierLoad],
+        disk_queue_depth: usize,
+        disk_avg_latency: SimDuration,
+    ) -> BypassDirective {
+        if max_requests == 0 {
+            return BypassDirective::None;
+        }
+        match self.plan(tier_loads, disk_queue_depth, disk_avg_latency).target {
+            SpillTarget::Level(target_level) => {
+                BypassDirective::SpillTailWrites { max_requests, target_level }
+            }
+            SpillTarget::Disk => BypassDirective::TailWrites { max_requests },
+        }
+    }
+
+    /// The [`BypassDirective`] for reclassifying up to `max_requests`
+    /// queued application *reads* (the tiered analogue of the Group-2
+    /// burst action): spill to the first non-saturated lower level. Reads
+    /// have no disk fallback — the paper never bypasses reads to the disk
+    /// subsystem — so a saturated chain yields [`BypassDirective::None`].
+    pub fn read_directive(
+        &self,
+        max_requests: usize,
+        tier_loads: &[TierLoad],
+        disk_queue_depth: usize,
+        disk_avg_latency: SimDuration,
+    ) -> BypassDirective {
+        if max_requests == 0 {
+            return BypassDirective::None;
+        }
+        match self.plan(tier_loads, disk_queue_depth, disk_avg_latency).target {
+            SpillTarget::Level(target_level) => {
+                BypassDirective::SpillTailReads { max_requests, target_level }
+            }
+            SpillTarget::Disk => BypassDirective::None,
+        }
     }
 }
 
@@ -152,6 +226,41 @@ mod tests {
             planner.plan(&[load(80, 75)], 1, SimDuration::from_micros(385)).target,
             SpillTarget::Disk
         );
+    }
+
+    #[test]
+    fn write_directive_spills_or_falls_back_to_disk() {
+        let planner = SpillPlanner::new();
+        let idle_warm = [load(80, 75), load(2, 150)];
+        let saturated = [load(80, 75), load(90, 150)];
+        let disk_latency = SimDuration::from_micros(385);
+        assert_eq!(
+            planner.write_directive(12, &idle_warm, 4, disk_latency),
+            BypassDirective::SpillTailWrites { max_requests: 12, target_level: 1 }
+        );
+        assert_eq!(
+            planner.write_directive(12, &saturated, 1, disk_latency),
+            BypassDirective::TailWrites { max_requests: 12 }
+        );
+        assert_eq!(planner.write_directive(0, &idle_warm, 4, disk_latency), BypassDirective::None);
+    }
+
+    #[test]
+    fn read_directive_never_falls_through_to_the_disk() {
+        let planner = SpillPlanner::new();
+        let idle_warm = [load(80, 75), load(2, 150)];
+        let saturated = [load(80, 75), load(90, 150)];
+        let disk_latency = SimDuration::from_micros(385);
+        assert_eq!(
+            planner.read_directive(12, &idle_warm, 4, disk_latency),
+            BypassDirective::SpillTailReads { max_requests: 12, target_level: 1 }
+        );
+        assert_eq!(
+            planner.read_directive(12, &saturated, 1, disk_latency),
+            BypassDirective::None,
+            "a saturated chain leaves the read tail alone"
+        );
+        assert_eq!(planner.read_directive(0, &idle_warm, 4, disk_latency), BypassDirective::None);
     }
 
     #[test]

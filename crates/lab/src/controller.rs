@@ -17,10 +17,17 @@ pub enum ControllerKind {
     Sib,
     /// The paper's contribution.
     Lbica,
+    /// LBICA with the tier-aware actions enabled (per-tier policy
+    /// overrides + Group-2 read-tail spilling); identical to
+    /// [`ControllerKind::Lbica`] on flat configurations.
+    LbicaTier,
 }
 
 impl ControllerKind {
-    /// All three schemes, in the order the paper plots them.
+    /// The paper's three schemes, in the order the paper plots them — the
+    /// default controller axis. [`ControllerKind::LbicaTier`] is opt-in
+    /// (the tiered-policy matrices add it explicitly) so every historical
+    /// matrix keeps its exact cell set.
     pub const ALL: [ControllerKind; 3] =
         [ControllerKind::Wb, ControllerKind::Sib, ControllerKind::Lbica];
 
@@ -30,6 +37,7 @@ impl ControllerKind {
             ControllerKind::Wb => "WB",
             ControllerKind::Sib => "SIB",
             ControllerKind::Lbica => "LBICA",
+            ControllerKind::LbicaTier => "LBICA-T",
         }
     }
 
@@ -39,6 +47,7 @@ impl ControllerKind {
             ControllerKind::Wb => Box::new(WbController::new()),
             ControllerKind::Sib => Box::new(SibController::new()),
             ControllerKind::Lbica => Box::new(LbicaController::new()),
+            ControllerKind::LbicaTier => Box::new(LbicaController::tier_aware()),
         }
     }
 }
@@ -49,16 +58,19 @@ mod tests {
 
     #[test]
     fn labels_match_built_controller_names() {
-        for kind in ControllerKind::ALL {
+        for kind in
+            ControllerKind::ALL.into_iter().chain(std::iter::once(ControllerKind::LbicaTier))
+        {
             assert_eq!(kind.build().name(), kind.label());
         }
     }
 
     #[test]
-    fn all_lists_each_kind_once() {
+    fn all_lists_the_paper_schemes_only() {
         assert_eq!(ControllerKind::ALL.len(), 3);
         assert!(ControllerKind::ALL.contains(&ControllerKind::Wb));
         assert!(ControllerKind::ALL.contains(&ControllerKind::Sib));
         assert!(ControllerKind::ALL.contains(&ControllerKind::Lbica));
+        assert!(!ControllerKind::ALL.contains(&ControllerKind::LbicaTier));
     }
 }

@@ -1,7 +1,8 @@
 //! Declarative scenario matrices.
 
-use lbica_cache::ReplacementKind;
+use lbica_cache::{ReplacementKind, WritePolicy};
 use lbica_sim::{DiskDeviceConfig, SimulationConfig};
+use lbica_tier::InclusionPolicy;
 use lbica_trace::io::BinaryTraceCodec;
 use lbica_trace::workload::{WorkloadScale, WorkloadSpec};
 
@@ -46,6 +47,30 @@ impl ConfigAxis {
 /// cell's stream seed is a pure function of its coordinates (see
 /// [`SeedMode`]), so results are independent of both enumeration and
 /// execution order.
+///
+/// # Example
+///
+/// Assemble a custom matrix from builder calls and run one cell:
+///
+/// ```
+/// use lbica_lab::{ControllerKind, ScenarioMatrix};
+/// use lbica_sim::SimulationConfig;
+/// use lbica_trace::workload::{WorkloadScale, WorkloadSpec};
+///
+/// let matrix = ScenarioMatrix::new()
+///     .push_workload(WorkloadSpec::web_server_scaled(WorkloadScale::tiny()))
+///     .push_config("flat", SimulationConfig::tiny())
+///     .push_config("tier2", SimulationConfig::tiny_two_tier())
+///     .with_controllers(&[ControllerKind::Wb, ControllerKind::LbicaTier])
+///     .with_seed_range(2);
+///
+/// // 1 workload x 2 configs x 2 controllers x 2 seeds.
+/// assert_eq!(matrix.len(), 8);
+/// let cell = matrix.cell(0).unwrap();
+/// assert_eq!(cell.id(), "web-server/flat/WB/s0");
+/// let report = cell.run();
+/// assert!(report.app_completed > 0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct ScenarioMatrix {
     workloads: Vec<WorkloadSpec>,
@@ -310,6 +335,42 @@ impl ScenarioMatrix {
             .push_config("fifo", base.with_replacement(ReplacementKind::Fifo))
     }
 
+    /// The per-tier write-policy axis: the paper's workloads at tiny scale
+    /// against a two-level hierarchy whose *warm* tier starts under a
+    /// different write policy — uniform write-back, a write-through warm
+    /// tier and a read-only warm tier — under the WB baseline, the paper's
+    /// LBICA and the tier-aware `LBICA-T` (per-tier overrides + read
+    /// spilling) — 27 cells. The axis varies the warm tier because the hot
+    /// tier's run-start policy is owned by the controller
+    /// (`CacheController::initial_policy`); lower levels keep their
+    /// configured policies.
+    pub fn tier_policy() -> Self {
+        let scale = WorkloadScale::tiny();
+        let base = SimulationConfig::tiny_two_tier();
+        ScenarioMatrix::new()
+            .with_workloads(WorkloadSpec::paper_suite(scale))
+            .push_config("uniform-wb", base)
+            .push_config("warm-wt", base.with_tier_level_policy(1, WritePolicy::WriteThrough))
+            .push_config("warm-ro", base.with_tier_level_policy(1, WritePolicy::ReadOnly))
+            .with_controllers(&[
+                ControllerKind::Wb,
+                ControllerKind::Lbica,
+                ControllerKind::LbicaTier,
+            ])
+    }
+
+    /// The inclusion axis: the paper's workloads at tiny scale against the
+    /// same two-level hierarchy run exclusive (promotion moves blocks) and
+    /// inclusive (promotion copies, with back-invalidation) — 18 cells.
+    pub fn inclusion() -> Self {
+        let scale = WorkloadScale::tiny();
+        let base = SimulationConfig::tiny_two_tier();
+        ScenarioMatrix::new()
+            .with_workloads(WorkloadSpec::paper_suite(scale))
+            .push_config("exclusive", base)
+            .push_config("inclusive", base.with_tier_inclusion(InclusionPolicy::Inclusive))
+    }
+
     /// Trace-replay cells: captured [`lbica_trace::record::TraceRecord`]
     /// streams fed through the matrix instead of synthetic generators.
     /// Each workload replays the same recorded arrivals for every
@@ -460,6 +521,26 @@ mod tests {
         assert_eq!(m.configs()[0].config.tier_count(), 1);
         assert_eq!(m.configs()[1].config.tier_count(), 2);
         assert!(m.cells().all(|c| c.stream_seed() == 9));
+    }
+
+    #[test]
+    fn tier_policy_matrix_varies_initial_policies_and_adds_the_tier_controller() {
+        let m = ScenarioMatrix::tier_policy();
+        assert_eq!(m.len(), 3 * 3 * 3);
+        let topo = |i: usize| m.configs()[i].config.tiers.unwrap();
+        assert_eq!(topo(0).level(0).write_policy(), WritePolicy::WriteBack);
+        assert_eq!(topo(1).level(1).write_policy(), WritePolicy::WriteThrough);
+        assert_eq!(topo(2).level(1).write_policy(), WritePolicy::ReadOnly);
+        assert_eq!(topo(2).level(0).write_policy(), WritePolicy::WriteBack);
+        assert!(m.controllers().contains(&ControllerKind::LbicaTier));
+    }
+
+    #[test]
+    fn inclusion_matrix_spans_both_modes() {
+        let m = ScenarioMatrix::inclusion();
+        assert_eq!(m.len(), 3 * 2 * 3);
+        assert_eq!(m.configs()[0].config.tiers.unwrap().inclusion, InclusionPolicy::Exclusive);
+        assert_eq!(m.configs()[1].config.tiers.unwrap().inclusion, InclusionPolicy::Inclusive);
     }
 
     #[test]

@@ -108,3 +108,85 @@ fn tiered_cells_conserve_the_workload_across_controllers() {
     assert!(completed[0] > 0);
     assert!(completed.windows(2).all(|w| w[0] == w[1]), "{completed:?}");
 }
+
+/// Under a mixed read/write (Group-2) burst, the tier-aware LBICA-T
+/// controller reclassifies the *read* tail down the spill chain — the
+/// tiered analogue of the paper's RO-only Group-2 action — while the
+/// paper-configured LBICA leaves reads alone on the same run.
+#[test]
+fn tier_aware_lbica_spills_the_read_tail_on_mixed_bursts() {
+    let spec = WorkloadSpec::mail_server_scaled(WorkloadScale::tiny());
+    let tiered = Simulation::new(SimulationConfig::tiny_two_tier(), spec.clone(), 20190325)
+        .run(&mut LbicaController::tier_aware());
+    assert!(tiered.burst_intervals() > 0, "the mail-server burst must be detected");
+    assert!(
+        tiered.spilled_reads() > 0,
+        "a Group-2 burst over an absorbing warm tier must spill reads: {:?}",
+        tiered.tier_stats
+    );
+    // The per-tier policy override shows up as a composite Fig. 6 label.
+    assert!(
+        tiered.policy_changes.iter().any(|c| c.policy.contains('/')),
+        "tier-scoped assignments must be recorded hot-to-cold: {:?}",
+        tiered.policy_changes
+    );
+
+    let paper = Simulation::new(SimulationConfig::tiny_two_tier(), spec, 20190325)
+        .run(&mut LbicaController::new());
+    assert_eq!(paper.spilled_reads(), 0, "the paper config never reclassifies reads");
+}
+
+/// The two new scenario axes sweep deterministically: jobs=1 and jobs=8
+/// produce identical reports and aggregates for the per-tier-policy and
+/// inclusion matrices.
+#[test]
+fn tier_policy_and_inclusion_matrices_are_deterministic_across_worker_counts() {
+    for matrix in [ScenarioMatrix::tier_policy(), ScenarioMatrix::inclusion()] {
+        let serial = SweepExecutor::new(1).run(&matrix);
+        let parallel = SweepExecutor::new(8).run(&matrix);
+        assert_eq!(serial, parallel, "tiered-policy cells must not depend on the worker count");
+        assert!(serial.iter().all(|r| r.app_completed > 0));
+        assert_eq!(
+            SweepExecutor::new(1).aggregate(&matrix),
+            SweepExecutor::new(8).aggregate(&matrix)
+        );
+    }
+}
+
+/// Inclusive cells actually exercise back-invalidation, and exclusive
+/// cells never do — the axis is live, not cosmetic.
+#[test]
+fn inclusion_matrix_cells_report_back_invalidations() {
+    let matrix = ScenarioMatrix::inclusion();
+    let reports = SweepExecutor::serial().run(&matrix);
+    let mut inclusive_back = 0u64;
+    for (cell, report) in matrix.cells().zip(&reports) {
+        match cell.config_label() {
+            "exclusive" => assert_eq!(report.back_invalidations(), 0, "{}", cell.id()),
+            _ => inclusive_back += report.back_invalidations(),
+        }
+    }
+    assert!(inclusive_back > 0, "inclusive cells must back-invalidate at least once");
+}
+
+/// An explicitly configured per-tier write policy survives the whole
+/// controller lifecycle: run start, burst overrides and calm reverts only
+/// ever drive the hot tier of a non-uniform stack, so every recorded
+/// assignment keeps the warm tier's configured policy.
+#[test]
+fn configured_warm_policy_survives_bursts_and_reverts() {
+    use lbica_cache::WritePolicy;
+    let spec = WorkloadSpec::mail_server_scaled(WorkloadScale::tiny());
+    let warm_wt =
+        SimulationConfig::tiny_two_tier().with_tier_level_policy(1, WritePolicy::WriteThrough);
+    for controller in [LbicaController::new(), LbicaController::tier_aware()].iter_mut() {
+        let report = Simulation::new(warm_wt, spec.clone(), 20190325).run(controller);
+        assert!(report.burst_intervals() > 0, "the mail-server burst must be detected");
+        assert!(
+            report.policy_changes.iter().all(|c| c.policy.ends_with("/WT")),
+            "the configured warm-tier policy must survive the controller: {:?}",
+            report.policy_changes
+        );
+        assert!(report.policy_changes.len() > 1, "bursts must still switch the hot tier");
+    }
+}

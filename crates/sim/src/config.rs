@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use lbica_cache::{CacheConfig, ReplacementKind, WritePolicy};
 use lbica_storage::device::{HddConfig, SsdConfig};
-use lbica_tier::{TierLevelSpec, TierTopology};
+use lbica_tier::{InclusionPolicy, TierLevelSpec, TierTopology};
 
 /// Which device model backs the disk-subsystem tier.
 ///
@@ -153,6 +153,35 @@ impl SimulationConfig {
         self.ssd_parallelism = hot.parallelism;
         self.tiers = Some(tiers);
         self
+    }
+
+    /// Returns a copy with the tier hierarchy's inclusion policy replaced
+    /// (builder style) — the inclusive-vs-exclusive scenario axis. A no-op
+    /// for flat configurations, which have no hierarchy to make inclusive.
+    pub fn with_tier_inclusion(mut self, inclusion: InclusionPolicy) -> Self {
+        if let Some(tiers) = self.tiers {
+            self = self.with_tiers(tiers.with_inclusion(inclusion));
+        }
+        self
+    }
+
+    /// Returns a copy with cache level `level`'s initial write policy
+    /// replaced (builder style) — the per-tier write-policy scenario axis.
+    ///
+    /// Note that in a full [`crate::Simulation`] run the *hot tier's*
+    /// run-start policy is owned by the controller
+    /// ([`crate::CacheController::initial_policy`]); configured lower-level
+    /// policies are preserved. Level-0 assignments therefore matter for
+    /// direct [`crate::TieredStorageSystem`] use, not controller-driven
+    /// runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no tier topology or `level` is out
+    /// of bounds.
+    pub fn with_tier_level_policy(self, level: usize, policy: WritePolicy) -> Self {
+        let tiers = self.tiers.expect("per-tier policies need a tier topology");
+        self.with_tiers(tiers.with_level_policy(level, policy))
     }
 
     /// Number of cache levels the configuration describes (1 for the flat
@@ -304,6 +333,30 @@ mod tests {
         let harness = SimulationConfig::harness_two_tier();
         assert_eq!(harness.tier_count(), 2);
         assert_eq!(harness.cache_capacity_blocks(), 16_384 + 32_768);
+    }
+
+    #[test]
+    fn tier_axis_builders_rewrite_the_topology() {
+        let base = SimulationConfig::tiny_two_tier();
+        assert_eq!(base.tiers.unwrap().inclusion, InclusionPolicy::Exclusive);
+        let inclusive = base.with_tier_inclusion(InclusionPolicy::Inclusive);
+        assert_eq!(inclusive.tiers.unwrap().inclusion, InclusionPolicy::Inclusive);
+        // Flat configs have no hierarchy to make inclusive.
+        let flat = SimulationConfig::tiny().with_tier_inclusion(InclusionPolicy::Inclusive);
+        assert!(flat.tiers.is_none());
+
+        let wt_warm = base.with_tier_level_policy(1, WritePolicy::WriteThrough);
+        assert_eq!(wt_warm.tiers.unwrap().level(1).write_policy(), WritePolicy::WriteThrough);
+        assert_eq!(wt_warm.tiers.unwrap().level(0).write_policy(), WritePolicy::WriteBack);
+        // Hot-tier policies re-sync the flat cache fields via with_tiers.
+        let wo_hot = base.with_tier_level_policy(0, WritePolicy::WriteOnly);
+        assert_eq!(wo_hot.cache.initial_policy, WritePolicy::WriteOnly);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-tier policies need a tier topology")]
+    fn per_tier_policy_on_a_flat_config_panics() {
+        let _ = SimulationConfig::tiny().with_tier_level_policy(0, WritePolicy::ReadOnly);
     }
 
     #[test]

@@ -61,6 +61,12 @@ pub struct ControllerContext<'a> {
     /// with [`BypassDirective::SpillTailWrites`] instead of bypassing
     /// straight to the disk subsystem.
     pub tier_loads: &'a [TierLoad],
+    /// The write policies currently in force per cache level, hot tier
+    /// first — empty for flat runs. Tier-aware controllers answering with
+    /// [`ControllerDecision::tier_policies`] should derive lower-level
+    /// entries from this vector so explicitly configured per-tier policies
+    /// survive their overrides.
+    pub tier_policies: &'a [WritePolicy],
 }
 
 /// Which queued requests the controller wants redirected to the disk
@@ -91,13 +97,32 @@ pub enum BypassDirective {
         /// The cache level the spilled requests are re-homed at (≥ 1).
         target_level: usize,
     },
+    /// Remove up to `max_requests` application *reads* from the tail of
+    /// the hot tier's queue and serve them from cache level `target_level`
+    /// — the tiered analogue of the paper's Group-2 (read-burst) action,
+    /// which has no disk fallback: the paper never bypasses reads to the
+    /// disk subsystem, so on a flat system this directive is a no-op.
+    SpillTailReads {
+        /// Upper bound on how many requests to move.
+        max_requests: usize,
+        /// The cache level the spilled requests are served from (≥ 1).
+        target_level: usize,
+    },
 }
 
 /// A controller's answer for the next interval.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ControllerDecision {
-    /// The write policy to assign to the cache.
+    /// The write policy to assign to the cache. On a tiered system this is
+    /// the uniform whole-stack assignment unless `tier_policies` overrides
+    /// it per level.
     pub policy: WritePolicy,
+    /// Per-cache-level write policies, hot tier first — the tier-aware
+    /// controllers' generalization of the single `policy` knob. Empty (the
+    /// default, and the only shape flat systems accept) means "assign
+    /// `policy` to every level"; non-empty vectors must hold exactly one
+    /// entry per cache level.
+    pub tier_policies: Vec<WritePolicy>,
     /// Which queued requests to bypass.
     pub bypass: BypassDirective,
     /// Whether the controller considered the interval a burst / bottleneck
@@ -108,7 +133,12 @@ pub struct ControllerDecision {
 impl ControllerDecision {
     /// A decision that keeps `policy` and changes nothing else.
     pub fn keep(policy: WritePolicy) -> Self {
-        ControllerDecision { policy, bypass: BypassDirective::None, burst_detected: false }
+        ControllerDecision {
+            policy,
+            tier_policies: Vec::new(),
+            bypass: BypassDirective::None,
+            burst_detected: false,
+        }
     }
 }
 
@@ -182,6 +212,7 @@ mod tests {
             current_policy: WritePolicy::WriteBack,
             cache_queue: queue,
             tier_loads: &[],
+            tier_policies: &[],
         }
     }
 

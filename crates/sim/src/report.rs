@@ -41,8 +41,14 @@ pub struct TierLevelStats {
     pub promotions_in: u64,
     /// Blocks demoted into this level by evictions above it.
     pub demotions_in: u64,
-    /// Requests the load balancer spilled into this level.
+    /// Application writes the load balancer spilled into this level.
     pub spills_in: u64,
+    /// Application reads the load balancer spilled into this level (the
+    /// Group-2 read-burst action).
+    pub read_spills_in: u64,
+    /// Copies this level dropped to keep an inclusive hierarchy coherent
+    /// when the backing copy below was evicted.
+    pub back_invalidations: u64,
     /// Requests enqueued at this level's station.
     pub enqueued: u64,
     /// Requests completed at this level's station.
@@ -155,10 +161,22 @@ impl SimulationReport {
         self.tier_stats.iter().find(|t| t.level == level)
     }
 
-    /// Total requests the balancer spilled into lower cache levels (zero
-    /// for flat runs, where every bypass goes to the disk).
+    /// Total write requests the balancer spilled into lower cache levels
+    /// (zero for flat runs, where every bypass goes to the disk).
     pub fn spilled_requests(&self) -> u64 {
         self.tier_stats.iter().map(|t| t.spills_in).sum()
+    }
+
+    /// Total read requests the balancer spilled into lower cache levels
+    /// (the Group-2 read-burst action; zero for flat runs).
+    pub fn spilled_reads(&self) -> u64 {
+        self.tier_stats.iter().map(|t| t.read_spills_in).sum()
+    }
+
+    /// Total upper-level copies dropped by inclusive back-invalidation
+    /// (zero for exclusive hierarchies and flat runs).
+    pub fn back_invalidations(&self) -> u64 {
+        self.tier_stats.iter().map(|t| t.back_invalidations).sum()
     }
 }
 

@@ -98,6 +98,7 @@ impl Simulation {
                     current_policy: system.policy(),
                     cache_queue: system.cache_queue(),
                     tier_loads: &[],
+                    tier_policies: &[],
                 };
                 controller.on_interval(&ctx)
             };
@@ -154,15 +155,17 @@ impl Simulation {
     /// interval protocol must be applied to both loops.
     fn run_tiered(&mut self, controller: &mut dyn CacheController) -> SimulationReport {
         let mut system = TieredStorageSystem::new(&self.config);
+        // On an explicitly per-tier topology `set_policy` drives the hot
+        // tier only (lower levels are config-pinned; see
+        // `TieredCacheModule::set_policy`), so a configured warm-tier
+        // policy survives run start, every burst switch and every revert.
         system.set_policy(controller.initial_policy());
 
         let total_intervals = self.spec.total_intervals();
         let interval_us = self.spec.interval_us();
         let mut intervals = Vec::with_capacity(total_intervals as usize);
-        let mut policy_changes = vec![PolicyChange {
-            interval: 0,
-            policy: controller.initial_policy().label().to_string(),
-        }];
+        let mut policy_changes =
+            vec![PolicyChange { interval: 0, policy: tier_policy_label(system.level_policies()) }];
         let mut bypassed_total = 0u64;
         let mut tier_loads: Vec<TierLoad> = Vec::with_capacity(system.tier_count());
 
@@ -188,24 +191,40 @@ impl Simulation {
                     current_policy: system.policy(),
                     cache_queue: system.cache_queue(),
                     tier_loads: &tier_loads,
+                    tier_policies: system.level_policies(),
                 };
                 controller.on_interval(&ctx)
             };
 
             report.burst_detected = decision.burst_detected;
-            if decision.policy != system.policy() {
-                system.set_policy(decision.policy);
+            if decision.tier_policies.is_empty() {
+                // The paper's single policy knob (which drives the hot tier
+                // only on an explicitly per-tier stack); the recorded label
+                // is the resulting hot-to-cold assignment.
+                if decision.policy != system.policy() {
+                    system.set_policy(decision.policy);
+                    policy_changes.push(PolicyChange {
+                        interval: index + 1,
+                        policy: tier_policy_label(system.level_policies()),
+                    });
+                }
+            } else if system.level_policies() != decision.tier_policies.as_slice() {
+                // Tier-aware assignment: one policy per level, recorded as
+                // a composite hot-to-cold label (e.g. "WO/WB").
+                system.set_level_policies(&decision.tier_policies);
                 policy_changes.push(PolicyChange {
                     interval: index + 1,
-                    policy: decision.policy.label().to_string(),
+                    policy: tier_policy_label(&decision.tier_policies),
                 });
             }
             // `bypassed_requests` keeps its flat-path meaning — requests
-            // reclassified *to the disk*. Spills stay in the hierarchy and
-            // are accounted separately (tier_stats / spilled_requests()).
-            let spilled_before = system.spilled_requests();
+            // reclassified *to the disk*. Spills (write and read alike)
+            // stay in the hierarchy and are accounted separately
+            // (tier_stats / spilled_requests() / spilled_reads()).
+            let spilled_before = system.spilled_requests() + system.spilled_reads();
             let moved = system.apply_bypass(&decision.bypass) as u64;
-            bypassed_total += moved - (system.spilled_requests() - spilled_before);
+            let spilled_now = system.spilled_requests() + system.spilled_reads();
+            bypassed_total += moved - (spilled_now - spilled_before);
 
             intervals.push(report);
         }
@@ -234,6 +253,17 @@ impl Simulation {
             },
             tier_stats: system.tier_level_stats(),
         }
+    }
+}
+
+/// The Fig. 6-style label of a per-tier policy assignment: the plain policy
+/// label when every level agrees, a hot-to-cold `"WO/WB"` composite when
+/// they differ.
+fn tier_policy_label(policies: &[lbica_cache::WritePolicy]) -> String {
+    if policies.windows(2).all(|w| w[0] == w[1]) {
+        policies[0].label().to_string()
+    } else {
+        policies.iter().map(|p| p.label()).collect::<Vec<_>>().join("/")
     }
 }
 
@@ -351,6 +381,28 @@ mod tests {
         assert!(report.tier_stats.is_empty());
         assert_eq!(report.tier_count(), 1);
         assert_eq!(report.spilled_requests(), 0);
+    }
+
+    #[test]
+    fn configured_per_tier_policies_survive_run_start() {
+        let spec = WorkloadSpec::mail_server_scaled(WorkloadScale::tiny());
+        let uniform = Simulation::new(SimulationConfig::tiny_two_tier(), spec.clone(), 7)
+            .run(&mut StaticPolicyController::write_back());
+        let warm_wt =
+            SimulationConfig::tiny_two_tier().with_tier_level_policy(1, WritePolicy::WriteThrough);
+        let wt = Simulation::new(warm_wt, spec, 7).run(&mut StaticPolicyController::write_back());
+        // The initial Fig. 6 label is the composite hot-to-cold assignment.
+        assert_eq!(wt.policy_changes[0].policy, "WB/WT");
+        assert_eq!(uniform.policy_changes[0].policy, "WB");
+        assert_ne!(uniform, wt, "a write-through warm tier must change behaviour");
+        // Writes owned by the WT warm tier additionally reach the disk.
+        let disk = |r: &SimulationReport| r.intervals.iter().map(|i| i.disk.completed).sum::<u64>();
+        assert!(
+            disk(&wt) > disk(&uniform),
+            "warm-tier write-through traffic must show up at the disk ({} vs {})",
+            disk(&wt),
+            disk(&uniform)
+        );
     }
 
     #[test]

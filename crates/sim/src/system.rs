@@ -353,6 +353,10 @@ impl StorageSystem {
             | BypassDirective::SpillTailWrites { max_requests, .. } => {
                 self.ssd.queue.drain_tail(*max_requests, |r| r.class() == RequestClass::Write)
             }
+            // A read spill has no flat analogue: there is no lower level to
+            // serve from, and the paper never bypasses reads to the disk
+            // subsystem, so the directive is a no-op here.
+            BypassDirective::SpillTailReads { .. } => Vec::new(),
             BypassDirective::Requests(ids) => self.ssd.queue.remove_by_ids(ids),
         };
         let count = moved.len();

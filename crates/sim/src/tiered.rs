@@ -49,6 +49,7 @@ pub struct TieredStorageSystem {
     next_id: RequestId,
     events_processed: u64,
     spilled_requests: u64,
+    spilled_reads: u64,
     /// Reused per-arrival outcome buffer (no allocation in the hot loop).
     outcome_scratch: TieredOutcome,
 }
@@ -92,6 +93,7 @@ impl TieredStorageSystem {
             next_id: 1,
             events_processed: 0,
             spilled_requests: 0,
+            spilled_reads: 0,
             outcome_scratch: TieredOutcome::new(),
         }
     }
@@ -146,10 +148,17 @@ impl TieredStorageSystem {
         self.events.peak_len()
     }
 
-    /// Requests the balancer spilled from the hot tier into a lower level
-    /// (as opposed to bypassing all the way to the disk).
+    /// Write requests the balancer spilled from the hot tier into a lower
+    /// level (as opposed to bypassing all the way to the disk).
     pub const fn spilled_requests(&self) -> u64 {
         self.spilled_requests
+    }
+
+    /// Read requests the balancer spilled from the hot tier into a lower
+    /// level (the Group-2 read-burst action; reads never fall through to
+    /// the disk).
+    pub const fn spilled_reads(&self) -> u64 {
+        self.spilled_reads
     }
 
     fn fresh_id(&mut self) -> RequestId {
@@ -354,9 +363,26 @@ impl TieredStorageSystem {
         self.cache.policy()
     }
 
-    /// Assigns a new write policy to the hierarchy.
+    /// Applies the single policy knob: every level of a uniform-configured
+    /// hierarchy, or the hot tier only when per-level policies were
+    /// explicitly configured (see [`TieredCacheModule::set_policy`]).
     pub fn set_policy(&mut self, policy: WritePolicy) {
         self.cache.set_policy(policy);
+    }
+
+    /// Assigns per-level write policies, hot tier first (see
+    /// [`TieredCacheModule::set_level_policies`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policies` does not hold exactly one entry per level.
+    pub fn set_level_policies(&mut self, policies: &[WritePolicy]) {
+        self.cache.set_level_policies(policies);
+    }
+
+    /// The per-level write policies currently in force, hot tier first.
+    pub fn level_policies(&self) -> &[WritePolicy] {
+        self.cache.level_policies()
     }
 
     /// Read-only access to the hot tier's queue (for controller contexts).
@@ -372,7 +398,10 @@ impl TieredStorageSystem {
         match directive {
             BypassDirective::None => 0,
             BypassDirective::SpillTailWrites { max_requests, target_level } => {
-                self.spill_tail(*max_requests, *target_level)
+                self.spill_tail(*max_requests, *target_level, RequestClass::Write)
+            }
+            BypassDirective::SpillTailReads { max_requests, target_level } => {
+                self.spill_tail(*max_requests, *target_level, RequestClass::Read)
             }
             BypassDirective::TailWrites { max_requests } => {
                 let moved = self.levels[0]
@@ -387,13 +416,20 @@ impl TieredStorageSystem {
         }
     }
 
-    /// The spill-chain action: drain application writes off the hot tier's
-    /// tail and serve them from cache level `target_level` instead, moving
-    /// their block metadata (and any demotions it causes) with them.
-    fn spill_tail(&mut self, max_requests: usize, target_level: usize) -> usize {
+    /// The spill-chain action: drain application requests of `class` off
+    /// the hot tier's tail and serve them from cache level `target_level`
+    /// instead, moving their block metadata (and any demotions the
+    /// re-homing causes) with them. Writes re-home dirty per the target's
+    /// policy (`absorb_spill`); reads keep their current state
+    /// (`absorb_read_spill`).
+    fn spill_tail(
+        &mut self,
+        max_requests: usize,
+        target_level: usize,
+        class: RequestClass,
+    ) -> usize {
         let target = target_level.min(self.levels.len() - 1).max(1);
-        let moved =
-            self.levels[0].queue.drain_tail(max_requests, |r| r.class() == RequestClass::Write);
+        let moved = self.levels[0].queue.drain_tail(max_requests, |r| r.class() == class);
         let count = moved.len();
         if count == 0 {
             return 0;
@@ -403,16 +439,22 @@ impl TieredStorageSystem {
         for request in moved {
             outcome.clear();
             for block in request.range().block_indices() {
-                self.cache.absorb_spill(block, target, &mut outcome);
+                match class {
+                    RequestClass::Write => self.cache.absorb_spill(block, target, &mut outcome),
+                    _ => self.cache.absorb_read_spill(block, target, &mut outcome),
+                }
             }
             // Demotions caused by re-homing the block fan out first, then
-            // the spilled write itself joins the target level's queue.
+            // the spilled request itself joins the target level's queue.
             let parent = request.parent().unwrap_or(request.id());
             self.enqueue_outcome(parent, &outcome, now);
             self.enqueue_at_level(target, request);
         }
         self.outcome_scratch = outcome;
-        self.spilled_requests += count as u64;
+        match class {
+            RequestClass::Write => self.spilled_requests += count as u64,
+            _ => self.spilled_reads += count as u64,
+        }
         self.try_dispatch_level(target);
         count
     }
@@ -487,6 +529,8 @@ impl TieredStorageSystem {
                     promotions_in: movement.promotions_in,
                     demotions_in: movement.demotions_in,
                     spills_in: movement.spills_in,
+                    read_spills_in: movement.read_spills_in,
+                    back_invalidations: movement.back_invalidations,
                     enqueued: queue_stats.enqueued,
                     completed: counters.completed,
                     peak_queue_depth: queue_stats.peak_depth,
@@ -572,6 +616,48 @@ mod tests {
         assert_eq!(sys.spilled_requests(), moved as u64);
         let stats = sys.tier_level_stats();
         assert_eq!(stats[1].spills_in, moved as u64);
+    }
+
+    #[test]
+    fn read_spill_moves_queued_reads_to_the_warm_tier() {
+        let mut sys = two_tier_system();
+        // Prewarmed hot tier: every read hits and queues at level 0.
+        for i in 0..100u64 {
+            sys.schedule_record(&record(1, (i % 500) * 8, RequestKind::Read));
+        }
+        sys.run_until(SimTime::from_micros(1_000));
+        let before_hot = sys.level(0).outstanding();
+        let moved = sys
+            .apply_bypass(&BypassDirective::SpillTailReads { max_requests: 40, target_level: 1 });
+        assert!(moved > 0);
+        assert!(sys.level(0).outstanding() < before_hot);
+        assert!(sys.level(1).outstanding() > 0, "spilled reads queue at the warm tier");
+        assert_eq!(sys.disk().outstanding(), 0, "reads never fall through to the disk");
+        assert_eq!(sys.spilled_reads(), moved as u64);
+        assert_eq!(sys.spilled_requests(), 0, "write-spill accounting is untouched");
+        let stats = sys.tier_level_stats();
+        assert_eq!(stats[1].read_spills_in, moved as u64);
+        assert_eq!(stats[1].spills_in, 0);
+        // The drained requests still complete.
+        assert!(sys.drain(600));
+        assert_eq!(sys.app_completed(), 100);
+    }
+
+    #[test]
+    fn per_level_policies_split_the_hierarchy() {
+        let mut sys = two_tier_system();
+        sys.set_level_policies(&[WritePolicy::ReadOnly, WritePolicy::WriteBack]);
+        assert_eq!(sys.level_policies(), &[WritePolicy::ReadOnly, WritePolicy::WriteBack]);
+        assert_eq!(sys.policy(), WritePolicy::ReadOnly, "the hot tier's policy is the headline");
+        // A write owned by the hot tier (block 0 is prewarmed there)
+        // bypasses; a write owned by the warm tier (block 600) is absorbed.
+        sys.schedule_record(&record(0, 0, RequestKind::Write));
+        sys.schedule_record(&record(1, 600 * 8, RequestKind::Write));
+        sys.run_until(SimTime::from_millis(10));
+        let report = sys.end_interval(0);
+        assert_eq!(report.disk.completed, 1, "only the RO-owned write reaches the disk");
+        assert_eq!(sys.cache().stats(0).write_bypasses, 1);
+        assert_eq!(sys.cache().stats(1).write_hits, 1);
     }
 
     #[test]

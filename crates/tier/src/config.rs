@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use lbica_cache::CacheConfig;
+use lbica_cache::{CacheConfig, WritePolicy};
 use lbica_storage::device::SsdConfig;
 
 /// Upper bound on the number of cache levels a topology can describe. Four
@@ -40,6 +40,29 @@ pub enum PromotionPolicy {
     OnHit,
     /// Serve the hit in place; blocks never move up.
     Never,
+}
+
+/// Whether a block may be resident at several levels at once.
+///
+/// The hierarchy's fourth data-movement policy, orthogonal to placement /
+/// promotion / demotion: it decides what a *promotion* leaves behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum InclusionPolicy {
+    /// A block resides in exactly one level: promotion *moves* it up,
+    /// invalidating the lower copy. The default, and the only mode PR 4
+    /// shipped.
+    #[default]
+    Exclusive,
+    /// Promotion *copies* the block up, leaving the lower-level line
+    /// resident, so a hot-tier eviction of a recently promoted block is
+    /// free (the warm copy still serves). The cost is the inclusive
+    /// hierarchy's classic back-invalidation: when the lower-level copy is
+    /// evicted, any copies above it are invalidated so no level ever caches
+    /// a block its backing tier has dropped. Fills still land only at the
+    /// placement level (non-strict inclusion), so lower levels fill via
+    /// demotions and promoted leftovers rather than being mirrored
+    /// eagerly.
+    Inclusive,
 }
 
 /// What happens to a block evicted from a tier.
@@ -77,10 +100,54 @@ impl TierLevelSpec {
     pub const fn capacity_blocks(&self) -> usize {
         self.cache.capacity_blocks()
     }
+
+    /// Returns a copy with the level's initial write policy replaced
+    /// (builder style) — the per-tier write-policy scenario axis. The
+    /// policy governs the blocks this level owns; see
+    /// [`crate::TieredCacheModule::level_policy`].
+    pub const fn with_write_policy(mut self, policy: WritePolicy) -> Self {
+        self.cache.initial_policy = policy;
+        self
+    }
+
+    /// The write policy the level starts a run with.
+    pub const fn write_policy(&self) -> WritePolicy {
+        self.cache.initial_policy
+    }
 }
 
 /// An ordered (hot → cold) stack of cache levels plus the inter-tier
 /// data-movement policies.
+///
+/// # Example
+///
+/// Build a two-level hierarchy, make the warm tier write-through and the
+/// stack inclusive, and inspect the result:
+///
+/// ```
+/// use lbica_cache::{CacheConfig, ReplacementKind, WritePolicy};
+/// use lbica_storage::device::SsdConfig;
+/// use lbica_tier::{InclusionPolicy, TierLevelSpec, TierTopology};
+///
+/// let geometry = CacheConfig {
+///     num_sets: 64,
+///     associativity: 4,
+///     replacement: ReplacementKind::Lru,
+///     initial_policy: WritePolicy::WriteBack,
+/// };
+/// let hot = TierLevelSpec::new(geometry, SsdConfig::samsung_863a(), 1);
+/// let warm = TierLevelSpec::new(geometry, SsdConfig::qlc_capacity(), 2)
+///     .with_write_policy(WritePolicy::WriteThrough);
+///
+/// let topology = TierTopology::two_level(hot, warm)
+///     .with_inclusion(InclusionPolicy::Inclusive);
+///
+/// assert_eq!(topology.len(), 2);
+/// assert_eq!(topology.level(0).write_policy(), WritePolicy::WriteBack);
+/// assert_eq!(topology.level(1).write_policy(), WritePolicy::WriteThrough);
+/// assert_eq!(topology.inclusion, InclusionPolicy::Inclusive);
+/// assert_eq!(topology.capacity_blocks(), 2 * 64 * 4);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TierTopology {
     levels: [Option<TierLevelSpec>; MAX_TIERS],
@@ -90,6 +157,9 @@ pub struct TierTopology {
     pub promotion: PromotionPolicy,
     /// What happens to evicted blocks.
     pub demotion: DemotionPolicy,
+    /// Whether promotion moves or copies blocks (exclusive vs inclusive
+    /// hierarchy).
+    pub inclusion: InclusionPolicy,
 }
 
 impl TierTopology {
@@ -100,6 +170,7 @@ impl TierTopology {
             placement: PlacementPolicy::HotTier,
             promotion: PromotionPolicy::OnHit,
             demotion: DemotionPolicy::Cascade,
+            inclusion: InclusionPolicy::Exclusive,
         }
     }
 
@@ -110,6 +181,7 @@ impl TierTopology {
             placement: PlacementPolicy::HotTier,
             promotion: PromotionPolicy::OnHit,
             demotion: DemotionPolicy::Cascade,
+            inclusion: InclusionPolicy::Exclusive,
         }
     }
 
@@ -120,6 +192,7 @@ impl TierTopology {
             placement: PlacementPolicy::HotTier,
             promotion: PromotionPolicy::OnHit,
             demotion: DemotionPolicy::Cascade,
+            inclusion: InclusionPolicy::Exclusive,
         }
     }
 
@@ -155,6 +228,26 @@ impl TierTopology {
     /// Returns a copy with the demotion policy replaced (builder style).
     pub const fn with_demotion(mut self, demotion: DemotionPolicy) -> Self {
         self.demotion = demotion;
+        self
+    }
+
+    /// Returns a copy with the inclusion policy replaced (builder style).
+    pub const fn with_inclusion(mut self, inclusion: InclusionPolicy) -> Self {
+        self.inclusion = inclusion;
+        self
+    }
+
+    /// Returns a copy with level `index`'s initial write policy replaced
+    /// (builder style) — the per-tier write-policy scenario axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is at or past [`TierTopology::len`].
+    pub const fn with_level_policy(mut self, index: usize, policy: WritePolicy) -> Self {
+        match self.levels[index] {
+            Some(level) => self.levels[index] = Some(level.with_write_policy(policy)),
+            None => panic!("tier level index out of bounds"),
+        }
         self
     }
 
@@ -270,5 +363,32 @@ mod tests {
         let t = TierTopology::two_level(level(8), level(16));
         let sets: Vec<usize> = t.levels().map(|l| l.cache.num_sets).collect();
         assert_eq!(sets, vec![8, 16]);
+    }
+
+    #[test]
+    fn inclusion_defaults_to_exclusive_and_is_replaceable() {
+        let t = TierTopology::two_level(level(8), level(16));
+        assert_eq!(t.inclusion, InclusionPolicy::Exclusive);
+        assert_eq!(
+            t.with_inclusion(InclusionPolicy::Inclusive).inclusion,
+            InclusionPolicy::Inclusive
+        );
+        assert_eq!(InclusionPolicy::default(), InclusionPolicy::Exclusive);
+    }
+
+    #[test]
+    fn per_level_write_policies_ride_on_the_level_specs() {
+        let t = TierTopology::two_level(level(8), level(16))
+            .with_level_policy(1, WritePolicy::WriteThrough);
+        assert_eq!(t.level(0).write_policy(), WritePolicy::WriteBack);
+        assert_eq!(t.level(1).write_policy(), WritePolicy::WriteThrough);
+        let spec = level(8).with_write_policy(WritePolicy::WriteOnly);
+        assert_eq!(spec.write_policy(), WritePolicy::WriteOnly);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn with_level_policy_rejects_missing_levels() {
+        let _ = TierTopology::single(level(8)).with_level_policy(1, WritePolicy::ReadOnly);
     }
 }

@@ -5,20 +5,25 @@
 //!
 //! * [`TierTopology`] — up to [`MAX_TIERS`] cache levels (hot → cold), each
 //!   with its own set-associative geometry ([`lbica_cache::CacheConfig`]),
-//!   device service-time model ([`lbica_storage::device::SsdConfig`]) and
-//!   station parallelism, plus three inter-tier data-movement policies:
-//!   [`PlacementPolicy`] (where read-miss fills land), [`PromotionPolicy`]
-//!   (whether lower-level hits move the block up) and [`DemotionPolicy`]
-//!   (whether evicted victims cascade down instead of dropping to disk).
+//!   device service-time model ([`lbica_storage::device::SsdConfig`]),
+//!   station parallelism and initial [`lbica_cache::WritePolicy`], plus
+//!   four inter-tier data-movement policies: [`PlacementPolicy`] (where
+//!   read-miss fills land), [`PromotionPolicy`] (whether lower-level hits
+//!   move the block up), [`DemotionPolicy`] (whether evicted victims
+//!   cascade down instead of dropping to disk) and [`InclusionPolicy`]
+//!   (whether promotion moves or copies, with back-invalidation keeping
+//!   inclusive stacks coherent).
 //! * [`TieredCacheModule`] — the datapath itself: feed it an application
 //!   [`lbica_storage::request::IoRequest`] and it returns a
 //!   [`TieredOutcome`] listing the derived per-level operations under the
-//!   current [`lbica_cache::WritePolicy`]. A single-level instance is
-//!   bit-identical to the flat [`lbica_cache::CacheModule`] — same ops in
-//!   the same order, same statistics — so the flat simulator path is a
-//!   strict special case.
-//! * [`TierMovement`] — promotion / demotion / spill accounting per level,
-//!   surfaced by the simulator as per-tier report statistics.
+//!   per-level write policies (a write is judged by the policy of the
+//!   level that owns the block). A single-level instance is bit-identical
+//!   to the flat [`lbica_cache::CacheModule`] — same ops in the same
+//!   order, same statistics — so the flat simulator path is a strict
+//!   special case.
+//! * [`TierMovement`] — promotion / demotion / spill / read-spill /
+//!   back-invalidation accounting per level, surfaced by the simulator as
+//!   per-tier report statistics.
 //!
 //! The simulator (`lbica-sim`) wires this module into an event-driven
 //! `TieredStorageSystem` with one device station per level, and the
@@ -54,14 +59,15 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod module;
 pub mod outcome;
 
 pub use config::{
-    DemotionPolicy, PlacementPolicy, PromotionPolicy, TierLevelSpec, TierTopology, MAX_TIERS,
+    DemotionPolicy, InclusionPolicy, PlacementPolicy, PromotionPolicy, TierLevelSpec, TierTopology,
+    MAX_TIERS,
 };
 pub use module::{TierMovement, TieredCacheModule};
 pub use outcome::{TierTarget, TieredOp, TieredOutcome};

@@ -6,7 +6,7 @@ use lbica_cache::{CacheStats, InsertOutcome, SetAssociativeMap, SlotState, Write
 use lbica_storage::block::{BlockRange, Lba, BLOCK_SECTORS};
 use lbica_storage::request::{IoRequest, RequestKind, RequestOrigin};
 
-use crate::config::{DemotionPolicy, PromotionPolicy, TierTopology};
+use crate::config::{DemotionPolicy, InclusionPolicy, PromotionPolicy, TierTopology};
 use crate::outcome::{TierTarget, TieredOp, TieredOutcome};
 
 /// Inter-tier data-movement counters for one level.
@@ -25,31 +25,45 @@ pub struct TierMovement {
     pub demotions_in: u64,
     /// Blocks demoted out of this level into the level below.
     pub demotions_out: u64,
-    /// Reclassified requests the load balancer spilled into this level.
+    /// Reclassified application writes the load balancer spilled into this
+    /// level.
     pub spills_in: u64,
+    /// Reclassified application reads the load balancer spilled into this
+    /// level.
+    pub read_spills_in: u64,
+    /// Copies this level dropped because the backing copy below it was
+    /// evicted (inclusive hierarchies only).
+    pub back_invalidations: u64,
 }
 
 /// An N-level generalization of [`lbica_cache::CacheModule`]: a stack of
-/// set-associative maps (hot tier first) sharing one [`WritePolicy`],
-/// with configurable fill placement, promotion-on-hit and
-/// demotion-on-eviction.
+/// set-associative maps (hot tier first), each governed by its own
+/// [`WritePolicy`], with configurable fill placement, promotion-on-hit,
+/// demotion-on-eviction and inclusion.
 ///
-/// The hierarchy is **exclusive**: a block resides in exactly one level at
-/// a time. A single-level instance is bit-identical to the flat cache
-/// module — same derived operations in the same order, same statistics —
-/// which the `flat_equivalence` property suite pins.
+/// Under [`InclusionPolicy::Exclusive`] (the default) a block resides in
+/// exactly one level at a time; [`InclusionPolicy::Inclusive`] lets
+/// promotions copy instead of move, with back-invalidation keeping upper
+/// copies coherent with their backing level. A single-level instance is
+/// bit-identical to the flat cache module — same derived operations in the
+/// same order, same statistics — which the `flat_equivalence` property
+/// suite pins.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TieredCacheModule {
     topology: TierTopology,
     maps: Vec<SetAssociativeMap>,
     stats: Vec<CacheStats>,
     movement: Vec<TierMovement>,
-    policy: WritePolicy,
+    policies: Vec<WritePolicy>,
+    /// Whether the *configured* per-level policies were uniform: decides
+    /// whether the single policy knob drives the whole stack (the paper's
+    /// semantics) or the hot tier only (config-pinned lower levels).
+    configured_uniform: bool,
 }
 
 impl TieredCacheModule {
-    /// Builds a hierarchy from a topology. The write policy starts as the
-    /// hot tier's `initial_policy`.
+    /// Builds a hierarchy from a topology. Every level's write policy
+    /// starts as its spec's `initial_policy`.
     ///
     /// # Panics
     ///
@@ -63,8 +77,11 @@ impl TieredCacheModule {
             })
             .collect::<Vec<_>>();
         let n = maps.len();
+        let policies: Vec<WritePolicy> =
+            topology.levels().map(|l| l.cache.initial_policy).collect();
         TieredCacheModule {
-            policy: topology.level(0).cache.initial_policy,
+            configured_uniform: policies.iter().all(|&p| p == policies[0]),
+            policies,
             maps,
             stats: vec![CacheStats::default(); n],
             movement: vec![TierMovement::default(); n],
@@ -82,14 +99,62 @@ impl TieredCacheModule {
         self.maps.len()
     }
 
-    /// The currently assigned write policy (shared by every level).
-    pub const fn policy(&self) -> WritePolicy {
-        self.policy
+    /// The hot tier's current write policy — the policy every headline
+    /// report label and flat-path comparison is judged against.
+    pub fn policy(&self) -> WritePolicy {
+        self.policies[0]
     }
 
-    /// Assigns a new write policy, effective for subsequent accesses.
+    /// Applies the paper's single policy knob, effective for subsequent
+    /// accesses. A hierarchy whose *configured* per-level policies are
+    /// uniform defers wholly to the controller — every level switches,
+    /// exactly the pre-per-tier semantics all existing controllers rely
+    /// on. A hierarchy configured with explicit per-level differences (the
+    /// per-tier write-policy axis) treats its lower levels as
+    /// config-pinned: the single knob drives the hot tier only, and only
+    /// [`TieredCacheModule::set_level_policies`] /
+    /// [`TieredCacheModule::set_level_policy`] can change the rest.
+    ///
+    /// The uniformity of the *configured* topology is the discriminator,
+    /// so a stack explicitly configured uniform (even to a non-default
+    /// policy) still defers to the controller — the price of keeping every
+    /// pre-per-tier configuration bit-identical. To pin lower levels,
+    /// configure them differently from the hot tier.
     pub fn set_policy(&mut self, policy: WritePolicy) {
-        self.policy = policy;
+        if self.configured_uniform {
+            self.policies.fill(policy);
+        } else {
+            self.policies[0] = policy;
+        }
+    }
+
+    /// The write policy currently governing level `level`.
+    ///
+    /// A write is judged by the policy of the level that owns the block
+    /// (its residency level, or the hot tier for a miss); a read-miss fill
+    /// is promoted or skipped per the placement level's policy.
+    pub fn level_policy(&self, level: usize) -> WritePolicy {
+        self.policies[level]
+    }
+
+    /// Assigns a new write policy to a single level.
+    pub fn set_level_policy(&mut self, level: usize, policy: WritePolicy) {
+        self.policies[level] = policy;
+    }
+
+    /// Assigns per-level write policies, hot tier first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policies` does not hold exactly one entry per level.
+    pub fn set_level_policies(&mut self, policies: &[WritePolicy]) {
+        assert_eq!(policies.len(), self.policies.len(), "one write policy per cache level");
+        self.policies.copy_from_slice(policies);
+    }
+
+    /// The per-level write policies, hot tier first.
+    pub fn level_policies(&self) -> &[WritePolicy] {
+        &self.policies
     }
 
     /// Cumulative statistics of level `level`.
@@ -182,7 +247,16 @@ impl TieredCacheModule {
                 range,
             ));
             if level > 0 && self.topology.promotion == PromotionPolicy::OnHit {
-                let state = self.maps[level].invalidate(block).expect("hit block is resident");
+                let state = match self.topology.inclusion {
+                    // Exclusive: the block *moves* up, carrying its state.
+                    InclusionPolicy::Exclusive => {
+                        self.maps[level].invalidate(block).expect("hit block is resident")
+                    }
+                    // Inclusive: the lower line stays resident (and keeps
+                    // ownership of any dirty data); the hot tier gets a
+                    // clean copy.
+                    InclusionPolicy::Inclusive => SlotState::Clean,
+                };
                 self.insert_cascading(0, block, state, outcome);
                 self.movement[0].promotions_in += 1;
                 self.stats[0].promotes += 1;
@@ -205,9 +279,10 @@ impl TieredCacheModule {
             range,
         ));
 
-        // ...and, policy permitting, the block is installed per placement.
-        if self.policy.promotes_read_misses() {
-            let place = self.topology.placement_level();
+        // ...and, the placement level's policy permitting, the block is
+        // installed there.
+        let place = self.topology.placement_level();
+        if self.policies[place].promotes_read_misses() {
             self.insert_cascading(place, block, SlotState::Clean, outcome);
             self.stats[place].promotes += 1;
             outcome.push(TieredOp::new(
@@ -224,17 +299,23 @@ impl TieredCacheModule {
 
     /// Handles one block of an application write. Returns `true` when the
     /// write is absorbed by the hierarchy.
+    ///
+    /// The write is judged by the policy of the level that owns the block:
+    /// its residency level for a hit, the hot tier for a miss. With uniform
+    /// per-level policies (every pre-PR configuration) this is exactly the
+    /// old shared-policy behaviour.
     fn handle_write_block(&mut self, block: u64, outcome: &mut TieredOutcome) -> bool {
         let range = Self::block_range(block);
+        let resident = self.resident_level(block);
+        let policy = self.policies[resident.unwrap_or(0)];
 
-        if !self.policy.buffers_writes() {
+        if !policy.buffers_writes() {
             // Read-only cache: the write bypasses to the disk subsystem and
             // any cached copy becomes stale.
             self.stats[0].write_bypasses += 1;
             self.stats[0].write_misses += 1;
-            if let Some(level) = self.resident_level(block) {
-                self.maps[level].invalidate(block);
-                self.stats[level].invalidations += 1;
+            if let Some(level) = resident {
+                self.drop_copies_from(level, block);
             }
             outcome.push(TieredOp::new(
                 TierTarget::Disk,
@@ -246,19 +327,30 @@ impl TieredCacheModule {
         }
 
         // Write is absorbed by the hierarchy (WB, WT or WO): write-allocate.
-        let resident = self.resident_level(block);
         match resident {
             Some(level) => self.stats[level].write_hits += 1,
             None => self.stats[0].write_misses += 1,
         }
-        let state =
-            if self.policy.leaves_dirty_blocks() { SlotState::Dirty } else { SlotState::Clean };
+        let state = if policy.leaves_dirty_blocks() { SlotState::Dirty } else { SlotState::Clean };
         let target = match resident {
             Some(level) if level > 0 && self.topology.promotion == PromotionPolicy::OnHit => {
-                // The write overwrites the block, so it moves to the hot
-                // tier carrying the dirtier of its old and new states.
-                let old = self.maps[level].invalidate(block).expect("hit block is resident");
-                let merged = if old == SlotState::Dirty { SlotState::Dirty } else { state };
+                let merged = match self.topology.inclusion {
+                    // Exclusive: the write overwrites the block, so it
+                    // moves to the hot tier carrying the dirtier of its
+                    // old and new states.
+                    InclusionPolicy::Exclusive => {
+                        let old =
+                            self.maps[level].invalidate(block).expect("hit block is resident");
+                        if old == SlotState::Dirty {
+                            SlotState::Dirty
+                        } else {
+                            state
+                        }
+                    }
+                    // Inclusive: the lower line stays resident with its
+                    // old state; the hot tier absorbs the new data.
+                    InclusionPolicy::Inclusive => state,
+                };
                 self.insert_cascading(0, block, merged, outcome);
                 self.movement[0].promotions_in += 1;
                 outcome.note_hit_level(level);
@@ -268,7 +360,7 @@ impl TieredCacheModule {
                 // In-place write: refresh recency and upgrade the state,
                 // exactly like the flat module's write-allocate insert.
                 self.insert_cascading(level, block, state, outcome);
-                if self.policy.leaves_dirty_blocks() {
+                if policy.leaves_dirty_blocks() {
                     self.maps[level].mark_dirty(block);
                 }
                 outcome.note_hit_level(level);
@@ -287,7 +379,7 @@ impl TieredCacheModule {
             range,
         ));
 
-        if self.policy.writes_through() {
+        if policy.writes_through() {
             outcome.push(TieredOp::new(
                 TierTarget::Disk,
                 RequestKind::Write,
@@ -296,6 +388,20 @@ impl TieredCacheModule {
             ));
         }
         true
+    }
+
+    /// Invalidates every copy of `block` at `level` and (inclusive
+    /// hierarchies) below it, counting one invalidation per dropped copy.
+    fn drop_copies_from(&mut self, level: usize, block: u64) {
+        self.maps[level].invalidate(block);
+        self.stats[level].invalidations += 1;
+        if self.topology.inclusion == InclusionPolicy::Inclusive {
+            for lower in level + 1..self.maps.len() {
+                if self.maps[lower].invalidate(block).is_some() {
+                    self.stats[lower].invalidations += 1;
+                }
+            }
+        }
     }
 
     /// Installs `block` at `level`, cascading any evicted victims down the
@@ -340,6 +446,24 @@ impl TieredCacheModule {
         outcome: &mut TieredOutcome,
     ) -> Option<(u64, SlotState)> {
         let range = Self::block_range(victim);
+        // Inclusive hierarchies back-invalidate: a level may not cache a
+        // block its backing tier has dropped, so copies above the evicting
+        // level go with the victim. A dirty upper copy holds the freshest
+        // data — its dirtiness transfers to the victim so the data still
+        // cascades or writes back rather than being silently lost.
+        let mut state = state;
+        if self.topology.inclusion == InclusionPolicy::Inclusive {
+            for upper in 0..from {
+                if let Some(upper_state) = self.maps[upper].invalidate(victim) {
+                    self.movement[upper].back_invalidations += 1;
+                    self.stats[upper].invalidations += 1;
+                    outcome.note_back_invalidation();
+                    if upper_state == SlotState::Dirty {
+                        state = SlotState::Dirty;
+                    }
+                }
+            }
+        }
         let last = from + 1 == self.maps.len();
         let cascades = !last
             && match (self.topology.demotion, state) {
@@ -407,30 +531,70 @@ impl TieredCacheModule {
     /// out of bounds.
     pub fn absorb_spill(&mut self, block: u64, level: usize, outcome: &mut TieredOutcome) {
         assert!(level > 0 && level < self.maps.len(), "spill target must be a lower level");
-        // Pull the block out of *whichever* level holds it — not just the
-        // levels above the target: by the time a queued write is spilled,
-        // later accesses may already have demoted its metadata below the
-        // target, and leaving that copy behind would break the exclusive-
-        // hierarchy invariant (one resident level per block).
-        let removed =
-            self.resident_level(block).and_then(|i| self.maps[i].invalidate(block).map(|s| (i, s)));
-        let state = match removed {
-            Some((_, SlotState::Dirty)) => SlotState::Dirty,
-            _ if self.policy.leaves_dirty_blocks() => SlotState::Dirty,
-            _ => SlotState::Clean,
+        let removed_dirty = self.remove_all_copies(block);
+        // The queued write is absorbed at `level`, so the target level's
+        // policy decides whether the re-homed block is dirty.
+        let state = if removed_dirty == Some(SlotState::Dirty)
+            || self.policies[level].leaves_dirty_blocks()
+        {
+            SlotState::Dirty
+        } else {
+            SlotState::Clean
         };
         self.insert_cascading(level, block, state, outcome);
         self.movement[level].spills_in += 1;
     }
 
+    /// Absorbs a load-balancer *read* spill: a queued application read
+    /// pulled off the hot tier's queue is served from — and its block
+    /// re-homed at — `level`, the tiered analogue of the paper's Group-2
+    /// action. Unlike a write spill the block carries no new data, so it
+    /// keeps its current dirty state (or installs clean if the metadata
+    /// already aged out of the hierarchy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is 0 (spills always move *down* the hierarchy) or
+    /// out of bounds.
+    pub fn absorb_read_spill(&mut self, block: u64, level: usize, outcome: &mut TieredOutcome) {
+        assert!(level > 0 && level < self.maps.len(), "spill target must be a lower level");
+        let state = self.remove_all_copies(block).unwrap_or(SlotState::Clean);
+        self.insert_cascading(level, block, state, outcome);
+        self.movement[level].read_spills_in += 1;
+    }
+
+    /// Pulls `block` out of *every* level holding it — not just the levels
+    /// above a spill target: by the time a queued request is spilled, later
+    /// accesses may already have demoted its metadata below the target, and
+    /// a leftover copy would break the one-owner invariant (and, inclusive
+    /// hierarchies aside, shadow the re-homed line). Returns the dirtiest
+    /// removed state, `None` if no copy existed.
+    fn remove_all_copies(&mut self, block: u64) -> Option<SlotState> {
+        let mut dirtiest = None;
+        while let Some(level) = self.resident_level(block) {
+            let state = self.maps[level].invalidate(block).expect("resident level holds the block");
+            if dirtiest != Some(SlotState::Dirty) {
+                dirtiest = Some(state);
+            }
+        }
+        dirtiest
+    }
+
     /// Invalidates a cached block wherever it resides (e.g. because a
     /// controller bypassed the write that would have updated it to the disk
-    /// subsystem), returning its previous state if it was cached.
+    /// subsystem), returning its topmost copy's previous state if it was
+    /// cached. Inclusive hierarchies drop every copy.
     pub fn invalidate_block(&mut self, block: u64) -> Option<SlotState> {
         let level = self.resident_level(block)?;
         let state = self.maps[level].invalidate(block);
         if state.is_some() {
             self.stats[level].invalidations += 1;
+        }
+        if self.topology.inclusion == InclusionPolicy::Inclusive {
+            while let Some(lower) = self.resident_level(block) {
+                self.maps[lower].invalidate(block);
+                self.stats[lower].invalidations += 1;
+            }
         }
         state
     }
@@ -687,5 +851,178 @@ mod tests {
     fn capacity_sums_levels() {
         assert_eq!(two_level().capacity_blocks(), 4 + 8);
         assert_eq!(two_level().levels(), 2);
+    }
+
+    #[test]
+    fn set_policy_governs_every_level_and_level_policy_just_one() {
+        let mut cache = two_level();
+        assert_eq!(cache.level_policies(), &[WritePolicy::WriteBack; 2]);
+        cache.set_policy(WritePolicy::ReadOnly);
+        assert_eq!(cache.level_policies(), &[WritePolicy::ReadOnly; 2]);
+        cache.set_level_policy(1, WritePolicy::WriteBack);
+        assert_eq!(cache.policy(), WritePolicy::ReadOnly);
+        assert_eq!(cache.level_policy(1), WritePolicy::WriteBack);
+        cache.set_level_policies(&[WritePolicy::WriteOnly, WritePolicy::WriteThrough]);
+        assert_eq!(cache.level_policy(0), WritePolicy::WriteOnly);
+        assert_eq!(cache.level_policy(1), WritePolicy::WriteThrough);
+    }
+
+    #[test]
+    fn per_level_initial_policies_come_from_the_topology() {
+        let topo = TierTopology::two_level(spec(2, 2), spec(4, 2))
+            .with_level_policy(1, WritePolicy::WriteThrough);
+        let cache = TieredCacheModule::new(topo);
+        assert_eq!(cache.level_policy(0), WritePolicy::WriteBack);
+        assert_eq!(cache.level_policy(1), WritePolicy::WriteThrough);
+    }
+
+    #[test]
+    fn set_policy_pins_configured_lower_levels() {
+        // Uniform configuration: the single knob drives every level
+        // (pre-per-tier behaviour).
+        let mut uniform = two_level();
+        uniform.set_policy(WritePolicy::WriteThrough);
+        assert_eq!(uniform.level_policies(), &[WritePolicy::WriteThrough; 2]);
+        // Explicitly non-uniform configuration: the knob drives the hot
+        // tier only; the configured warm policy survives any number of
+        // switches (bursts, reverts).
+        let mut split = TieredCacheModule::new(
+            TierTopology::two_level(spec(2, 2), spec(4, 2))
+                .with_level_policy(1, WritePolicy::ReadOnly),
+        );
+        split.set_policy(WritePolicy::WriteThrough);
+        split.set_policy(WritePolicy::WriteBack);
+        assert_eq!(split.level_policy(0), WritePolicy::WriteBack);
+        assert_eq!(split.level_policy(1), WritePolicy::ReadOnly);
+        // The explicit per-level setters remain the escape hatch.
+        split.set_level_policy(1, WritePolicy::WriteBack);
+        assert_eq!(split.level_policy(1), WritePolicy::WriteBack);
+    }
+
+    #[test]
+    fn write_is_judged_by_the_owning_levels_policy() {
+        // Warm tier write-through, hot tier write-back, promotion off so
+        // blocks stay where they land.
+        let topo = TierTopology::two_level(spec(2, 2), spec(4, 2))
+            .with_promotion(PromotionPolicy::Never)
+            .with_level_policy(1, WritePolicy::WriteThrough);
+        let mut cache = TieredCacheModule::new(topo);
+        for i in 0..4u64 {
+            cache.access(&write(i, i * 2 * 8)); // block 0 demotes to level 1
+        }
+        assert_eq!(cache.resident_level(0), Some(1));
+        // A write owned by the WT warm tier goes to the level *and* disk...
+        let warm = cache.access(&write(10, 0));
+        assert_eq!(warm.level_ops(1).len(), 1);
+        assert_eq!(warm.disk_ops().len(), 1, "warm tier writes through");
+        // ...while a write owned by the WB hot tier stays in the hierarchy.
+        let hot = cache.access(&write(11, 6 * 8));
+        assert!(hot.disk_ops().is_empty(), "hot tier buffers writes");
+    }
+
+    #[test]
+    fn read_miss_promotion_follows_the_placement_levels_policy() {
+        let topo = TierTopology::two_level(spec(2, 2), spec(4, 2))
+            .with_placement(PlacementPolicy::ColdTier)
+            .with_level_policy(1, WritePolicy::WriteOnly);
+        let mut cache = TieredCacheModule::new(topo);
+        let miss = cache.access(&read(1, 0));
+        assert!(!miss.read_hit());
+        assert!(miss.level_ops(1).is_empty(), "a WO placement level skips the fill");
+        assert_eq!(cache.stats(0).unpromoted_read_misses, 1);
+        assert_eq!(cache.resident_level(0), None);
+    }
+
+    fn inclusive_two_level() -> TieredCacheModule {
+        TieredCacheModule::new(
+            TierTopology::two_level(spec(2, 2), spec(4, 2))
+                .with_inclusion(InclusionPolicy::Inclusive),
+        )
+    }
+
+    #[test]
+    fn inclusive_promotion_keeps_the_lower_copy_resident() {
+        let mut cache = inclusive_two_level();
+        for i in 0..4u64 {
+            cache.access(&write(i, i * 2 * 8)); // block 0 demotes to level 1
+        }
+        assert_eq!(cache.resident_level(0), Some(1));
+        let hit = cache.access(&read(10, 0));
+        assert!(hit.read_hit());
+        assert_eq!(cache.resident_level(0), Some(0), "the copy moved up");
+        assert!(cache.maps[1].contains(0), "the warm copy stays resident");
+        assert_eq!(cache.movement(0).promotions_in, 1);
+        // The warm copy keeps ownership of the dirty data; the promoted hot
+        // copy is a clean read cache (only block 6's write stays dirty
+        // above, while 0, 2 and 4 are dirty below).
+        assert_eq!(cache.dirty_blocks(0), 1);
+        assert_eq!(cache.dirty_blocks(1), 3);
+    }
+
+    #[test]
+    fn inclusive_lower_eviction_back_invalidates_the_upper_copy() {
+        // Hot: 2 sets x 2 ways (even blocks share set 0); warm: 1 set x 2
+        // ways, inclusive.
+        let mut cache = TieredCacheModule::new(
+            TierTopology::two_level(spec(2, 2), spec(1, 2))
+                .with_inclusion(InclusionPolicy::Inclusive),
+        );
+        cache.access(&read(1, 0)); // hot: [0]
+        cache.access(&read(2, 2 * 8)); // hot: [0, 2]
+        cache.access(&read(3, 4 * 8)); // evicts 0 -> warm: [0]
+        assert_eq!(cache.resident_level(0), Some(1));
+        cache.access(&read(4, 0)); // promote: 0 copied up, 2 demoted
+        assert!(cache.maps[0].contains(0) && cache.maps[1].contains(0), "two copies of block 0");
+        // The next demotion fills the warm tier past capacity and evicts
+        // its LRU line — block 0 — whose hot copy must be back-invalidated.
+        let out = cache.access(&read(5, 6 * 8));
+        assert!(!cache.maps[1].contains(0), "warm copy evicted");
+        assert!(!cache.maps[0].contains(0), "back-invalidation dropped the hot copy");
+        assert_eq!(cache.movement(0).back_invalidations, 1);
+        assert_eq!(out.back_invalidations(), 1);
+        assert_eq!(cache.stats(0).invalidations, 1);
+    }
+
+    #[test]
+    fn inclusive_back_invalidation_preserves_dirty_data() {
+        // Same geometry; this time the hot copy is dirtied after promotion,
+        // so the back-invalidated line must hand its dirtiness to the
+        // cascading victim instead of silently dropping the write.
+        let mut cache = TieredCacheModule::new(
+            TierTopology::two_level(spec(2, 2), spec(1, 2))
+                .with_inclusion(InclusionPolicy::Inclusive),
+        );
+        cache.access(&read(1, 0));
+        cache.access(&read(2, 2 * 8));
+        cache.access(&read(3, 4 * 8)); // 0 -> warm
+        cache.access(&write(4, 0)); // write promotion: hot copy dirty, warm copy stays
+        assert!(cache.maps[0].contains(0) && cache.maps[1].contains(0));
+        assert_eq!(cache.dirty_blocks(0), 1);
+        let out = cache.access(&read(5, 6 * 8)); // warm evicts 0, back-invalidates
+        assert!(!cache.maps[0].contains(0) && !cache.maps[1].contains(0));
+        // The dirty hot data rode the eviction to the disk subsystem.
+        assert!(
+            out.ops()
+                .iter()
+                .any(|op| op.target == TierTarget::Disk && op.class() == RequestClass::Evict),
+            "dirty back-invalidated data must write back: {:?}",
+            out.ops()
+        );
+    }
+
+    #[test]
+    fn absorb_read_spill_rehomes_without_dirtying() {
+        let mut cache = two_level();
+        cache.access(&read(1, 0)); // clean fill at level 0
+        let mut outcome = TieredOutcome::new();
+        cache.absorb_read_spill(0, 1, &mut outcome);
+        assert_eq!(cache.resident_level(0), Some(1));
+        assert_eq!(cache.dirty_blocks(1), 0, "read spills never dirty the block");
+        assert_eq!(cache.movement(1).read_spills_in, 1);
+        assert_eq!(cache.movement(1).spills_in, 0);
+        // A dirty block keeps its dirtiness across a read spill.
+        cache.access(&write(2, 2 * 8));
+        cache.absorb_read_spill(2, 1, &mut outcome);
+        assert_eq!(cache.dirty_blocks(1), 1);
     }
 }

@@ -65,6 +65,7 @@ pub struct TieredOutcome {
     write_hit: bool,
     served_by_cache: bool,
     hit_level: Option<usize>,
+    back_invalidations: u64,
 }
 
 impl TieredOutcome {
@@ -81,6 +82,7 @@ impl TieredOutcome {
         self.write_hit = false;
         self.served_by_cache = false;
         self.hit_level = None;
+        self.back_invalidations = 0;
     }
 
     /// Appends a derived operation.
@@ -107,6 +109,10 @@ impl TieredOutcome {
         });
     }
 
+    pub(crate) fn note_back_invalidation(&mut self) {
+        self.back_invalidations += 1;
+    }
+
     /// Whether the read was served entirely from the hierarchy.
     pub fn read_hit(&self) -> bool {
         self.read_hit
@@ -127,6 +133,12 @@ impl TieredOutcome {
     /// block hit at all.
     pub fn hit_level(&self) -> Option<usize> {
         self.hit_level
+    }
+
+    /// Upper-level copies dropped by inclusive back-invalidation while the
+    /// request's evictions were handled (always 0 in exclusive mode).
+    pub fn back_invalidations(&self) -> u64 {
+        self.back_invalidations
     }
 
     /// All derived operations, in issue order.

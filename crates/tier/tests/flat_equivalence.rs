@@ -10,7 +10,7 @@ use proptest::prelude::*;
 
 use lbica_cache::{CacheConfig, CacheModule, ReplacementKind, WritePolicy};
 use lbica_storage::request::{IoRequest, RequestKind, RequestOrigin};
-use lbica_tier::{TierLevelSpec, TierTopology, TieredCacheModule, TieredOutcome};
+use lbica_tier::{InclusionPolicy, TierLevelSpec, TierTopology, TieredCacheModule, TieredOutcome};
 
 #[derive(Debug, Clone, Copy)]
 enum Op {
@@ -20,6 +20,9 @@ enum Op {
     BigRead(u64, u64),
     BigWrite(u64, u64),
     SetPolicy(WritePolicy),
+    /// The per-tier policy assignment applied to the only level — must be
+    /// indistinguishable from the whole-stack switch on a one-level stack.
+    SetLevelPolicy(WritePolicy),
     Invalidate(u64),
 }
 
@@ -33,14 +36,21 @@ fn arb_policy() -> impl Strategy<Value = WritePolicy> {
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
-    (0u8..6, 0u64..64, 1u64..4, arb_policy()).prop_map(|(which, block, len, policy)| match which {
+    (0u8..7, 0u64..64, 1u64..4, arb_policy()).prop_map(|(which, block, len, policy)| match which {
         0 => Op::Read(block),
         1 => Op::Write(block),
         2 => Op::BigRead(block, len),
         3 => Op::BigWrite(block, len),
         4 => Op::SetPolicy(policy),
+        5 => Op::SetLevelPolicy(policy),
         _ => Op::Invalidate(block),
     })
+}
+
+fn arb_inclusion() -> impl Strategy<Value = InclusionPolicy> {
+    // Inclusion is vacuous with one level: both modes must stay pinned to
+    // the flat cache.
+    prop_oneof![Just(InclusionPolicy::Exclusive), Just(InclusionPolicy::Inclusive)]
 }
 
 fn arb_geometry() -> impl Strategy<Value = (usize, usize)> {
@@ -62,6 +72,8 @@ proptest! {
     fn one_level_hierarchy_matches_the_flat_cache(
         (num_sets, associativity) in arb_geometry(),
         replacement in arb_replacement(),
+        initial_policy in arb_policy(),
+        inclusion in arb_inclusion(),
         prewarm in 0u64..16,
         ops in proptest::collection::vec(arb_op(), 1..250),
     ) {
@@ -69,14 +81,17 @@ proptest! {
             num_sets,
             associativity,
             replacement,
-            initial_policy: WritePolicy::WriteBack,
+            initial_policy,
         };
         let mut flat = CacheModule::new(config);
-        let mut tiered = TieredCacheModule::new(TierTopology::single(TierLevelSpec::new(
-            config,
-            lbica_storage::device::SsdConfig::samsung_863a(),
-            1,
-        )));
+        let mut tiered = TieredCacheModule::new(
+            TierTopology::single(TierLevelSpec::new(
+                config,
+                lbica_storage::device::SsdConfig::samsung_863a(),
+                1,
+            ))
+            .with_inclusion(inclusion),
+        );
         flat.prewarm(0..prewarm);
         tiered.prewarm(0..prewarm);
 
@@ -110,6 +125,10 @@ proptest! {
                 Op::SetPolicy(policy) => {
                     flat.set_policy(policy);
                     tiered.set_policy(policy);
+                }
+                Op::SetLevelPolicy(policy) => {
+                    flat.set_policy(policy);
+                    tiered.set_level_policy(0, policy);
                 }
                 Op::Invalidate(block) => {
                     prop_assert_eq!(

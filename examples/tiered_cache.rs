@@ -1,7 +1,8 @@
 //! Tiered caching end to end: the mail-server workload through a two-level
-//! (hot SSD + QLC warm) cache hierarchy, comparing the plain write-back
-//! baseline against the tier-aware LBICA spill chain, with the per-tier
-//! report statistics printed for both.
+//! (hot SSD + QLC warm) *inclusive* cache hierarchy, comparing the plain
+//! write-back baseline, the paper's LBICA and the tier-aware LBICA-T
+//! (per-tier policy overrides + Group-2 read-tail spilling), with the
+//! per-tier report statistics printed for all three.
 //!
 //! ```text
 //! cargo run --release --example tiered_cache
@@ -16,30 +17,55 @@ fn run(config: SimulationConfig, controller: &mut dyn CacheController) -> Simula
 
 fn print_tiers(report: &SimulationReport) {
     println!(
-        "  {:<6} {:>8} {:>10} {:>10} {:>8} {:>10} {:>9} {:>12}",
-        "tier", "hits", "promotes", "demotes", "spills", "completed", "peak-q", "max-lat-us"
+        "  {:<6} {:>8} {:>10} {:>10} {:>8} {:>8} {:>8} {:>10} {:>9}",
+        "tier",
+        "hits",
+        "promotes",
+        "demotes",
+        "spills",
+        "rspills",
+        "backinv",
+        "completed",
+        "peak-q"
     );
     for tier in &report.tier_stats {
         println!(
-            "  {:<6} {:>8} {:>10} {:>10} {:>8} {:>10} {:>9} {:>12}",
+            "  {:<6} {:>8} {:>10} {:>10} {:>8} {:>8} {:>8} {:>10} {:>9}",
             format!("L{}", tier.level),
             tier.hits,
             tier.promotions_in,
             tier.demotions_in,
             tier.spills_in,
+            tier.read_spills_in,
+            tier.back_invalidations,
             tier.completed,
             tier.peak_queue_depth,
-            tier.max_latency_us,
         );
     }
 }
 
-fn main() {
-    let config = SimulationConfig::tiny_two_tier();
+fn print_headline(label: &str, report: &SimulationReport) {
     println!(
-        "two-level hierarchy: {} + {} blocks over the {} disk subsystem\n",
-        config.tiers.expect("tiered preset").level(0).capacity_blocks(),
-        config.tiers.expect("tiered preset").level(1).capacity_blocks(),
+        "{label:<14}: avg latency {:>5} us, cache load {:>7.0} us, {} bypassed to disk, \
+         {} writes + {} reads spilled in-hierarchy",
+        report.app_avg_latency_us,
+        report.avg_cache_load_us(),
+        report.bypassed_requests,
+        report.spilled_requests(),
+        report.spilled_reads(),
+    );
+    print_tiers(report);
+}
+
+fn main() {
+    // The two-level preset, made inclusive: promotions *copy* blocks up,
+    // and evicting a warm line back-invalidates its hot copy.
+    let config = SimulationConfig::tiny_two_tier().with_tier_inclusion(InclusionPolicy::Inclusive);
+    let topology = config.tiers.expect("tiered preset");
+    println!(
+        "inclusive two-level hierarchy: {} + {} blocks over the {} disk subsystem\n",
+        topology.level(0).capacity_blocks(),
+        topology.level(1).capacity_blocks(),
         match config.disk_device {
             DiskDeviceConfig::MidrangeSsd(_) => "mid-range-SSD",
             DiskDeviceConfig::Hdd(_) => "7.2K-HDD",
@@ -47,30 +73,37 @@ fn main() {
     );
 
     let wb = run(config, &mut StaticPolicyController::write_back());
-    println!(
-        "WB baseline   : avg latency {:>5} us, cache load {:>7.0} us, {} bypassed to disk",
-        wb.app_avg_latency_us,
-        wb.avg_cache_load_us(),
-        wb.bypassed_requests,
-    );
-    print_tiers(&wb);
+    print_headline("WB baseline", &wb);
 
+    println!();
     let lbica = run(config, &mut LbicaController::new());
+    print_headline("LBICA", &lbica);
+
+    println!();
+    let tier_aware = run(config, &mut LbicaController::tier_aware());
+    print_headline("LBICA-T", &tier_aware);
     println!(
-        "\nLBICA (tiered): avg latency {:>5} us, cache load {:>7.0} us, {} bypassed to disk, {} spilled into the warm tier",
-        lbica.app_avg_latency_us,
-        lbica.avg_cache_load_us(),
-        lbica.bypassed_requests,
-        lbica.spilled_requests(),
+        "  policy timeline: {}",
+        tier_aware
+            .policy_changes
+            .iter()
+            .map(|c| format!("i{}:{}", c.interval, c.policy))
+            .collect::<Vec<_>>()
+            .join(" -> ")
     );
-    print_tiers(&lbica);
 
     println!(
-        "\ncache-load reduction vs WB: {:.1}%  |  latency improvement: {:.1}%",
+        "\ncache-load reduction vs WB: LBICA {:.1}% | LBICA-T {:.1}%  \
+         (latency: {:.1}% | {:.1}%)",
         lbica::core::percent_reduction(wb.avg_cache_load_us(), lbica.avg_cache_load_us()),
+        lbica::core::percent_reduction(wb.avg_cache_load_us(), tier_aware.avg_cache_load_us()),
         lbica::core::percent_reduction(
             wb.app_avg_latency_us as f64,
             lbica.app_avg_latency_us as f64
+        ),
+        lbica::core::percent_reduction(
+            wb.app_avg_latency_us as f64,
+            tier_aware.app_avg_latency_us as f64
         ),
     );
 }

@@ -51,8 +51,8 @@ pub mod prelude {
     pub use lbica_storage::request::{IoRequest, RequestClass, RequestKind, RequestOrigin};
     pub use lbica_storage::time::{SimDuration, SimTime};
     pub use lbica_tier::{
-        DemotionPolicy, PlacementPolicy, PromotionPolicy, TierLevelSpec, TierTopology,
-        TieredCacheModule,
+        DemotionPolicy, InclusionPolicy, PlacementPolicy, PromotionPolicy, TierLevelSpec,
+        TierMovement, TierTopology, TieredCacheModule,
     };
     pub use lbica_trace::record::TraceRecord;
     pub use lbica_trace::workload::{WorkloadScale, WorkloadSpec};

@@ -1,0 +1,42 @@
+//! Pins the committed reference tiered figure set (`figures/*.csv`): the
+//! per-tier write-policy and inclusion sweeps must regenerate byte-for-byte
+//! from the current code, on any worker count. A diff here means tiered
+//! semantics changed — either fix the regression or consciously re-pin the
+//! CSVs (and say so in the PR).
+
+use lbica::lab::{CsvSink, ScenarioMatrix, SweepExecutor};
+
+fn regenerated(matrix: &ScenarioMatrix) -> String {
+    CsvSink::render(&SweepExecutor::serial().aggregate(matrix))
+}
+
+#[test]
+fn tier_policy_figure_csv_is_pinned() {
+    let fresh = regenerated(&ScenarioMatrix::tier_policy());
+    assert_eq!(
+        fresh,
+        include_str!("../figures/sweep_tier_policy.csv"),
+        "figures/sweep_tier_policy.csv no longer matches the tier-policy sweep"
+    );
+}
+
+#[test]
+fn inclusion_figure_csv_is_pinned() {
+    let fresh = regenerated(&ScenarioMatrix::inclusion());
+    assert_eq!(
+        fresh,
+        include_str!("../figures/sweep_inclusion.csv"),
+        "figures/sweep_inclusion.csv no longer matches the inclusion sweep"
+    );
+}
+
+#[test]
+fn pinned_figures_are_worker_count_independent() {
+    for (matrix, pinned) in [
+        (ScenarioMatrix::tier_policy(), include_str!("../figures/sweep_tier_policy.csv")),
+        (ScenarioMatrix::inclusion(), include_str!("../figures/sweep_inclusion.csv")),
+    ] {
+        let parallel = CsvSink::render(&SweepExecutor::new(8).aggregate(&matrix));
+        assert_eq!(parallel, pinned, "jobs=8 must reproduce the pinned CSV byte-for-byte");
+    }
+}
