@@ -1,10 +1,11 @@
-//! Drives a scenario-sweep matrix across all cores and writes aggregated
-//! CSV/JSON summaries.
+//! Drives a scenario-sweep matrix across all cores — or across processes
+//! via `--shard` / `merge` — and writes aggregated CSV/JSON summaries.
 //!
 //! ```text
 //! sweep [--matrix tiny|geometry|devices|tiered|tier-policy|inclusion
 //!               |replacement|replay|paper]
-//!       [--jobs N] [--out DIR] [--list]
+//!       [--jobs N] [--out DIR] [--shard I/N] [--list]
+//! sweep merge PART.json... --out DIR
 //! ```
 //!
 //! Named matrices:
@@ -29,15 +30,28 @@
 //! Results stream into the `lbica-lab` aggregator as cells complete; the
 //! summary is independent of `--jobs`, so `--jobs 1` and `--jobs 8`
 //! produce byte-identical files.
+//!
+//! # Distributed sweeps
+//!
+//! `--shard I/N` runs only the I-th of N contiguous cell ranges and
+//! writes a `lbica-partial-sweep/v1` JSON document instead of the
+//! summary files (with `--shard`, `--out` may name the partial *file*
+//! directly — any path ending in `.json` — or a directory, in which case
+//! the partial lands at `DIR/sweep_<matrix>.part<I>of<N>.json`). Because
+//! every cell's stream seed derives from its coordinates, a cell computes
+//! the same result in any shard; `sweep merge` then validates the
+//! partials (same matrix fingerprint, same shard count, every shard
+//! present exactly once) and re-renders `sweep_<matrix>.csv` / `.json`
+//! byte-identical to a single-process run.
 
 use std::env;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
 use lbica_bench::SuiteConfig;
-use lbica_lab::{CsvSink, JsonSink, ScenarioMatrix, SweepExecutor, SweepSummary};
+use lbica_lab::{CsvSink, JsonSink, PartialSweep, ScenarioMatrix, SweepExecutor, SweepSummary};
 
 const MATRICES: [(&str, &str); 9] = [
     ("tiny", "4 workloads x 3 controllers x 3 seeds, tiny scale (36 cells)"),
@@ -51,16 +65,48 @@ const MATRICES: [(&str, &str); 9] = [
     ("paper", "the canonical figure matrix at published scale (9 cells, slow)"),
 ];
 
+const USAGE: &str = "usage: sweep [--matrix tiny|geometry|devices|tiered|tier-policy|inclusion|replacement|replay|paper] \
+[--jobs N] [--out DIR] [--shard I/N] [--list]\n       sweep merge PART.json... --out DIR";
+
 #[derive(Debug)]
 struct Options {
     matrix: String,
     jobs: usize,
     out_dir: PathBuf,
+    shard: Option<(usize, usize)>,
+}
+
+#[derive(Debug)]
+struct MergeOptions {
+    parts: Vec<PathBuf>,
+    out_dir: PathBuf,
+}
+
+/// Parses `I/N` from `--shard`, rejecting `N == 0` and `I >= N` up front
+/// so a bad invocation fails before any cell runs.
+fn parse_shard(spec: &str) -> Result<(usize, usize), String> {
+    let invalid = || {
+        format!(
+            "--shard wants INDEX/COUNT with INDEX < COUNT and COUNT > 0 \
+             (e.g. `--shard 0/2`), got `{spec}`"
+        )
+    };
+    let (index, count) = spec.split_once('/').ok_or_else(invalid)?;
+    let index: usize = index.parse().map_err(|_| invalid())?;
+    let count: usize = count.parse().map_err(|_| invalid())?;
+    if count == 0 || index >= count {
+        return Err(invalid());
+    }
+    Ok((index, count))
 }
 
 fn parse_args() -> Result<Option<Options>, String> {
-    let mut opts =
-        Options { matrix: "tiny".to_string(), jobs: 0, out_dir: PathBuf::from("target/sweep") };
+    let mut opts = Options {
+        matrix: "tiny".to_string(),
+        jobs: 0,
+        out_dir: PathBuf::from("target/sweep"),
+        shard: None,
+    };
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -75,7 +121,11 @@ fn parse_args() -> Result<Option<Options>, String> {
                     .map_err(|_| "--jobs needs a number".to_string())?;
             }
             "--out" => {
-                opts.out_dir = PathBuf::from(args.next().ok_or("--out needs a directory")?);
+                opts.out_dir = PathBuf::from(args.next().ok_or("--out needs a path")?);
+            }
+            "--shard" => {
+                let spec = args.next().ok_or("--shard needs INDEX/COUNT (e.g. 0/2)")?;
+                opts.shard = Some(parse_shard(&spec)?);
             }
             "--list" => {
                 for (name, desc) in MATRICES {
@@ -84,15 +134,33 @@ fn parse_args() -> Result<Option<Options>, String> {
                 return Ok(None);
             }
             "--help" | "-h" => {
-                println!(
-                    "usage: sweep [--matrix tiny|geometry|devices|tiered|tier-policy|inclusion|replacement|replay|paper] [--jobs N] [--out DIR] [--list]"
-                );
+                println!("{USAGE}");
                 return Ok(None);
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
     Ok(Some(opts))
+}
+
+fn parse_merge_args() -> Result<MergeOptions, String> {
+    let mut opts = MergeOptions { parts: Vec::new(), out_dir: PathBuf::from("target/sweep") };
+    let mut args = env::args().skip(2);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                opts.out_dir = PathBuf::from(args.next().ok_or("--out needs a directory")?);
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown merge argument `{flag}`"));
+            }
+            part => opts.parts.push(PathBuf::from(part)),
+        }
+    }
+    if opts.parts.is_empty() {
+        return Err("merge needs at least one partial-sweep file".to_string());
+    }
+    Ok(opts)
 }
 
 fn build_matrix(name: &str) -> Result<ScenarioMatrix, String> {
@@ -144,29 +212,104 @@ fn print_summary(summary: &SweepSummary) {
     }
 }
 
-fn main() -> ExitCode {
-    let opts = match parse_args() {
-        Ok(Some(o)) => o,
-        Ok(None) => return ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+/// Writes `sweep_<matrix>.csv` / `.json` into `out_dir` — shared by the
+/// single-process path and `merge`, so both name and render the output
+/// files identically.
+fn write_summary(out_dir: &Path, matrix: &str, summary: &SweepSummary) -> Result<(), String> {
+    fs::create_dir_all(out_dir).map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let csv_path = out_dir.join(format!("sweep_{matrix}.csv"));
+    let json_path = out_dir.join(format!("sweep_{matrix}.json"));
+    CsvSink::write_to(&csv_path, summary)
+        .map_err(|e| format!("cannot write {}: {e}", csv_path.display()))?;
+    JsonSink::write_to(&json_path, summary)
+        .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+    print_summary(summary);
+    println!();
+    println!("wrote {}", csv_path.display());
+    println!("wrote {}", json_path.display());
+    Ok(())
+}
+
+/// With `--shard`, `--out` may name the partial file itself (any path
+/// ending in `.json`) or a directory to drop the canonical
+/// `sweep_<matrix>.part<I>of<N>.json` name into.
+fn partial_path(out: &Path, matrix: &str, index: usize, count: usize) -> PathBuf {
+    if out.extension().is_some_and(|e| e == "json") {
+        out.to_path_buf()
+    } else {
+        out.join(format!("sweep_{matrix}.part{index}of{count}.json"))
+    }
+}
+
+fn run_shard(opts: &Options, index: usize, count: usize) -> Result<(), String> {
+    let matrix = build_matrix(&opts.matrix)?;
+    let executor = SweepExecutor::new(opts.jobs);
+    let range = matrix.shard(index, count);
+    eprintln!(
+        "sweeping shard {index}/{count} of matrix `{}`: cells [{}, {}) of {} on {} worker(s)",
+        opts.matrix,
+        range.start,
+        range.end,
+        matrix.len(),
+        executor.jobs(),
+    );
+    let started = Instant::now();
+    let partial = PartialSweep::collect_with_progress(
+        &executor,
+        &matrix,
+        &opts.matrix,
+        index,
+        count,
+        |done, total| {
+            eprintln!("  [{done}/{total}] shard cells complete");
+        },
+    );
+    eprintln!("shard finished in {:.2?}", started.elapsed());
+
+    let path = partial_path(&opts.out_dir, &opts.matrix, index, count);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
         }
-    };
-    let matrix = match build_matrix(&opts.matrix) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    }
+    partial.write_to(&path).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    println!(
+        "wrote {} ({} cells, fingerprint {:016x})",
+        path.display(),
+        partial.cells.len(),
+        partial.fingerprint
+    );
+    Ok(())
+}
+
+fn run_merge(opts: &MergeOptions) -> Result<(), String> {
+    let mut partials = Vec::with_capacity(opts.parts.len());
+    for path in &opts.parts {
+        let partial =
+            PartialSweep::read_from(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!(
+            "read {}: shard {}/{} of matrix `{}` ({} cells)",
+            path.display(),
+            partial.shard_index,
+            partial.shard_count,
+            partial.matrix,
+            partial.cells.len(),
+        );
+        partials.push(partial);
+    }
+    let merged = PartialSweep::merge(&partials).map_err(|e| e.to_string())?;
+    eprintln!("merged {} shard(s), {} cells", partials.len(), merged.cells);
+    write_summary(&opts.out_dir, &merged.matrix, &merged.summary)
+}
+
+fn run_sweep(opts: &Options) -> Result<(), String> {
+    let matrix = build_matrix(&opts.matrix)?;
 
     // Validate the output directory up front: a bad --out must fail fast,
     // not after a (possibly slow) sweep has already run.
-    if let Err(e) = fs::create_dir_all(&opts.out_dir) {
-        eprintln!("error: cannot create {}: {e}", opts.out_dir.display());
-        return ExitCode::FAILURE;
-    }
+    fs::create_dir_all(&opts.out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", opts.out_dir.display()))?;
 
     let executor = SweepExecutor::new(opts.jobs);
     eprintln!(
@@ -188,20 +331,38 @@ fn main() -> ExitCode {
     });
     eprintln!("sweep finished in {:.2?}", started.elapsed());
 
-    let csv_path = opts.out_dir.join(format!("sweep_{}.csv", opts.matrix));
-    let json_path = opts.out_dir.join(format!("sweep_{}.json", opts.matrix));
-    if let Err(e) = CsvSink::write_to(&csv_path, &summary) {
-        eprintln!("error: cannot write {}: {e}", csv_path.display());
-        return ExitCode::FAILURE;
-    }
-    if let Err(e) = JsonSink::write_to(&json_path, &summary) {
-        eprintln!("error: cannot write {}: {e}", json_path.display());
-        return ExitCode::FAILURE;
-    }
+    write_summary(&opts.out_dir, &opts.matrix, &summary)
+}
 
-    print_summary(&summary);
-    println!();
-    println!("wrote {}", csv_path.display());
-    println!("wrote {}", json_path.display());
-    ExitCode::SUCCESS
+fn main() -> ExitCode {
+    if env::args().nth(1).as_deref() == Some("merge") {
+        return match parse_merge_args().and_then(|opts| run_merge(&opts)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("{USAGE}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let opts = match parse_args() {
+        Ok(Some(o)) => o,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match opts.shard {
+        Some((index, count)) => run_shard(&opts, index, count),
+        None => run_sweep(&opts),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -31,19 +31,17 @@ struct Accum {
 }
 
 impl Accum {
-    fn observe(&mut self, report: &SimulationReport) {
+    fn fold(&mut self, cell: &CellSummary) {
         self.cells += 1;
-        self.app_completed += report.app_completed;
-        self.latency_sum_us += report.app_avg_latency_us as u128;
-        self.max_latency_us = self.max_latency_us.max(report.app_max_latency_us);
-        self.intervals += report.intervals.len() as u64;
-        self.cache_load_sum_us +=
-            report.intervals.iter().map(|i| i.cache.max_latency_us as u128).sum::<u128>();
-        self.disk_load_sum_us +=
-            report.intervals.iter().map(|i| i.disk.max_latency_us as u128).sum::<u128>();
-        self.policy_changes += (report.policy_changes.len() as u64).saturating_sub(1);
-        self.bypassed += report.bypassed_requests;
-        self.burst_intervals += report.burst_intervals() as u64;
+        self.app_completed += cell.app_completed;
+        self.latency_sum_us += cell.avg_latency_us as u128;
+        self.max_latency_us = self.max_latency_us.max(cell.max_latency_us);
+        self.intervals += cell.intervals;
+        self.cache_load_sum_us += cell.cache_load_sum_us;
+        self.disk_load_sum_us += cell.disk_load_sum_us;
+        self.policy_changes += cell.policy_changes;
+        self.bypassed += cell.bypassed_requests;
+        self.burst_intervals += cell.burst_intervals;
     }
 
     fn avg_latency_us(&self) -> f64 {
@@ -79,6 +77,81 @@ fn ratio(num: u128, den: u128) -> f64 {
         0.0
     } else {
         num as f64 / den as f64
+    }
+}
+
+/// Everything the [`Aggregator`] extracts from one finished cell: the
+/// aggregation keys (coordinates) plus pre-summed integer measurements.
+///
+/// This is the payload of a [`crate::PartialSweep`] — a shard records one
+/// `CellSummary` per cell it ran, and `sweep merge` folds them through the
+/// same [`Aggregator`] arithmetic as a single-process run, which is why a
+/// merged summary is bit-identical to an unsharded one. Every field is an
+/// integer (sums in `u64`/`u128`), so folding is associative and
+/// commutative across shard and completion order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellSummary {
+    /// The cell's index in matrix enumeration order.
+    pub index: usize,
+    /// The cell's human-readable id (`workload/config/controller/s<seed>`).
+    pub id: String,
+    /// Workload-axis coordinate (aggregation key).
+    pub workload: String,
+    /// Configuration-axis coordinate (aggregation key).
+    pub config: String,
+    /// Controller-axis coordinate (aggregation key).
+    pub controller: String,
+    /// Seed-axis coordinate (the replicate index, not the stream seed).
+    pub seed: u64,
+    /// Application requests completed.
+    pub app_completed: u64,
+    /// The cell's mean application latency, µs.
+    pub avg_latency_us: u64,
+    /// The cell's maximum application latency, µs.
+    pub max_latency_us: u64,
+    /// Number of monitoring intervals the cell reported.
+    pub intervals: u64,
+    /// Sum of per-interval maximum cache latencies, µs.
+    pub cache_load_sum_us: u128,
+    /// Sum of per-interval maximum disk latencies, µs.
+    pub disk_load_sum_us: u128,
+    /// Write-policy changes applied after the initial policy.
+    pub policy_changes: u64,
+    /// Requests bypassed from the cache queue to the disk.
+    pub bypassed_requests: u64,
+    /// Intervals the controller flagged as bursts.
+    pub burst_intervals: u64,
+}
+
+impl CellSummary {
+    /// Extracts the summary of one finished cell. `index` is the cell's
+    /// position in matrix enumeration order.
+    pub fn capture(index: usize, scenario: &Scenario, report: &SimulationReport) -> Self {
+        CellSummary {
+            index,
+            id: scenario.id(),
+            workload: scenario.workload().name().to_string(),
+            config: scenario.config_label().to_string(),
+            controller: scenario.controller().label().to_string(),
+            seed: scenario.seed(),
+            app_completed: report.app_completed,
+            avg_latency_us: report.app_avg_latency_us,
+            max_latency_us: report.app_max_latency_us,
+            intervals: report.intervals.len() as u64,
+            cache_load_sum_us: report
+                .intervals
+                .iter()
+                .map(|i| i.cache.max_latency_us as u128)
+                .sum::<u128>(),
+            disk_load_sum_us: report
+                .intervals
+                .iter()
+                .map(|i| i.disk.max_latency_us as u128)
+                .sum::<u128>(),
+            policy_changes: (report.policy_changes.len() as u64).saturating_sub(1),
+            bypassed_requests: report.bypassed_requests,
+            burst_intervals: report.burst_intervals() as u64,
+        }
     }
 }
 
@@ -177,20 +250,20 @@ impl Aggregator {
 
     /// Folds one cell's report into the accumulators.
     pub fn observe(&mut self, scenario: &Scenario, report: &SimulationReport) {
-        self.total.observe(report);
-        self.by_workload.entry(scenario.workload().name().to_string()).or_default().observe(report);
-        self.by_controller
-            .entry(scenario.controller().label().to_string())
-            .or_default()
-            .observe(report);
-        self.by_config.entry(scenario.config_label().to_string()).or_default().observe(report);
-        self.pairs
-            .entry((
-                scenario.workload().name().to_string(),
-                scenario.controller().label().to_string(),
-            ))
-            .or_default()
-            .observe(report);
+        // Both the in-process path and `sweep merge` fold the identical
+        // `CellSummary` extraction, so a merged sharded sweep cannot drift
+        // from a single-process one.
+        self.observe_cell(&CellSummary::capture(0, scenario, report));
+    }
+
+    /// Folds one pre-extracted [`CellSummary`] — the merge path of a
+    /// sharded sweep — into the accumulators. Order-independent.
+    pub fn observe_cell(&mut self, cell: &CellSummary) {
+        self.total.fold(cell);
+        self.by_workload.entry(cell.workload.clone()).or_default().fold(cell);
+        self.by_controller.entry(cell.controller.clone()).or_default().fold(cell);
+        self.by_config.entry(cell.config.clone()).or_default().fold(cell);
+        self.pairs.entry((cell.workload.clone(), cell.controller.clone())).or_default().fold(cell);
     }
 
     /// Renders the summary from the current accumulators.
@@ -283,6 +356,34 @@ mod tests {
             backward.observe(c, r);
         }
         assert_eq!(forward.summary(), backward.summary());
+    }
+
+    #[test]
+    fn observe_and_observe_cell_fold_identically() {
+        let matrix = ScenarioMatrix::smoke();
+        let mut direct = Aggregator::new();
+        let mut via_summary = Aggregator::new();
+        for (i, cell) in matrix.cells().enumerate() {
+            let report = cell.run();
+            direct.observe(&cell, &report);
+            via_summary.observe_cell(&CellSummary::capture(i, &cell, &report));
+        }
+        assert_eq!(direct.summary(), via_summary.summary());
+    }
+
+    #[test]
+    fn capture_extracts_coordinates_and_integer_measurements() {
+        let matrix = ScenarioMatrix::smoke();
+        let cell = matrix.cell(2).expect("in bounds");
+        let report = cell.run();
+        let summary = CellSummary::capture(2, &cell, &report);
+        assert_eq!(summary.index, 2);
+        assert_eq!(summary.id, cell.id());
+        assert_eq!(summary.workload, cell.workload().name());
+        assert_eq!(summary.config, cell.config_label());
+        assert_eq!(summary.controller, cell.controller().label());
+        assert_eq!(summary.app_completed, report.app_completed);
+        assert_eq!(summary.intervals, report.intervals.len() as u64);
     }
 
     #[test]

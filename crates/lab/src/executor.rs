@@ -6,7 +6,7 @@ use std::sync::Mutex;
 use lbica_sim::SimulationReport;
 
 use crate::aggregate::{Aggregator, SweepSummary};
-use crate::matrix::ScenarioMatrix;
+use crate::matrix::{CellRange, ScenarioMatrix};
 use crate::scenario::Scenario;
 
 /// Runs the cells of a [`ScenarioMatrix`] across worker threads.
@@ -51,17 +51,32 @@ impl SweepExecutor {
     where
         F: Fn(usize, &Scenario, SimulationReport) + Sync,
     {
-        let total = matrix.len();
-        if total == 0 {
+        self.for_each_in(matrix, matrix.full_range(), handle);
+    }
+
+    /// Runs the cells of one contiguous [`CellRange`] — the shard-local
+    /// slice of a distributed sweep. `handle` receives the cell's *global*
+    /// matrix index, so a shard's results carry the same coordinates they
+    /// would in a single-process run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range reaches past the end of the matrix.
+    pub fn for_each_in<F>(&self, matrix: &ScenarioMatrix, range: CellRange, handle: F)
+    where
+        F: Fn(usize, &Scenario, SimulationReport) + Sync,
+    {
+        assert!(range.end <= matrix.len(), "cell range reaches past the matrix");
+        if range.is_empty() {
             return;
         }
-        let workers = self.jobs.min(total);
-        let cursor = AtomicUsize::new(0);
+        let workers = self.jobs.min(range.len());
+        let cursor = AtomicUsize::new(range.start);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    if index >= total {
+                    if index >= range.end {
                         break;
                     }
                     let scenario = matrix.cell(index).expect("cursor index in bounds");
@@ -170,5 +185,39 @@ mod tests {
     fn zero_jobs_means_available_parallelism() {
         assert!(SweepExecutor::new(0).jobs() >= 1);
         assert_eq!(SweepExecutor::serial().jobs(), 1);
+    }
+
+    #[test]
+    fn range_execution_visits_exactly_the_shard_with_global_indices() {
+        let matrix = ScenarioMatrix::smoke();
+        let range = matrix.shard(1, 2);
+        let seen = Mutex::new(Vec::new());
+        SweepExecutor::new(2).for_each_in(&matrix, range, |index, scenario, _| {
+            seen.lock().expect("seen lock").push((index, scenario.id()));
+        });
+        let mut seen = seen.into_inner().expect("seen lock");
+        seen.sort();
+        let expected: Vec<(usize, String)> = (range.start..range.end)
+            .map(|i| (i, matrix.cell(i).expect("in bounds").id()))
+            .collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn empty_range_is_a_no_op() {
+        let matrix = ScenarioMatrix::smoke();
+        let range = matrix.shard(9, 10);
+        assert!(range.is_empty());
+        SweepExecutor::new(2).for_each_in(&matrix, range, |_, _, _| {
+            panic!("no cells should run");
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "past the matrix")]
+    fn out_of_bounds_ranges_are_rejected() {
+        let matrix = ScenarioMatrix::smoke();
+        let range = CellRange { start: 0, end: matrix.len() + 1 };
+        SweepExecutor::serial().for_each_in(&matrix, range, |_, _, _| {});
     }
 }

@@ -17,6 +17,12 @@
 //!   individual reports.
 //! * [`CsvSink`] / [`JsonSink`] — reporters for the aggregated
 //!   [`SweepSummary`].
+//! * [`PartialSweep`] — the shard-and-merge layer for *multi-process*
+//!   sweeps: a matrix splits into N contiguous cell ranges
+//!   ([`ScenarioMatrix::shard`]), each shard emits a versioned,
+//!   fingerprint-stamped partial document, and
+//!   [`PartialSweep::merge`] folds a complete set back into a summary
+//!   byte-identical to a single-process run.
 //!
 //! [`SimulationReport`]: lbica_sim::SimulationReport
 //!
@@ -37,12 +43,14 @@ pub mod aggregate;
 pub mod controller;
 pub mod executor;
 pub mod matrix;
+pub mod partial;
 pub mod scenario;
 pub mod sink;
 
-pub use aggregate::{Aggregator, GroupStats, SweepSummary, WorkloadDelta};
+pub use aggregate::{Aggregator, CellSummary, GroupStats, SweepSummary, WorkloadDelta};
 pub use controller::ControllerKind;
 pub use executor::SweepExecutor;
-pub use matrix::{ConfigAxis, ScenarioMatrix, SeedMode};
+pub use matrix::{CellRange, ConfigAxis, ScenarioMatrix, SeedMode};
+pub use partial::{MergeError, MergedSweep, PartialError, PartialSweep, PARTIAL_SCHEMA};
 pub use scenario::{derive_seed, Scenario};
 pub use sink::{CsvSink, JsonSink};

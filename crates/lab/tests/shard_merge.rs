@@ -1,0 +1,67 @@
+//! Distributed-sweep determinism: sharding the tiny matrix, merging the
+//! partials (in shuffled order, through the serialized JSON form), and
+//! asserting the result is byte-identical to a single-process run.
+
+use lbica_lab::{CsvSink, JsonSink, MergeError, PartialSweep, ScenarioMatrix, SweepExecutor};
+
+#[test]
+fn three_way_shard_merges_byte_identical_to_single_process_run() {
+    let matrix = ScenarioMatrix::tiny();
+    let single = SweepExecutor::new(2).aggregate(&matrix);
+
+    // Each shard runs in its own executor — the in-process stand-in for
+    // three separate OS processes (the CI `shard-merge-smoke` job covers
+    // the real multi-process path) — and round-trips through the JSON
+    // document exactly as `sweep --shard` / `sweep merge` would.
+    let partials: Vec<PartialSweep> = (0..3)
+        .map(|i| PartialSweep::collect(&SweepExecutor::new(2), &matrix, "tiny", i, 3))
+        .map(|p| PartialSweep::parse(&p.render()).expect("partials round-trip"))
+        .collect();
+    let cell_counts: Vec<usize> = partials.iter().map(|p| p.cells.len()).collect();
+    assert_eq!(cell_counts, vec![12, 12, 12], "36 tiny cells split 3 ways");
+
+    // Merge in shuffled shard order: aggregation is order-independent.
+    let shuffled = [partials[1].clone(), partials[2].clone(), partials[0].clone()];
+    let merged = PartialSweep::merge(&shuffled).expect("complete, compatible partials");
+
+    assert_eq!(merged.matrix, "tiny");
+    assert_eq!(merged.cells, matrix.len() as u64);
+    assert_eq!(merged.summary, single, "merged summary equals the single-process summary");
+    assert_eq!(
+        CsvSink::render(&merged.summary),
+        CsvSink::render(&single),
+        "CSV sink bytes are identical"
+    );
+    assert_eq!(
+        JsonSink::render(&merged.summary),
+        JsonSink::render(&single),
+        "JSON sink bytes are identical"
+    );
+}
+
+#[test]
+fn merge_rejects_partials_of_a_different_matrix_definition() {
+    // Same matrix name and shape, different seed-axis values: only the
+    // fingerprint can tell them apart — and must.
+    let a = ScenarioMatrix::smoke();
+    let b = ScenarioMatrix::smoke().with_seeds(vec![7]);
+    assert_eq!(a.len(), b.len());
+    let p0 = PartialSweep::collect(&SweepExecutor::serial(), &a, "smoke", 0, 2);
+    let p1 = PartialSweep::collect(&SweepExecutor::serial(), &b, "smoke", 1, 2);
+    match PartialSweep::merge(&[p0, p1]) {
+        Err(MergeError::FingerprintMismatch { expected, found }) => assert_ne!(expected, found),
+        other => panic!("expected a fingerprint mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn merge_rejects_duplicate_and_missing_shards() {
+    let matrix = ScenarioMatrix::smoke();
+    let p0 = PartialSweep::collect(&SweepExecutor::serial(), &matrix, "smoke", 0, 2);
+    let p1 = PartialSweep::collect(&SweepExecutor::serial(), &matrix, "smoke", 1, 2);
+
+    assert_eq!(PartialSweep::merge(&[p0.clone(), p0.clone()]), Err(MergeError::DuplicateShard(0)));
+    assert_eq!(PartialSweep::merge(std::slice::from_ref(&p0)), Err(MergeError::MissingShard(1)));
+    assert_eq!(PartialSweep::merge(&[p1]), Err(MergeError::MissingShard(0)));
+    assert_eq!(PartialSweep::merge(&[]), Err(MergeError::Empty));
+}

@@ -38,8 +38,8 @@ pub mod prelude {
         WbController, WorkloadCharacterizer, WorkloadComparison, WorkloadGroup,
     };
     pub use lbica_lab::{
-        Aggregator, ConfigAxis, ControllerKind, CsvSink, JsonSink, Scenario, ScenarioMatrix,
-        SeedMode, SweepExecutor, SweepSummary,
+        Aggregator, CellRange, CellSummary, ConfigAxis, ControllerKind, CsvSink, JsonSink,
+        MergedSweep, PartialSweep, Scenario, ScenarioMatrix, SeedMode, SweepExecutor, SweepSummary,
     };
     pub use lbica_sim::{
         CacheController, ControllerContext, ControllerDecision, DiskDeviceConfig, Simulation,
