@@ -4,8 +4,9 @@
 //! ```text
 //! sweep [--matrix tiny|geometry|devices|tiered|tier-policy|inclusion
 //!               |replacement|replay|paper]
-//!       [--jobs N] [--out DIR] [--shard I/N] [--list]
-//! sweep merge PART.json... --out DIR
+//!       [--jobs N] [--out DIR] [--shard I/N]
+//!       [--telemetry FILE] [--trace-cell IDX] [--list]
+//! sweep merge PART.json... [--out DIR] [--telemetry FILE]
 //! ```
 //!
 //! Named matrices:
@@ -34,7 +35,7 @@
 //! # Distributed sweeps
 //!
 //! `--shard I/N` runs only the I-th of N contiguous cell ranges and
-//! writes a `lbica-partial-sweep/v1` JSON document instead of the
+//! writes a `lbica-partial-sweep/v2` JSON document instead of the
 //! summary files (with `--shard`, `--out` may name the partial *file*
 //! directly — any path ending in `.json` — or a directory, in which case
 //! the partial lands at `DIR/sweep_<matrix>.part<I>of<N>.json`). Because
@@ -43,6 +44,21 @@
 //! partials (same matrix fingerprint, same shard count, every shard
 //! present exactly once) and re-renders `sweep_<matrix>.csv` / `.json`
 //! byte-identical to a single-process run.
+//!
+//! # Telemetry
+//!
+//! `--telemetry FILE` streams one JSON record per execution event
+//! (`start`, `cell` with wall-clock timings and per-worker attribution,
+//! `end` with worker utilization) into FILE and writes folded metrics
+//! snapshots next to it (`FILE` with the extension replaced by
+//! `metrics.json` / `metrics.prom`). Telemetry is strictly out-of-band:
+//! the CSV/JSON summaries are byte-identical with or without it.
+//!
+//! `--trace-cell IDX` re-runs cell IDX *after* the sweep with the
+//! `lbica-obs` trace ring attached and writes a Chrome trace-event JSON
+//! (`sweep_<matrix>.cell<IDX>.trace.json`, loadable in Perfetto or
+//! `chrome://tracing`) into `--out`. Trace timestamps are sim-time, so
+//! the file is deterministic for a given cell.
 
 use std::env;
 use std::fs;
@@ -51,7 +67,13 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use lbica_bench::SuiteConfig;
-use lbica_lab::{CsvSink, JsonSink, PartialSweep, ScenarioMatrix, SweepExecutor, SweepSummary};
+use lbica_lab::telemetry::{
+    FanOut, JsonlTelemetry, MetricsFold, StderrProgress, TelemetryEvent, TelemetryHook,
+};
+use lbica_lab::{
+    CsvSink, JsonSink, PartialSweep, Scenario, ScenarioMatrix, SweepExecutor, SweepSummary,
+};
+use lbica_obs::SimObserver;
 
 const MATRICES: [(&str, &str); 9] = [
     ("tiny", "4 workloads x 3 controllers x 3 seeds, tiny scale (36 cells)"),
@@ -65,8 +87,31 @@ const MATRICES: [(&str, &str); 9] = [
     ("paper", "the canonical figure matrix at published scale (9 cells, slow)"),
 ];
 
-const USAGE: &str = "usage: sweep [--matrix tiny|geometry|devices|tiered|tier-policy|inclusion|replacement|replay|paper] \
-[--jobs N] [--out DIR] [--shard I/N] [--list]\n       sweep merge PART.json... --out DIR";
+const USAGE: &str = "\
+usage: sweep [--matrix NAME] [--jobs N] [--out DIR] [--shard I/N]
+             [--telemetry FILE] [--trace-cell IDX] [--list] [--help]
+       sweep merge PART.json... [--out DIR] [--telemetry FILE]
+
+subcommands:
+  (default)        run a sweep matrix; write sweep_<matrix>.csv/.json to --out
+  merge            fold shard partials back into whole-matrix summaries
+
+flags:
+  --matrix NAME    matrix to run: tiny|geometry|devices|tiered|tier-policy|
+                   inclusion|replacement|replay|paper (default: tiny; see --list)
+  --jobs N         worker threads, 0 = one per core (default: 0)
+  --out DIR        output directory (default: target/sweep); with --shard, may
+                   name the partial .json file directly
+  --shard I/N      run only the I-th of N contiguous cell ranges and write a
+                   partial-sweep document instead of the summary files
+  --telemetry FILE write a JSONL execution-telemetry stream to FILE plus folded
+                   metrics snapshots beside it (FILE -> *.metrics.json/.prom);
+                   wall-clock lands only here, never in the summaries
+  --trace-cell IDX after the sweep, re-run cell IDX with the trace ring attached
+                   and write sweep_<matrix>.cell<IDX>.trace.json (Chrome/
+                   Perfetto trace-event format) into --out
+  --list           list the named matrices and exit
+  --help, -h       show this message";
 
 #[derive(Debug)]
 struct Options {
@@ -74,12 +119,29 @@ struct Options {
     jobs: usize,
     out_dir: PathBuf,
     shard: Option<(usize, usize)>,
+    telemetry: Option<PathBuf>,
+    trace_cell: Option<usize>,
 }
 
 #[derive(Debug)]
 struct MergeOptions {
     parts: Vec<PathBuf>,
     out_dir: PathBuf,
+    telemetry: Option<PathBuf>,
+}
+
+/// Takes the value of `flag` from `args`, rejecting a missing value or
+/// one that looks like another flag (so `--out --telemetry` is a usage
+/// error, not a directory named `--telemetry`).
+fn flag_value(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+    what: &str,
+) -> Result<String, String> {
+    match args.next() {
+        Some(v) if !v.starts_with("--") => Ok(v),
+        _ => Err(format!("{flag} needs {what}")),
+    }
 }
 
 /// Parses `I/N` from `--shard`, rejecting `N == 0` and `I >= N` up front
@@ -106,26 +168,35 @@ fn parse_args() -> Result<Option<Options>, String> {
         jobs: 0,
         out_dir: PathBuf::from("target/sweep"),
         shard: None,
+        telemetry: None,
+        trace_cell: None,
     };
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--matrix" => {
-                opts.matrix = args.next().ok_or("--matrix needs a name (see --list)")?;
+                opts.matrix = flag_value(&mut args, "--matrix", "a name (see --list)")?;
             }
             "--jobs" => {
-                opts.jobs = args
-                    .next()
-                    .ok_or("--jobs needs a number")?
+                opts.jobs = flag_value(&mut args, "--jobs", "a number")?
                     .parse()
                     .map_err(|_| "--jobs needs a number".to_string())?;
             }
             "--out" => {
-                opts.out_dir = PathBuf::from(args.next().ok_or("--out needs a path")?);
+                opts.out_dir = PathBuf::from(flag_value(&mut args, "--out", "a path")?);
             }
             "--shard" => {
-                let spec = args.next().ok_or("--shard needs INDEX/COUNT (e.g. 0/2)")?;
+                let spec = flag_value(&mut args, "--shard", "INDEX/COUNT (e.g. 0/2)")?;
                 opts.shard = Some(parse_shard(&spec)?);
+            }
+            "--telemetry" => {
+                opts.telemetry =
+                    Some(PathBuf::from(flag_value(&mut args, "--telemetry", "a file path")?));
+            }
+            "--trace-cell" => {
+                let idx = flag_value(&mut args, "--trace-cell", "a cell index")?;
+                opts.trace_cell =
+                    Some(idx.parse().map_err(|_| "--trace-cell needs a cell index".to_string())?);
             }
             "--list" => {
                 for (name, desc) in MATRICES {
@@ -140,16 +211,26 @@ fn parse_args() -> Result<Option<Options>, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    if opts.trace_cell.is_some() && opts.shard.is_some() {
+        return Err("--trace-cell cannot be combined with --shard \
+                    (trace the cell from an unsharded run)"
+            .to_string());
+    }
     Ok(Some(opts))
 }
 
 fn parse_merge_args() -> Result<MergeOptions, String> {
-    let mut opts = MergeOptions { parts: Vec::new(), out_dir: PathBuf::from("target/sweep") };
+    let mut opts =
+        MergeOptions { parts: Vec::new(), out_dir: PathBuf::from("target/sweep"), telemetry: None };
     let mut args = env::args().skip(2);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => {
-                opts.out_dir = PathBuf::from(args.next().ok_or("--out needs a directory")?);
+                opts.out_dir = PathBuf::from(flag_value(&mut args, "--out", "a directory")?);
+            }
+            "--telemetry" => {
+                opts.telemetry =
+                    Some(PathBuf::from(flag_value(&mut args, "--telemetry", "a file path")?));
             }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown merge argument `{flag}`"));
@@ -230,6 +311,75 @@ fn write_summary(out_dir: &Path, matrix: &str, summary: &SweepSummary) -> Result
     Ok(())
 }
 
+/// The `--telemetry` sinks: the JSONL event stream plus a metrics fold
+/// whose snapshots land beside it when the sweep finishes.
+struct TelemetrySinks {
+    path: PathBuf,
+    jsonl: JsonlTelemetry<std::io::BufWriter<fs::File>>,
+    metrics: MetricsFold,
+}
+
+impl TelemetrySinks {
+    fn create(path: &Path) -> Result<Self, String> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+        }
+        let jsonl = JsonlTelemetry::create(path)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        Ok(TelemetrySinks { path: path.to_path_buf(), jsonl, metrics: MetricsFold::new() })
+    }
+
+    /// Flushes the stream and writes the folded metrics snapshots
+    /// (`<path>.metrics.json` / `<path>.metrics.prom`, replacing the
+    /// stream file's extension).
+    fn finish(self) -> Result<(), String> {
+        let snapshot = self.metrics.snapshot();
+        drop(self.jsonl.into_inner());
+        let json_path = self.path.with_extension("metrics.json");
+        let prom_path = self.path.with_extension("metrics.prom");
+        fs::write(&json_path, snapshot.render_json())
+            .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+        fs::write(&prom_path, snapshot.render_prometheus())
+            .map_err(|e| format!("cannot write {}: {e}", prom_path.display()))?;
+        println!("wrote {}", self.path.display());
+        println!("wrote {}", json_path.display());
+        println!("wrote {}", prom_path.display());
+        Ok(())
+    }
+}
+
+/// Re-runs cell `index` with the trace ring attached and writes the
+/// Chrome trace-event JSON into `out_dir`. Runs *after* the sweep so the
+/// sweep path itself stays observer-free.
+fn write_cell_trace(
+    out_dir: &Path,
+    matrix_name: &str,
+    matrix: &ScenarioMatrix,
+    index: usize,
+) -> Result<(), String> {
+    let cell: Scenario = matrix.cell(index).ok_or_else(|| {
+        format!(
+            "--trace-cell {index} is out of range: matrix `{matrix_name}` has {} cells",
+            matrix.len()
+        )
+    })?;
+    eprintln!("tracing cell {index} (`{}`)", cell.id());
+    let (_report, obs) = cell.run_observed(SimObserver::new());
+    let trace = obs.render_chrome_trace(&cell.id());
+    let path = out_dir.join(format!("sweep_{matrix_name}.cell{index}.trace.json"));
+    fs::write(&path, trace).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    println!(
+        "wrote {} ({} trace events, {} sampled out)",
+        path.display(),
+        obs.ring().recorded(),
+        obs.ring().sampled_out()
+    );
+    Ok(())
+}
+
 /// With `--shard`, `--out` may name the partial file itself (any path
 /// ending in `.json`) or a directory to drop the canonical
 /// `sweep_<matrix>.part<I>of<N>.json` name into.
@@ -253,18 +403,23 @@ fn run_shard(opts: &Options, index: usize, count: usize) -> Result<(), String> {
         matrix.len(),
         executor.jobs(),
     );
+    let sinks = opts.telemetry.as_deref().map(TelemetrySinks::create).transpose()?;
+    let stderr = StderrProgress::shard();
+    let mut hooks: Vec<&dyn TelemetryHook> = vec![&stderr];
+    if let Some(s) = &sinks {
+        hooks.push(&s.jsonl);
+        hooks.push(&s.metrics);
+    }
+    let fan = FanOut::new(&hooks);
+
     let started = Instant::now();
-    let partial = PartialSweep::collect_with_progress(
-        &executor,
-        &matrix,
-        &opts.matrix,
-        index,
-        count,
-        |done, total| {
-            eprintln!("  [{done}/{total}] shard cells complete");
-        },
-    );
+    let partial =
+        PartialSweep::collect_with_telemetry(&executor, &matrix, &opts.matrix, index, count, &fan);
     eprintln!("shard finished in {:.2?}", started.elapsed());
+    drop(hooks);
+    if let Some(s) = sinks {
+        s.finish()?;
+    }
 
     let path = partial_path(&opts.out_dir, &opts.matrix, index, count);
     if let Some(parent) = path.parent() {
@@ -284,22 +439,59 @@ fn run_shard(opts: &Options, index: usize, count: usize) -> Result<(), String> {
 }
 
 fn run_merge(opts: &MergeOptions) -> Result<(), String> {
+    let jsonl = opts
+        .telemetry
+        .as_deref()
+        .map(|path| {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    fs::create_dir_all(parent)
+                        .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+                }
+            }
+            JsonlTelemetry::create(path)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))
+        })
+        .transpose()?;
+    let stderr = StderrProgress::new();
+    let mut hooks: Vec<&dyn TelemetryHook> = vec![&stderr];
+    if let Some(j) = &jsonl {
+        hooks.push(j);
+    }
+    let fan = FanOut::new(&hooks);
+
+    let started = Instant::now();
+    fan.record(TelemetryEvent::SweepStart { matrix: "merge", cells: opts.parts.len(), jobs: 1 });
+    eprintln!("merging {} partial(s)", opts.parts.len());
     let mut partials = Vec::with_capacity(opts.parts.len());
     for path in &opts.parts {
         let partial =
             PartialSweep::read_from(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        eprintln!(
-            "read {}: shard {}/{} of matrix `{}` ({} cells)",
-            path.display(),
-            partial.shard_index,
-            partial.shard_count,
-            partial.matrix,
-            partial.cells.len(),
-        );
+        fan.record(TelemetryEvent::ShardMerged {
+            shard_index: partial.shard_index,
+            shard_count: partial.shard_count,
+            cells: partial.cells.len(),
+        });
         partials.push(partial);
     }
     let merged = PartialSweep::merge(&partials).map_err(|e| e.to_string())?;
     eprintln!("merged {} shard(s), {} cells", partials.len(), merged.cells);
+    let telemetry = lbica_lab::SweepTelemetry {
+        matrix: merged.matrix.clone(),
+        jobs: 1,
+        cells: merged.cells as usize,
+        wall_us: started.elapsed().as_micros() as u64,
+        events: 0,
+        events_per_sec: 0.0,
+        worker_busy_us: Vec::new(),
+        worker_utilization: 0.0,
+    };
+    fan.record(TelemetryEvent::SweepEnd { telemetry: &telemetry });
+    drop(hooks);
+    if let Some(j) = jsonl {
+        drop(j.into_inner());
+        println!("wrote {}", opts.telemetry.as_deref().expect("telemetry path").display());
+    }
     write_summary(&opts.out_dir, &merged.matrix, &merged.summary)
 }
 
@@ -323,15 +515,31 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
         executor.jobs(),
     );
 
-    let started = Instant::now();
-    let summary = executor.aggregate_with_progress(&matrix, |done, total| {
-        // One status line per completion; cheap enough at sweep scales and
-        // greppable in CI logs.
-        eprintln!("  [{done}/{total}] cells complete");
-    });
-    eprintln!("sweep finished in {:.2?}", started.elapsed());
+    // One stderr status line per completion; cheap enough at sweep scales
+    // and greppable in CI logs. The JSONL/metrics sinks attach only under
+    // --telemetry; either way the summary is byte-identical.
+    let sinks = opts.telemetry.as_deref().map(TelemetrySinks::create).transpose()?;
+    let stderr = StderrProgress::new();
+    let mut hooks: Vec<&dyn TelemetryHook> = vec![&stderr];
+    if let Some(s) = &sinks {
+        hooks.push(&s.jsonl);
+        hooks.push(&s.metrics);
+    }
+    let fan = FanOut::new(&hooks);
 
-    write_summary(&opts.out_dir, &opts.matrix, &summary)
+    let started = Instant::now();
+    let summary = executor.aggregate_with_telemetry(&matrix, &opts.matrix, &fan);
+    eprintln!("sweep finished in {:.2?}", started.elapsed());
+    drop(hooks);
+    if let Some(s) = sinks {
+        s.finish()?;
+    }
+
+    write_summary(&opts.out_dir, &opts.matrix, &summary)?;
+    if let Some(index) = opts.trace_cell {
+        write_cell_trace(&opts.out_dir, &opts.matrix, &matrix, index)?;
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {

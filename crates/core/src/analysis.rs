@@ -217,6 +217,9 @@ mod tests {
             app_completed: 100,
             app_avg_latency_us: latency,
             app_max_latency_us: latency * 2,
+            app_p50_latency_us: latency,
+            app_p95_latency_us: latency * 2,
+            app_p99_latency_us: latency * 2,
             bypassed_requests: 0,
             cache_stats: CacheStats::default(),
             perf: Default::default(),

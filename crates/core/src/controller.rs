@@ -296,6 +296,44 @@ impl CacheController for LbicaController {
         });
         ControllerDecision { policy: action.policy, tier_policies, bypass, burst_detected: true }
     }
+
+    fn export_obs(&self, obs: &mut lbica_obs::SimObserver, interval_us: u64) {
+        let reg = obs.metrics_mut();
+        let bursts = reg
+            .counter("lbica_ctrl_bursts_total", "intervals the Eq. 1 detector flagged as bursts");
+        reg.add(bursts, self.bursts_detected);
+        let spills = reg.counter(
+            "lbica_ctrl_spill_decisions_total",
+            "burst decisions that spilled the write tail to a lower tier",
+        );
+        reg.add(spills, self.spill_decisions);
+        let read_spills = reg.counter(
+            "lbica_ctrl_read_spill_decisions_total",
+            "burst decisions that spilled the read tail to a lower tier",
+        );
+        reg.add(read_spills, self.read_spill_decisions);
+        let tail = reg.counter(
+            "lbica_ctrl_tail_bypass_total",
+            "requests the load balancer asked to reclassify away from the cache queue",
+        );
+        let requested: u64 = self.log.records().iter().map(|r| r.tail_bypass as u64).sum();
+        reg.add(tail, requested);
+
+        // Replay the decision log into the trace ring: one event per
+        // interval with the Eq. 1 queueing times and detected group.
+        for r in self.log.records() {
+            let ts_us = (r.interval as u64 + 1) * interval_us;
+            let group = r.group.map(|g| g.to_string()).unwrap_or_default();
+            obs.controller_decision(
+                ts_us,
+                r.interval,
+                r.cache_qtime.as_micros(),
+                r.disk_qtime.as_micros(),
+                r.burst,
+                &group,
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -303,6 +341,29 @@ mod tests {
     use super::*;
     use lbica_storage::queue::{DeviceQueue, QueueSnapshot};
     use lbica_storage::time::{SimDuration, SimTime};
+
+    #[test]
+    fn export_obs_publishes_decision_log_and_counters() {
+        let mut ctrl = LbicaController::new();
+        let queue = DeviceQueue::without_merging("ssd");
+        // A saturated cache queue with a write-heavy mix triggers a burst.
+        let mix = QueueSnapshot { writes: 90, reads: 10, ..QueueSnapshot::default() };
+        let context = ctx(&queue, 200, 1, mix, WritePolicy::WriteBack);
+        let decision = ctrl.on_interval(&context);
+        assert!(decision.burst_detected, "test premise: interval must be a burst");
+
+        let mut obs = lbica_obs::SimObserver::new();
+        ctrl.export_obs(&mut obs, 1_000_000);
+        let snap = obs.snapshot();
+        let bursts =
+            snap.counters.iter().find(|c| c.name == "lbica_ctrl_bursts_total").expect("counter");
+        assert_eq!(bursts.value, 1);
+        // The decision landed in the ring with its Eq. 1 inputs.
+        assert_eq!(obs.ring().len(), 1);
+        let trace = obs.render_chrome_trace("test");
+        assert!(trace.contains("\"name\": \"decision\""));
+        assert!(trace.contains("cache_qtime_us"));
+    }
 
     fn ctx<'a>(
         queue: &'a DeviceQueue,

@@ -21,6 +21,9 @@ struct Accum {
     cells: u64,
     app_completed: u64,
     latency_sum_us: u128,
+    p50_sum_us: u128,
+    p95_sum_us: u128,
+    p99_sum_us: u128,
     max_latency_us: u64,
     intervals: u64,
     cache_load_sum_us: u128,
@@ -35,6 +38,9 @@ impl Accum {
         self.cells += 1;
         self.app_completed += cell.app_completed;
         self.latency_sum_us += cell.avg_latency_us as u128;
+        self.p50_sum_us += cell.p50_latency_us as u128;
+        self.p95_sum_us += cell.p95_latency_us as u128;
+        self.p99_sum_us += cell.p99_latency_us as u128;
         self.max_latency_us = self.max_latency_us.max(cell.max_latency_us);
         self.intervals += cell.intervals;
         self.cache_load_sum_us += cell.cache_load_sum_us;
@@ -62,6 +68,9 @@ impl Accum {
             cells: self.cells,
             app_completed: self.app_completed,
             avg_latency_us: self.avg_latency_us(),
+            avg_p50_latency_us: ratio(self.p50_sum_us, self.cells as u128),
+            avg_p95_latency_us: ratio(self.p95_sum_us, self.cells as u128),
+            avg_p99_latency_us: ratio(self.p99_sum_us, self.cells as u128),
             max_latency_us: self.max_latency_us,
             avg_cache_load_us: self.avg_cache_load_us(),
             avg_disk_load_us: self.avg_disk_load_us(),
@@ -107,6 +116,12 @@ pub struct CellSummary {
     pub app_completed: u64,
     /// The cell's mean application latency, µs.
     pub avg_latency_us: u64,
+    /// The cell's median application latency, µs (log-bucketed).
+    pub p50_latency_us: u64,
+    /// The cell's 95th-percentile application latency, µs (log-bucketed).
+    pub p95_latency_us: u64,
+    /// The cell's 99th-percentile application latency, µs (log-bucketed).
+    pub p99_latency_us: u64,
     /// The cell's maximum application latency, µs.
     pub max_latency_us: u64,
     /// Number of monitoring intervals the cell reported.
@@ -136,6 +151,9 @@ impl CellSummary {
             seed: scenario.seed(),
             app_completed: report.app_completed,
             avg_latency_us: report.app_avg_latency_us,
+            p50_latency_us: report.app_p50_latency_us,
+            p95_latency_us: report.app_p95_latency_us,
+            p99_latency_us: report.app_p99_latency_us,
             max_latency_us: report.app_max_latency_us,
             intervals: report.intervals.len() as u64,
             cache_load_sum_us: report
@@ -170,6 +188,12 @@ pub struct GroupStats {
     pub app_completed: u64,
     /// Mean of the cells' average application latencies, µs.
     pub avg_latency_us: f64,
+    /// Mean of the cells' median application latencies, µs.
+    pub avg_p50_latency_us: f64,
+    /// Mean of the cells' 95th-percentile application latencies, µs.
+    pub avg_p95_latency_us: f64,
+    /// Mean of the cells' 99th-percentile application latencies, µs.
+    pub avg_p99_latency_us: f64,
     /// Maximum application latency observed in any cell, µs.
     pub max_latency_us: u64,
     /// Mean per-interval I/O-cache load (max latency), µs — Fig. 4's
@@ -384,6 +408,12 @@ mod tests {
         assert_eq!(summary.controller, cell.controller().label());
         assert_eq!(summary.app_completed, report.app_completed);
         assert_eq!(summary.intervals, report.intervals.len() as u64);
+        assert_eq!(summary.p50_latency_us, report.app_p50_latency_us);
+        assert_eq!(summary.p95_latency_us, report.app_p95_latency_us);
+        assert_eq!(summary.p99_latency_us, report.app_p99_latency_us);
+        assert!(summary.p50_latency_us <= summary.p95_latency_us);
+        assert!(summary.p95_latency_us <= summary.p99_latency_us);
+        assert!(summary.p99_latency_us <= summary.max_latency_us);
     }
 
     #[test]

@@ -1,13 +1,18 @@
 //! Work-stealing execution of a scenario matrix.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use lbica_sim::SimulationReport;
 
 use crate::aggregate::{Aggregator, SweepSummary};
 use crate::matrix::{CellRange, ScenarioMatrix};
 use crate::scenario::Scenario;
+use crate::telemetry::{
+    events_rate, utilization, CellTelemetry, ProgressHook, SweepTelemetry, TelemetryEvent,
+    TelemetryHook,
+};
 
 /// Runs the cells of a [`ScenarioMatrix`] across worker threads.
 ///
@@ -66,25 +71,101 @@ impl SweepExecutor {
     where
         F: Fn(usize, &Scenario, SimulationReport) + Sync,
     {
+        self.run_cells(matrix, range, |_, index, scenario, report, _| {
+            handle(index, scenario, report);
+        });
+    }
+
+    /// The scheduling primitive behind every execution entry point: runs
+    /// `range`, invoking `handle(worker, index, scenario, report,
+    /// wall_us)` as each cell completes. The worker index and wall-clock
+    /// time exist only for telemetry — nothing derived from them may flow
+    /// into reports.
+    pub(crate) fn run_cells<F>(&self, matrix: &ScenarioMatrix, range: CellRange, handle: F)
+    where
+        F: Fn(usize, usize, &Scenario, SimulationReport, u64) + Sync,
+    {
         assert!(range.end <= matrix.len(), "cell range reaches past the matrix");
         if range.is_empty() {
             return;
         }
         let workers = self.jobs.min(range.len());
         let cursor = AtomicUsize::new(range.start);
+        let cursor = &cursor;
+        let handle = &handle;
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
+            for worker in 0..workers {
+                scope.spawn(move || loop {
                     let index = cursor.fetch_add(1, Ordering::Relaxed);
                     if index >= range.end {
                         break;
                     }
                     let scenario = matrix.cell(index).expect("cursor index in bounds");
+                    let started = Instant::now();
                     let report = scenario.run();
-                    handle(index, &scenario, report);
+                    let wall_us = started.elapsed().as_micros() as u64;
+                    handle(worker, index, &scenario, report, wall_us);
                 });
             }
         });
+    }
+
+    /// Runs `range` with full telemetry: a
+    /// [`TelemetryEvent::SweepStart`], one [`TelemetryEvent::Cell`] per
+    /// completed cell (in completion order) and a
+    /// [`TelemetryEvent::SweepEnd`] carrying the [`SweepTelemetry`].
+    /// `on_cell` receives each cell's deterministic results exactly as
+    /// [`SweepExecutor::for_each_in`] would deliver them.
+    pub(crate) fn run_with_telemetry(
+        &self,
+        matrix: &ScenarioMatrix,
+        range: CellRange,
+        matrix_name: &str,
+        hook: &dyn TelemetryHook,
+        on_cell: impl Fn(usize, &Scenario, &SimulationReport) + Sync,
+    ) {
+        let total = range.len();
+        hook.record(TelemetryEvent::SweepStart {
+            matrix: matrix_name,
+            cells: total,
+            jobs: self.jobs,
+        });
+        let workers = self.jobs.min(total).max(1);
+        let done = AtomicUsize::new(0);
+        let busy: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let events = AtomicU64::new(0);
+        let started = Instant::now();
+        self.run_cells(matrix, range, |worker, index, scenario, report, wall_us| {
+            on_cell(index, scenario, &report);
+            busy[worker].fetch_add(wall_us, Ordering::Relaxed);
+            events.fetch_add(report.perf.events_processed, Ordering::Relaxed);
+            let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+            let cell = CellTelemetry {
+                index,
+                id: scenario.id(),
+                worker,
+                wall_us,
+                events: report.perf.events_processed,
+                events_per_sec: events_rate(report.perf.events_processed, wall_us),
+                completed,
+                total,
+            };
+            hook.record(TelemetryEvent::Cell { cell: &cell, report: &report });
+        });
+        let wall_us = started.elapsed().as_micros() as u64;
+        let busy: Vec<u64> = busy.into_iter().map(AtomicU64::into_inner).collect();
+        let total_events = events.into_inner();
+        let telemetry = SweepTelemetry {
+            matrix: matrix_name.to_string(),
+            jobs: self.jobs,
+            cells: total,
+            wall_us,
+            events: total_events,
+            events_per_sec: events_rate(total_events, wall_us),
+            worker_utilization: utilization(&busy, wall_us),
+            worker_busy_us: busy,
+        };
+        hook.record(TelemetryEvent::SweepEnd { telemetry: &telemetry });
     }
 
     /// Runs every cell and returns the reports in cell-enumeration order.
@@ -102,22 +183,32 @@ impl SweepExecutor {
     }
 
     /// Runs every cell, streaming each report into an [`Aggregator`] and
-    /// discarding it; returns the aggregated summary. `progress` is called
-    /// with `(completed, total)` after every cell.
+    /// discarding it; returns the aggregated summary. Every execution
+    /// event — cell completions with wall-clock timings, final worker
+    /// utilization — is delivered to `hook`. The summary itself reads
+    /// only deterministic simulation quantities: it is byte-identical for
+    /// any `jobs` and any hook (including none).
+    pub fn aggregate_with_telemetry(
+        &self,
+        matrix: &ScenarioMatrix,
+        matrix_name: &str,
+        hook: &dyn TelemetryHook,
+    ) -> SweepSummary {
+        let aggregator = Mutex::new(Aggregator::new());
+        self.run_with_telemetry(matrix, matrix.full_range(), matrix_name, hook, |_, s, report| {
+            aggregator.lock().expect("aggregator lock").observe(s, report);
+        });
+        aggregator.into_inner().expect("aggregator lock").summary()
+    }
+
+    /// [`SweepExecutor::aggregate_with_telemetry`] with a plain
+    /// `(completed, total)` progress closure instead of a hook.
     pub fn aggregate_with_progress(
         &self,
         matrix: &ScenarioMatrix,
         progress: impl Fn(usize, usize) + Sync,
     ) -> SweepSummary {
-        let total = matrix.len();
-        let aggregator = Mutex::new(Aggregator::new());
-        let done = AtomicUsize::new(0);
-        self.for_each(matrix, |_, scenario, report| {
-            aggregator.lock().expect("aggregator lock").observe(scenario, &report);
-            let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
-            progress(completed, total);
-        });
-        aggregator.into_inner().expect("aggregator lock").summary()
+        self.aggregate_with_telemetry(matrix, "", &ProgressHook(progress))
     }
 
     /// [`SweepExecutor::aggregate_with_progress`] without a progress

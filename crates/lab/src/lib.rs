@@ -23,6 +23,10 @@
 //!   fingerprint-stamped partial document, and
 //!   [`PartialSweep::merge`] folds a complete set back into a summary
 //!   byte-identical to a single-process run.
+//! * [`TelemetryHook`] — pluggable execution telemetry (per-cell wall
+//!   time, worker utilization, JSONL streams, folded metrics). Telemetry
+//!   observes the sweep but never feeds into its results: summaries and
+//!   sinks stay byte-identical with any hook attached.
 //!
 //! [`SimulationReport`]: lbica_sim::SimulationReport
 //!
@@ -46,6 +50,7 @@ pub mod matrix;
 pub mod partial;
 pub mod scenario;
 pub mod sink;
+pub mod telemetry;
 
 pub use aggregate::{Aggregator, CellSummary, GroupStats, SweepSummary, WorkloadDelta};
 pub use controller::ControllerKind;
@@ -54,3 +59,7 @@ pub use matrix::{CellRange, ConfigAxis, ScenarioMatrix, SeedMode};
 pub use partial::{MergeError, MergedSweep, PartialError, PartialSweep, PARTIAL_SCHEMA};
 pub use scenario::{derive_seed, Scenario};
 pub use sink::{CsvSink, JsonSink};
+pub use telemetry::{
+    CellTelemetry, FanOut, JsonlTelemetry, MetricsFold, NullTelemetry, StderrProgress,
+    SweepTelemetry, TelemetryEvent, TelemetryHook,
+};

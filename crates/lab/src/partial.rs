@@ -23,18 +23,19 @@ use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::aggregate::{Aggregator, CellSummary, SweepSummary};
 use crate::executor::SweepExecutor;
 use crate::matrix::{CellRange, ScenarioMatrix};
 use crate::sink::json_string;
+use crate::telemetry::{NullTelemetry, ProgressHook, TelemetryHook};
 
 /// Schema identifier stamped into (and required of) every partial-sweep
-/// document. Bump the `/v1` suffix on any incompatible layout change;
+/// document. Bump the `/v2` suffix on any incompatible layout change;
 /// merge refuses documents written by a different version outright.
-pub const PARTIAL_SCHEMA: &str = "lbica-partial-sweep/v1";
+/// (`/v2` added the per-cell latency percentile fields.)
+pub const PARTIAL_SCHEMA: &str = "lbica-partial-sweep/v2";
 
 /// The output of one shard of a distributed sweep: a compatibility header
 /// plus the per-cell summaries of the shard's cell range.
@@ -71,13 +72,13 @@ impl PartialSweep {
         shard_index: usize,
         shard_count: usize,
     ) -> Self {
-        Self::collect_with_progress(
+        Self::collect_with_telemetry(
             executor,
             matrix,
             matrix_name,
             shard_index,
             shard_count,
-            |_, _| {},
+            &NullTelemetry,
         )
     }
 
@@ -91,13 +92,34 @@ impl PartialSweep {
         shard_count: usize,
         progress: impl Fn(usize, usize) + Sync,
     ) -> Self {
+        Self::collect_with_telemetry(
+            executor,
+            matrix,
+            matrix_name,
+            shard_index,
+            shard_count,
+            &ProgressHook(progress),
+        )
+    }
+
+    /// [`PartialSweep::collect`] with full execution telemetry: the hook
+    /// sees the shard's start, every cell completion (with wall-clock
+    /// timings) and the final worker-utilization summary. The collected
+    /// partial reads only deterministic simulation quantities and is
+    /// byte-identical for any `jobs` and any hook.
+    pub fn collect_with_telemetry(
+        executor: &SweepExecutor,
+        matrix: &ScenarioMatrix,
+        matrix_name: &str,
+        shard_index: usize,
+        shard_count: usize,
+        hook: &dyn TelemetryHook,
+    ) -> Self {
         let range = matrix.shard(shard_index, shard_count);
         let slots: Mutex<Vec<Option<CellSummary>>> = Mutex::new(vec![None; range.len()]);
-        let done = AtomicUsize::new(0);
-        executor.for_each_in(matrix, range, |index, scenario, report| {
-            let cell = CellSummary::capture(index, scenario, &report);
+        executor.run_with_telemetry(matrix, range, matrix_name, hook, |index, scenario, report| {
+            let cell = CellSummary::capture(index, scenario, report);
             slots.lock().expect("slot lock")[index - range.start] = Some(cell);
-            progress(done.fetch_add(1, Ordering::Relaxed) + 1, range.len());
         });
         let cells = slots
             .into_inner()
@@ -134,7 +156,8 @@ impl PartialSweep {
                 out,
                 "{{\"index\": {}, \"id\": {}, \"workload\": {}, \"config\": {}, \
                  \"controller\": {}, \"seed\": {}, \"app_completed\": {}, \
-                 \"avg_latency_us\": {}, \"max_latency_us\": {}, \"intervals\": {}, \
+                 \"avg_latency_us\": {}, \"p50_latency_us\": {}, \"p95_latency_us\": {}, \
+                 \"p99_latency_us\": {}, \"max_latency_us\": {}, \"intervals\": {}, \
                  \"cache_load_sum_us\": {}, \"disk_load_sum_us\": {}, \
                  \"policy_changes\": {}, \"bypassed_requests\": {}, \"burst_intervals\": {}}}",
                 cell.index,
@@ -145,6 +168,9 @@ impl PartialSweep {
                 cell.seed,
                 cell.app_completed,
                 cell.avg_latency_us,
+                cell.p50_latency_us,
+                cell.p95_latency_us,
+                cell.p99_latency_us,
                 cell.max_latency_us,
                 cell.intervals,
                 cell.cache_load_sum_us,
@@ -229,6 +255,9 @@ impl PartialSweep {
             seed: value.u64_field("seed")?,
             app_completed: value.u64_field("app_completed")?,
             avg_latency_us: value.u64_field("avg_latency_us")?,
+            p50_latency_us: value.u64_field("p50_latency_us")?,
+            p95_latency_us: value.u64_field("p95_latency_us")?,
+            p99_latency_us: value.u64_field("p99_latency_us")?,
             max_latency_us: value.u64_field("max_latency_us")?,
             intervals: value.u64_field("intervals")?,
             cache_load_sum_us: value.u128_field("cache_load_sum_us")?,

@@ -125,6 +125,22 @@ impl Scenario {
         Simulation::new(self.config, self.workload.clone(), self.stream_seed)
             .run(controller.as_mut())
     }
+
+    /// Runs the cell with `observer` attached and returns the report
+    /// together with the observer, now holding the run's metrics and
+    /// trace ring. The report is identical to [`Scenario::run`]'s — the
+    /// observer only records, it never steers.
+    pub fn run_observed(
+        &self,
+        observer: lbica_obs::SimObserver,
+    ) -> (SimulationReport, lbica_obs::SimObserver) {
+        let mut controller = self.controller.build();
+        let mut sim = Simulation::new(self.config, self.workload.clone(), self.stream_seed)
+            .with_observer(observer);
+        let report = sim.run(controller.as_mut());
+        let observer = sim.take_observer().expect("observer survives the run");
+        (report, observer)
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +165,18 @@ mod tests {
     #[test]
     fn separator_prevents_label_concatenation_collisions() {
         assert_ne!(derive_seed("ab", "c", 0), derive_seed("a", "bc", 0));
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run() {
+        let spec = WorkloadSpec::web_server_scaled(WorkloadScale::tiny());
+        let seed = derive_seed(spec.name(), "tiny", 0);
+        let cell =
+            Scenario::new(spec, "tiny", SimulationConfig::tiny(), ControllerKind::Lbica, 0, seed);
+        let plain = cell.run();
+        let (observed, obs) = cell.run_observed(lbica_obs::SimObserver::new());
+        assert_eq!(plain, observed);
+        assert!(!obs.ring().is_empty());
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub struct CsvSink;
 impl CsvSink {
     /// The header line of the CSV output.
     pub const HEADER: &'static str = "section,key,cells,app_completed,avg_latency_us,\
+         avg_p50_latency_us,avg_p95_latency_us,avg_p99_latency_us,\
          max_latency_us,avg_cache_load_us,avg_disk_load_us,policy_changes,bypassed_requests,\
          burst_intervals,cache_load_reduction_vs_wb_pct,latency_improvement_vs_wb_pct";
 
@@ -58,11 +59,14 @@ impl CsvSink {
     fn push_row(out: &mut String, section: &str, g: &GroupStats, delta: Option<(f64, f64)>) {
         let _ = write!(
             out,
-            "{section},{},{},{},{:.3},{},{:.3},{:.3},{},{},{}",
+            "{section},{},{},{},{:.3},{:.3},{:.3},{:.3},{},{:.3},{:.3},{},{},{}",
             g.key,
             g.cells,
             g.app_completed,
             g.avg_latency_us,
+            g.avg_p50_latency_us,
+            g.avg_p95_latency_us,
+            g.avg_p99_latency_us,
             g.max_latency_us,
             g.avg_cache_load_us,
             g.avg_disk_load_us,
@@ -130,13 +134,18 @@ impl JsonSink {
     fn group(g: &GroupStats) -> String {
         format!(
             "{{\"key\": {}, \"cells\": {}, \"app_completed\": {}, \
-             \"avg_latency_us\": {:.3}, \"max_latency_us\": {}, \
+             \"avg_latency_us\": {:.3}, \"avg_p50_latency_us\": {:.3}, \
+             \"avg_p95_latency_us\": {:.3}, \"avg_p99_latency_us\": {:.3}, \
+             \"max_latency_us\": {}, \
              \"avg_cache_load_us\": {:.3}, \"avg_disk_load_us\": {:.3}, \
              \"policy_changes\": {}, \"bypassed_requests\": {}, \"burst_intervals\": {}}}",
             json_string(&g.key),
             g.cells,
             g.app_completed,
             g.avg_latency_us,
+            g.avg_p50_latency_us,
+            g.avg_p95_latency_us,
+            g.avg_p99_latency_us,
             g.max_latency_us,
             g.avg_cache_load_us,
             g.avg_disk_load_us,
@@ -187,6 +196,10 @@ mod tests {
             + summary.by_config.len();
         assert_eq!(csv.lines().count(), expected);
         assert!(csv.starts_with("section,key,cells"));
+        let header = csv.lines().next().unwrap();
+        for column in ["avg_p50_latency_us", "avg_p95_latency_us", "avg_p99_latency_us"] {
+            assert!(header.contains(column), "missing column {column}");
+        }
         // Workload rows carry delta columns; the total row leaves them empty.
         let total_row = csv.lines().nth(1).unwrap();
         assert!(total_row.ends_with(",,"));

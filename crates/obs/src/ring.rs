@@ -1,0 +1,339 @@
+//! Bounded trace ring buffer over structured simulation events.
+//!
+//! Events are stamped in **sim-time** (microseconds on the simulated
+//! clock), never wall-clock, so a trace is a deterministic function of the
+//! simulation inputs. The ring is fixed-capacity: recording is O(1), old
+//! events are overwritten, and an optional 1-in-N sampling rate thins the
+//! stream deterministically (a modulus over the offer counter, no RNG) so
+//! full-rate tracing can be dialed down without perturbing anything.
+
+/// A small fixed-capacity inline string, so [`TraceEvent`] stays `Copy` and
+/// recording a label never allocates.
+///
+/// Holds up to 23 bytes of UTF-8; longer inputs are truncated at a char
+/// boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmallLabel {
+    buf: [u8; 23],
+    len: u8,
+}
+
+impl SmallLabel {
+    /// Builds a label from a string, truncating to the inline capacity at a
+    /// character boundary.
+    pub fn new(s: &str) -> Self {
+        let mut buf = [0u8; 23];
+        let mut len = s.len().min(buf.len());
+        while len > 0 && !s.is_char_boundary(len) {
+            len -= 1;
+        }
+        buf[..len].copy_from_slice(&s.as_bytes()[..len]);
+        SmallLabel { buf, len: len as u8 }
+    }
+
+    /// The stored text.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.buf[..self.len as usize]).expect("label stores valid UTF-8")
+    }
+}
+
+impl std::fmt::Display for SmallLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What happened, with event-specific payload. All variants are `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// An interval boundary was crossed; carries per-tier completion counts.
+    IntervalRollover {
+        /// Interval index that just finished.
+        interval: u32,
+        /// Requests completed at the cache tier during the interval.
+        cache_completed: u64,
+        /// Requests completed at the disk tier during the interval.
+        disk_completed: u64,
+    },
+    /// The controller flagged the interval as a burst.
+    BurstDetected {
+        /// Interval index.
+        interval: u32,
+    },
+    /// The write policy changed at an interval boundary.
+    PolicyChange {
+        /// Interval index at which the new policy takes effect.
+        interval: u32,
+        /// Human-readable policy label (composite for tiered hierarchies).
+        policy: SmallLabel,
+    },
+    /// Requests were bypassed (or spill-moved) away from the cache queue.
+    Bypass {
+        /// Interval index.
+        interval: u32,
+        /// Number of requests moved.
+        requests: u64,
+    },
+    /// Tail writes were spilled to a lower cache tier.
+    SpillWrites {
+        /// Interval index.
+        interval: u32,
+        /// Number of requests spilled.
+        requests: u64,
+    },
+    /// Tail reads were spilled to a lower cache tier.
+    SpillReads {
+        /// Interval index.
+        interval: u32,
+        /// Number of requests spilled.
+        requests: u64,
+    },
+    /// Blocks promoted into a higher tier during the interval.
+    Promotions {
+        /// Interval index.
+        interval: u32,
+        /// Number of blocks promoted.
+        blocks: u64,
+    },
+    /// Blocks demoted into a lower tier during the interval.
+    Demotions {
+        /// Interval index.
+        interval: u32,
+        /// Number of blocks demoted.
+        blocks: u64,
+    },
+    /// Per-interval queue-depth high-water mark for one tier.
+    QueueHighWater {
+        /// Interval index.
+        interval: u32,
+        /// Tier label (`"cache"` / `"disk"`).
+        tier: SmallLabel,
+        /// Peak queue depth observed during the interval.
+        depth: u64,
+    },
+    /// A controller decision with its Eq. 1 inputs.
+    ControllerDecision {
+        /// Interval index the decision was taken at.
+        interval: u32,
+        /// Cache-tier queueing time fed to the detector (µs).
+        cache_qtime_us: u64,
+        /// Disk-tier queueing time fed to the detector (µs).
+        disk_qtime_us: u64,
+        /// Whether the detector flagged a burst.
+        burst: bool,
+        /// Workload group label assigned by the characterizer.
+        group: SmallLabel,
+    },
+}
+
+/// One trace event: a sim-time stamp, an optional duration and a kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Sim-time of the event start, µs since simulation start.
+    pub ts_us: u64,
+    /// Duration in sim-µs; zero for instantaneous events.
+    pub dur_us: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s with deterministic sampling.
+///
+/// ```
+/// use lbica_obs::{TraceEvent, TraceEventKind, TraceRing};
+///
+/// let mut ring = TraceRing::new(2);
+/// for i in 0..5 {
+///     ring.record(TraceEvent {
+///         ts_us: i * 100,
+///         dur_us: 0,
+///         kind: TraceEventKind::BurstDetected { interval: i as u32 },
+///     });
+/// }
+/// // Capacity 2: only the last two events survive, oldest first.
+/// let kept: Vec<u64> = ring.iter().map(|e| e.ts_us).collect();
+/// assert_eq!(kept, vec![300, 400]);
+/// assert_eq!(ring.overwritten(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    head: usize,
+    offered: u64,
+    recorded: u64,
+    sample_every: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` events (minimum 1),
+    /// recording every offered event.
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            events: Vec::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            head: 0,
+            offered: 0,
+            recorded: 0,
+            sample_every: 1,
+        }
+    }
+
+    /// Sets deterministic 1-in-`n` sampling: of every `n` offered events the
+    /// first is kept, the rest dropped. `n` is clamped to at least 1.
+    pub fn with_sampling(mut self, n: u64) -> Self {
+        self.sample_every = n.max(1);
+        self
+    }
+
+    /// The configured sampling period (1 = record everything).
+    pub const fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
+    /// Offers an event to the ring. Returns `true` if it was kept (i.e. it
+    /// survived sampling — it may still be overwritten later).
+    pub fn record(&mut self, event: TraceEvent) -> bool {
+        self.offered += 1;
+        if !(self.offered - 1).is_multiple_of(self.sample_every) {
+            return false;
+        }
+        self.recorded += 1;
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.head] = event;
+        }
+        self.head = (self.head + 1) % self.capacity;
+        true
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Maximum number of events the ring can hold.
+    pub const fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events offered via [`TraceRing::record`], kept or not.
+    pub const fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Events that passed sampling (kept at the time of recording).
+    pub const fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events dropped by sampling.
+    pub const fn sampled_out(&self) -> u64 {
+        self.offered - self.recorded
+    }
+
+    /// Recorded events later overwritten by newer ones.
+    pub fn overwritten(&self) -> u64 {
+        self.recorded - self.events.len() as u64
+    }
+
+    /// Iterates over held events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let split = if self.events.len() < self.capacity { 0 } else { self.head };
+        self.events[split..].iter().chain(self.events[..split].iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64) -> TraceEvent {
+        TraceEvent {
+            ts_us: ts,
+            dur_us: 0,
+            kind: TraceEventKind::BurstDetected { interval: ts as u32 },
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_oldest_first() {
+        let mut ring = TraceRing::new(3);
+        for t in 0..3 {
+            assert!(ring.record(ev(t)));
+        }
+        assert_eq!(ring.iter().map(|e| e.ts_us).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(ring.overwritten(), 0);
+
+        for t in 3..7 {
+            ring.record(ev(t));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.iter().map(|e| e.ts_us).collect::<Vec<_>>(), vec![4, 5, 6]);
+        assert_eq!(ring.overwritten(), 4);
+        assert_eq!(ring.recorded(), 7);
+    }
+
+    #[test]
+    fn wraparound_at_exact_capacity_boundary() {
+        let mut ring = TraceRing::new(2);
+        ring.record(ev(10));
+        ring.record(ev(20));
+        // Exactly full, head back at 0: next write replaces the oldest.
+        ring.record(ev(30));
+        assert_eq!(ring.iter().map(|e| e.ts_us).collect::<Vec<_>>(), vec![20, 30]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut ring = TraceRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.record(ev(1));
+        ring.record(ev(2));
+        assert_eq!(ring.iter().map(|e| e.ts_us).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn sampling_keeps_every_nth_deterministically() {
+        let mut kept_a = Vec::new();
+        let mut kept_b = Vec::new();
+        for kept in [&mut kept_a, &mut kept_b] {
+            let mut ring = TraceRing::new(100).with_sampling(3);
+            for t in 0..10 {
+                if ring.record(ev(t)) {
+                    kept.push(t);
+                }
+            }
+            assert_eq!(ring.sampled_out(), 10 - kept.len() as u64);
+        }
+        // Same inputs, same decisions: sampling is counter-based, not random.
+        assert_eq!(kept_a, kept_b);
+        assert_eq!(kept_a, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn sampling_of_one_keeps_everything() {
+        let mut ring = TraceRing::new(10).with_sampling(0);
+        assert_eq!(ring.sample_every(), 1);
+        for t in 0..5 {
+            assert!(ring.record(ev(t)));
+        }
+        assert_eq!(ring.sampled_out(), 0);
+    }
+
+    #[test]
+    fn small_label_truncates_at_char_boundary() {
+        assert_eq!(SmallLabel::new("short").as_str(), "short");
+        let long = "abcdefghijklmnopqrstuvwxyz";
+        assert_eq!(SmallLabel::new(long).as_str(), &long[..23]);
+        // 22 ASCII bytes then a 3-byte char: must truncate before the char.
+        let multi = format!("{}\u{20AC}", "a".repeat(22));
+        assert_eq!(SmallLabel::new(&multi).as_str(), "a".repeat(22));
+    }
+}

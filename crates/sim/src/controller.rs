@@ -154,6 +154,13 @@ pub trait CacheController {
 
     /// Called at the end of every monitoring interval.
     fn on_interval(&mut self, ctx: &ControllerContext<'_>) -> ControllerDecision;
+
+    /// Called once at the end of an observed run so the controller can
+    /// publish its internal state (decision logs, detector counters) into
+    /// the observer. `interval_us` converts interval indices to sim-time.
+    /// The default publishes nothing; never called without an observer
+    /// attached, so un-observed runs pay zero cost.
+    fn export_obs(&self, _obs: &mut lbica_obs::SimObserver, _interval_us: u64) {}
 }
 
 /// The no-load-balancing baseline: a fixed write policy, never bypasses.

@@ -85,6 +85,12 @@ pub struct SimulationReport {
     pub app_avg_latency_us: u64,
     /// Maximum end-to-end application latency, µs.
     pub app_max_latency_us: u64,
+    /// Median end-to-end application latency, µs (log-bucketed).
+    pub app_p50_latency_us: u64,
+    /// 95th-percentile end-to-end application latency, µs (log-bucketed).
+    pub app_p95_latency_us: u64,
+    /// 99th-percentile end-to-end application latency, µs (log-bucketed).
+    pub app_p99_latency_us: u64,
     /// Requests the controller bypassed from the cache queue to the disk.
     pub bypassed_requests: u64,
     /// Final cache statistics.
@@ -223,6 +229,9 @@ mod tests {
             app_completed: 0,
             app_avg_latency_us: 0,
             app_max_latency_us: 0,
+            app_p50_latency_us: 0,
+            app_p95_latency_us: 0,
+            app_p99_latency_us: 0,
             bypassed_requests: 0,
             cache_stats: CacheStats::default(),
             perf: SimPerf::default(),

@@ -1,5 +1,6 @@
 //! The per-workload simulation driver.
 
+use lbica_obs::{QueueTier, SimObserver};
 use lbica_trace::workload::WorkloadSpec;
 
 use crate::config::SimulationConfig;
@@ -24,13 +25,14 @@ pub struct Simulation {
     spec: WorkloadSpec,
     seed: u64,
     drain_at_end: bool,
+    observer: Option<SimObserver>,
 }
 
 impl Simulation {
     /// Creates a simulation of `spec` with the given configuration and
     /// random seed.
     pub fn new(config: SimulationConfig, spec: WorkloadSpec, seed: u64) -> Self {
-        Simulation { config, spec, seed, drain_at_end: true }
+        Simulation { config, spec, seed, drain_at_end: true, observer: None }
     }
 
     /// Disables draining outstanding requests after the last interval
@@ -39,6 +41,22 @@ impl Simulation {
     pub fn without_drain(mut self) -> Self {
         self.drain_at_end = false;
         self
+    }
+
+    /// Attaches an observer that records interval-granularity trace events
+    /// and metrics during the run (builder style). Observability is
+    /// strictly out-of-band: the report of an observed run is byte-identical
+    /// to an unobserved one, and with no observer attached the run pays
+    /// zero instrumentation cost.
+    pub fn with_observer(mut self, observer: SimObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Detaches and returns the observer (with everything it recorded),
+    /// if one was attached.
+    pub fn take_observer(&mut self) -> Option<SimObserver> {
+        self.observer.take()
     }
 
     /// The workload being simulated.
@@ -104,14 +122,49 @@ impl Simulation {
             };
 
             report.burst_detected = decision.burst_detected;
-            if decision.policy != system.policy() {
+            let policy_switched = decision.policy != system.policy();
+            if policy_switched {
                 system.set_policy(decision.policy);
                 policy_changes.push(PolicyChange {
                     interval: index + 1,
                     policy: decision.policy.label().to_string(),
                 });
             }
-            bypassed_total += system.apply_bypass(&decision.bypass) as u64;
+            let moved = system.apply_bypass(&decision.bypass) as u64;
+            bypassed_total += moved;
+
+            // Out-of-band observability: reads interval measurements, never
+            // feeds anything back into the system or the report.
+            if let Some(obs) = self.observer.as_mut() {
+                let start_us = index as u64 * interval_us;
+                let end_us = start_us + interval_us;
+                obs.interval_rollover(
+                    index,
+                    start_us,
+                    interval_us,
+                    report.cache.completed,
+                    report.disk.completed,
+                );
+                obs.queue_high_water(
+                    end_us,
+                    index,
+                    QueueTier::Cache,
+                    report.cache.peak_queue_depth as u64,
+                );
+                obs.queue_high_water(
+                    end_us,
+                    index,
+                    QueueTier::Disk,
+                    report.disk.peak_queue_depth as u64,
+                );
+                if decision.burst_detected {
+                    obs.burst(end_us, index);
+                }
+                if policy_switched {
+                    obs.policy_change(end_us, index + 1, decision.policy.label());
+                }
+                obs.bypass(end_us, index, moved);
+            }
 
             intervals.push(report);
         }
@@ -124,6 +177,16 @@ impl Simulation {
             system.drain(600);
         }
 
+        if let Some(obs) = self.observer.as_mut() {
+            controller.export_obs(obs, interval_us);
+            obs.run_totals(
+                system.events_processed(),
+                system.app_completed(),
+                system.peak_event_queue_depth() as u64,
+            );
+            obs.observe_app_latency(system.app_latency_histogram());
+        }
+
         SimulationReport {
             workload: self.spec.name().to_string(),
             controller: controller.name().to_string(),
@@ -133,6 +196,9 @@ impl Simulation {
             app_completed: system.app_completed(),
             app_avg_latency_us: system.app_avg_latency_us(),
             app_max_latency_us: system.app_max_latency_us(),
+            app_p50_latency_us: system.app_percentile_us(50.0),
+            app_p95_latency_us: system.app_percentile_us(95.0),
+            app_p99_latency_us: system.app_percentile_us(99.0),
             bypassed_requests: bypassed_total,
             cache_stats: *system.cache().stats(),
             perf: crate::report::SimPerf {
@@ -168,6 +234,9 @@ impl Simulation {
             vec![PolicyChange { interval: 0, policy: tier_policy_label(system.level_policies()) }];
         let mut bypassed_total = 0u64;
         let mut tier_loads: Vec<TierLoad> = Vec::with_capacity(system.tier_count());
+        // Cumulative (promotions, demotions) at the last observed interval,
+        // so the observer can trace per-interval movement deltas.
+        let mut observed_moves = (0u64, 0u64);
 
         for index in 0..total_intervals {
             for record in self.spec.generate_interval(index, self.seed) {
@@ -197,6 +266,7 @@ impl Simulation {
             };
 
             report.burst_detected = decision.burst_detected;
+            let mut policy_switched = false;
             if decision.tier_policies.is_empty() {
                 // The paper's single policy knob (which drives the hot tier
                 // only on an explicitly per-tier stack); the recorded label
@@ -207,6 +277,7 @@ impl Simulation {
                         interval: index + 1,
                         policy: tier_policy_label(system.level_policies()),
                     });
+                    policy_switched = true;
                 }
             } else if system.level_policies() != decision.tier_policies.as_slice() {
                 // Tier-aware assignment: one policy per level, recorded as
@@ -216,21 +287,74 @@ impl Simulation {
                     interval: index + 1,
                     policy: tier_policy_label(&decision.tier_policies),
                 });
+                policy_switched = true;
             }
             // `bypassed_requests` keeps its flat-path meaning — requests
             // reclassified *to the disk*. Spills (write and read alike)
             // stay in the hierarchy and are accounted separately
             // (tier_stats / spilled_requests() / spilled_reads()).
-            let spilled_before = system.spilled_requests() + system.spilled_reads();
+            let spilled_writes_before = system.spilled_requests();
+            let spilled_reads_before = system.spilled_reads();
             let moved = system.apply_bypass(&decision.bypass) as u64;
-            let spilled_now = system.spilled_requests() + system.spilled_reads();
-            bypassed_total += moved - (spilled_now - spilled_before);
+            let spill_writes = system.spilled_requests() - spilled_writes_before;
+            let spill_reads = system.spilled_reads() - spilled_reads_before;
+            bypassed_total += moved - (spill_writes + spill_reads);
+
+            // Out-of-band observability, mirroring the flat loop plus the
+            // tier-movement events only this datapath can produce.
+            if let Some(obs) = self.observer.as_mut() {
+                let start_us = index as u64 * interval_us;
+                let end_us = start_us + interval_us;
+                obs.interval_rollover(
+                    index,
+                    start_us,
+                    interval_us,
+                    report.cache.completed,
+                    report.disk.completed,
+                );
+                obs.queue_high_water(
+                    end_us,
+                    index,
+                    QueueTier::Cache,
+                    report.cache.peak_queue_depth as u64,
+                );
+                obs.queue_high_water(
+                    end_us,
+                    index,
+                    QueueTier::Disk,
+                    report.disk.peak_queue_depth as u64,
+                );
+                if decision.burst_detected {
+                    obs.burst(end_us, index);
+                }
+                if policy_switched {
+                    let label = &policy_changes.last().expect("just pushed").policy;
+                    obs.policy_change(end_us, index + 1, label);
+                }
+                obs.bypass(end_us, index, moved - (spill_writes + spill_reads));
+                obs.spill_writes(end_us, index, spill_writes);
+                obs.spill_reads(end_us, index, spill_reads);
+                let (promotions, demotions) = system.movement_totals();
+                obs.promotions(end_us, index, promotions - observed_moves.0);
+                obs.demotions(end_us, index, demotions - observed_moves.1);
+                observed_moves = (promotions, demotions);
+            }
 
             intervals.push(report);
         }
 
         if self.drain_at_end {
             system.drain(600);
+        }
+
+        if let Some(obs) = self.observer.as_mut() {
+            controller.export_obs(obs, interval_us);
+            obs.run_totals(
+                system.events_processed(),
+                system.app_completed(),
+                system.peak_event_queue_depth() as u64,
+            );
+            obs.observe_app_latency(system.app_latency_histogram());
         }
 
         // The headline cache stats stay hot-tier shaped (hit/miss/bypass of
@@ -245,6 +369,9 @@ impl Simulation {
             app_completed: system.app_completed(),
             app_avg_latency_us: system.app_avg_latency_us(),
             app_max_latency_us: system.app_max_latency_us(),
+            app_p50_latency_us: system.app_percentile_us(50.0),
+            app_p95_latency_us: system.app_percentile_us(95.0),
+            app_p99_latency_us: system.app_percentile_us(99.0),
             bypassed_requests: bypassed_total,
             cache_stats: *system.cache().stats(0),
             perf: crate::report::SimPerf {
@@ -403,6 +530,59 @@ mod tests {
             disk(&wt),
             disk(&uniform)
         );
+    }
+
+    #[test]
+    fn observed_runs_produce_identical_reports_to_unobserved_ones() {
+        for config in [SimulationConfig::tiny(), SimulationConfig::tiny_two_tier()] {
+            let spec = WorkloadSpec::tpcc_scaled(WorkloadScale::tiny());
+            let plain = Simulation::new(config, spec.clone(), 11)
+                .run(&mut StaticPolicyController::write_back());
+            let mut observed =
+                Simulation::new(config, spec, 11).with_observer(lbica_obs::SimObserver::new());
+            let report = observed.run(&mut StaticPolicyController::write_back());
+            assert_eq!(plain, report, "observer must not perturb the report");
+
+            let obs = observed.take_observer().expect("observer attached");
+            assert!(observed.take_observer().is_none());
+            // One rollover + two queue marks per interval, at minimum.
+            assert!(obs.ring().len() >= plain.intervals.len() * 3);
+            let snap = obs.snapshot();
+            let intervals = snap
+                .counters
+                .iter()
+                .find(|c| c.name == "lbica_sim_intervals_total")
+                .expect("interval counter registered");
+            assert_eq!(intervals.value, plain.intervals.len() as u64);
+            let events = snap
+                .counters
+                .iter()
+                .find(|c| c.name == "lbica_sim_events_processed_total")
+                .expect("events counter registered");
+            assert_eq!(events.value, plain.perf.events_processed);
+        }
+    }
+
+    #[test]
+    fn observed_traces_are_deterministic() {
+        let run = || {
+            let spec = WorkloadSpec::web_server_scaled(WorkloadScale::tiny());
+            let mut sim = Simulation::new(SimulationConfig::tiny(), spec, 5)
+                .with_observer(lbica_obs::SimObserver::new());
+            sim.run(&mut StaticPolicyController::write_back());
+            sim.take_observer().unwrap().render_chrome_trace("cell")
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reports_surface_app_latency_percentiles() {
+        let spec = WorkloadSpec::tpcc_scaled(WorkloadScale::tiny());
+        let report = tiny_sim(spec).run(&mut StaticPolicyController::write_back());
+        assert!(report.app_p50_latency_us > 0);
+        assert!(report.app_p50_latency_us <= report.app_p95_latency_us);
+        assert!(report.app_p95_latency_us <= report.app_p99_latency_us);
+        assert!(report.app_p99_latency_us <= report.app_max_latency_us);
     }
 
     #[test]

@@ -175,6 +175,16 @@ impl StorageSystem {
         self.app.max_latency_us()
     }
 
+    /// End-to-end application latency at `pct` (0–100), µs, log-bucketed.
+    pub fn app_percentile_us(&self, pct: f64) -> u64 {
+        self.app.percentile_us(pct)
+    }
+
+    /// The end-to-end application latency distribution.
+    pub fn app_latency_histogram(&self) -> &lbica_storage::histogram::LatencyHistogram {
+        self.app.latency_histogram()
+    }
+
     /// Total number of discrete events processed by the event loop.
     pub const fn events_processed(&self) -> u64 {
         self.events_processed

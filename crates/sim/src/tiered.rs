@@ -138,6 +138,16 @@ impl TieredStorageSystem {
         self.app.max_latency_us()
     }
 
+    /// End-to-end application latency at `pct` (0–100), µs, log-bucketed.
+    pub fn app_percentile_us(&self, pct: f64) -> u64 {
+        self.app.percentile_us(pct)
+    }
+
+    /// The end-to-end application latency distribution.
+    pub fn app_latency_histogram(&self) -> &lbica_storage::histogram::LatencyHistogram {
+        self.app.latency_histogram()
+    }
+
     /// Total number of discrete events processed by the event loop.
     pub const fn events_processed(&self) -> u64 {
         self.events_processed
@@ -512,6 +522,16 @@ impl TieredStorageSystem {
             steps += 1;
         }
         true
+    }
+
+    /// Cumulative (promotions, demotions) summed over all levels — cheap
+    /// enough to sample once per interval so an observer can trace
+    /// per-interval movement deltas.
+    pub fn movement_totals(&self) -> (u64, u64) {
+        (0..self.levels.len()).fold((0, 0), |(p, d), level| {
+            let movement = self.cache.movement(level);
+            (p + movement.promotions_in, d + movement.demotions_in)
+        })
     }
 
     /// Snapshot of the cumulative per-level statistics — the

@@ -6,6 +6,7 @@
 //! into a free-list slab of live entries: register and complete are both a
 //! pair of array indexing operations.
 
+use lbica_storage::histogram::LatencyHistogram;
 use lbica_storage::request::RequestId;
 use lbica_storage::time::SimTime;
 
@@ -44,6 +45,9 @@ pub struct AppTracker {
     completed: u64,
     total_latency_us: u64,
     max_latency_us: u64,
+    /// End-to-end latency distribution over completed requests, feeding the
+    /// report's p50/p95/p99 columns.
+    latency: LatencyHistogram,
 }
 
 impl AppTracker {
@@ -67,6 +71,16 @@ impl AppTracker {
         self.max_latency_us
     }
 
+    /// End-to-end latency at the given percentile (0–100), µs, log-bucketed.
+    pub fn percentile_us(&self, pct: f64) -> u64 {
+        self.latency.percentile(pct).as_micros()
+    }
+
+    /// The full end-to-end latency distribution over completed requests.
+    pub fn latency_histogram(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
     /// Number of requests currently in flight.
     pub fn outstanding(&self) -> usize {
         self.slots.len() - self.free.len()
@@ -79,6 +93,7 @@ impl AppTracker {
             // Nothing in the datapath (cannot normally happen) — count as an
             // instantaneous completion.
             self.completed += 1;
+            self.latency.record_us(0);
             return;
         }
         let id = id as usize;
@@ -119,6 +134,7 @@ impl AppTracker {
             self.completed += 1;
             self.total_latency_us += latency;
             self.max_latency_us = self.max_latency_us.max(latency);
+            self.latency.record_us(latency);
             self.index[parent as usize] = NIL;
             self.free.push(slot);
         }
@@ -190,5 +206,19 @@ mod tests {
         assert_eq!(t.completed(), 2);
         assert_eq!(t.max_latency_us(), 120);
         assert_eq!(t.total_latency_us(), 150);
+    }
+
+    #[test]
+    fn percentiles_track_completed_latencies() {
+        let mut t = AppTracker::new();
+        for id in 1..=100u64 {
+            t.register(id, SimTime::ZERO, 1);
+            t.complete_op(id, SimTime::from_micros(id * 100));
+        }
+        assert_eq!(t.latency_histogram().count(), 100);
+        let p50 = t.percentile_us(50.0);
+        let p99 = t.percentile_us(99.0);
+        assert!((4_000..=6_500).contains(&p50), "p50 {p50}");
+        assert!(p99 >= p50 && p99 <= t.max_latency_us());
     }
 }

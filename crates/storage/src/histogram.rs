@@ -6,6 +6,8 @@
 //! microsecond latencies: constant memory, O(1) insertion, and percentile
 //! queries with bounded relative error (one bucket ≈ ×1.25).
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
 use crate::time::SimDuration;
@@ -14,6 +16,22 @@ use crate::time::SimDuration;
 const BUCKET_GROWTH: f64 = 1.25;
 /// Number of buckets; covers 1 µs … > 1 hour at ×1.25 growth.
 const BUCKETS: usize = 128;
+
+/// Inclusive upper bounds (µs) of each bucket: `BOUNDS[i] = ceil(1.25^(i+1))`.
+///
+/// Computed once so the per-sample path is a branch-free integer
+/// `partition_point` instead of a floating-point `ln` — `record` sits on the
+/// completion hot path of the simulator.
+fn bucket_bounds() -> &'static [u64; BUCKETS] {
+    static BOUNDS: OnceLock<[u64; BUCKETS]> = OnceLock::new();
+    BOUNDS.get_or_init(|| {
+        let mut bounds = [0u64; BUCKETS];
+        for (i, slot) in bounds.iter_mut().enumerate() {
+            *slot = BUCKET_GROWTH.powi(i as i32 + 1).ceil() as u64;
+        }
+        bounds
+    })
+}
 
 /// A log-bucketed latency histogram.
 ///
@@ -51,21 +69,21 @@ impl LatencyHistogram {
     }
 
     fn bucket_index(latency_us: u64) -> usize {
-        if latency_us <= 1 {
-            return 0;
-        }
-        let idx = (latency_us as f64).ln() / BUCKET_GROWTH.ln();
-        (idx.floor() as usize).min(BUCKETS - 1)
+        bucket_bounds().partition_point(|&bound| bound < latency_us).min(BUCKETS - 1)
     }
 
     /// Upper bound (µs) of the bucket with the given index.
     fn bucket_upper_bound(index: usize) -> u64 {
-        BUCKET_GROWTH.powi(index as i32 + 1).ceil() as u64
+        bucket_bounds()[index]
     }
 
     /// Records one latency sample.
     pub fn record(&mut self, latency: SimDuration) {
-        let us = latency.as_micros();
+        self.record_us(latency.as_micros());
+    }
+
+    /// Records one latency sample given directly in microseconds.
+    pub fn record_us(&mut self, us: u64) {
         self.buckets[Self::bucket_index(us)] += 1;
         self.count += 1;
         self.total_us += us;
@@ -76,6 +94,11 @@ impl LatencyHistogram {
     /// Number of recorded samples.
     pub const fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Exact sum of all recorded samples, in microseconds.
+    pub const fn total_us(&self) -> u64 {
+        self.total_us
     }
 
     /// Whether no samples have been recorded.
@@ -142,9 +165,14 @@ impl LatencyHistogram {
         self.min_us = self.min_us.min(other.min_us);
     }
 
-    /// Clears all samples.
+    /// Clears all samples without releasing the bucket allocation, so a
+    /// per-interval accumulator can reset in place.
     pub fn reset(&mut self) {
-        *self = LatencyHistogram::new();
+        self.buckets.fill(0);
+        self.count = 0;
+        self.total_us = 0;
+        self.max_us = 0;
+        self.min_us = u64::MAX;
     }
 }
 
@@ -221,6 +249,37 @@ mod tests {
         h.reset();
         assert!(h.is_empty());
         assert_eq!(h.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotonic_and_cover_every_sample() {
+        let bounds = bucket_bounds();
+        for pair in bounds.windows(2) {
+            assert!(pair[0] <= pair[1], "bounds must be non-decreasing: {pair:?}");
+        }
+        // Every sample lands in a bucket whose upper bound is >= the sample
+        // (except the saturating last bucket).
+        for us in [0, 1, 2, 3, 10, 100, 12_345, 1_000_000] {
+            let idx = LatencyHistogram::bucket_index(us);
+            if idx < BUCKETS - 1 {
+                assert!(bounds[idx] >= us, "sample {us} above bucket {idx} bound {}", bounds[idx]);
+            }
+            if idx > 0 {
+                assert!(bounds[idx - 1] < us, "sample {us} should not fit bucket {}", idx - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn record_us_matches_record() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for us in [7, 80, 900, 12_000] {
+            a.record(SimDuration::from_micros(us));
+            b.record_us(us);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.total_us(), 7 + 80 + 900 + 12_000);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use lbica_storage::histogram::LatencyHistogram;
 use lbica_storage::queue::{DeviceQueue, QueueSnapshot};
 use lbica_storage::request::RequestClass;
 use lbica_storage::time::SimDuration;
@@ -45,6 +46,12 @@ pub struct TierReport {
     pub avg_latency_us: u64,
     /// Sum of latencies (used to aggregate across intervals).
     pub total_latency_us: u64,
+    /// Median end-to-end latency (µs, log-bucketed upper bound).
+    pub p50_latency_us: u64,
+    /// 95th-percentile end-to-end latency (µs, log-bucketed upper bound).
+    pub p95_latency_us: u64,
+    /// 99th-percentile end-to-end latency (µs, log-bucketed upper bound).
+    pub p99_latency_us: u64,
 }
 
 impl TierReport {
@@ -94,12 +101,12 @@ pub struct IostatCollector {
     history: Vec<IntervalReport>,
 }
 
+/// Per-interval accumulator backed by a [`LatencyHistogram`], so interval
+/// reports carry tail percentiles without storing per-request samples.
 #[derive(Debug, Clone, Default)]
 struct TierAccumulator {
     enqueued: u64,
-    completed: u64,
-    max_latency_us: u64,
-    total_latency_us: u64,
+    latency: LatencyHistogram,
     peak_queue_depth: usize,
 }
 
@@ -109,12 +116,17 @@ impl TierAccumulator {
             queue_depth,
             peak_queue_depth: self.peak_queue_depth.max(queue_depth),
             enqueued: self.enqueued,
-            completed: self.completed,
-            max_latency_us: self.max_latency_us,
-            avg_latency_us: self.total_latency_us.checked_div(self.completed).unwrap_or(0),
-            total_latency_us: self.total_latency_us,
+            completed: self.latency.count(),
+            max_latency_us: self.latency.max().as_micros(),
+            avg_latency_us: self.latency.mean().as_micros(),
+            total_latency_us: self.latency.total_us(),
+            p50_latency_us: self.latency.percentile(50.0).as_micros(),
+            p95_latency_us: self.latency.percentile(95.0).as_micros(),
+            p99_latency_us: self.latency.percentile(99.0).as_micros(),
         };
-        *self = TierAccumulator::default();
+        self.enqueued = 0;
+        self.peak_queue_depth = 0;
+        self.latency.reset();
         report
     }
 }
@@ -139,10 +151,7 @@ impl IostatCollector {
 
     /// Records a completion at `tier` with the given end-to-end latency.
     pub fn record_completion(&mut self, tier: Tier, latency_us: u64) {
-        let acc = self.tier_mut(tier);
-        acc.completed += 1;
-        acc.total_latency_us += latency_us;
-        acc.max_latency_us = acc.max_latency_us.max(latency_us);
+        self.tier_mut(tier).latency.record_us(latency_us);
     }
 
     /// Records an instantaneous queue-depth observation at `tier`.
@@ -262,6 +271,23 @@ mod tests {
         assert_eq!(r1.cache.completed, 0);
         assert_eq!(r1.cache.max_latency_us, 0);
         assert_eq!(io.history().len(), 2);
+    }
+
+    #[test]
+    fn interval_reports_carry_tail_percentiles() {
+        let mut io = IostatCollector::new();
+        for us in 1..=100u64 {
+            io.record_completion(Tier::Cache, us * 100);
+        }
+        let r = io.finish_interval(0, 0, 0);
+        assert!(r.cache.p50_latency_us >= 4_000 && r.cache.p50_latency_us <= 6_500);
+        assert!(r.cache.p95_latency_us >= r.cache.p50_latency_us);
+        assert!(r.cache.p99_latency_us >= r.cache.p95_latency_us);
+        assert!(r.cache.p99_latency_us <= r.cache.max_latency_us);
+        assert_eq!(r.cache.max_latency_us, 10_000);
+        // Reset applies to the percentile columns too.
+        let empty = io.finish_interval(1, 0, 0);
+        assert_eq!(empty.cache.p99_latency_us, 0);
     }
 
     #[test]

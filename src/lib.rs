@@ -21,6 +21,7 @@
 pub use lbica_cache as cache;
 pub use lbica_core as core;
 pub use lbica_lab as lab;
+pub use lbica_obs as obs;
 pub use lbica_sim as sim;
 pub use lbica_storage as storage;
 pub use lbica_tier as tier;
@@ -40,7 +41,9 @@ pub mod prelude {
     pub use lbica_lab::{
         Aggregator, CellRange, CellSummary, ConfigAxis, ControllerKind, CsvSink, JsonSink,
         MergedSweep, PartialSweep, Scenario, ScenarioMatrix, SeedMode, SweepExecutor, SweepSummary,
+        TelemetryEvent, TelemetryHook,
     };
+    pub use lbica_obs::{MetricsRegistry, MetricsSnapshot, SimObserver, TraceRing};
     pub use lbica_sim::{
         CacheController, ControllerContext, ControllerDecision, DiskDeviceConfig, Simulation,
         SimulationConfig, SimulationReport, StaticPolicyController, StorageSystem, TierLevelStats,

@@ -1,0 +1,42 @@
+//! Pins the committed reference Chrome trace
+//! (`figures/paper_cell0.trace.json`): the first cell of the canonical
+//! paper matrix must regenerate byte-for-byte with a `SimObserver`
+//! attached. The trace carries sim-time only, so this holds across
+//! machines, build profiles and worker counts. A diff here means either
+//! the simulator's event sequence or the trace encoder changed — fix the
+//! regression or consciously re-pin the file (and say so in the PR).
+
+use lbica::lab::ScenarioMatrix;
+use lbica::obs::{validate, SimObserver};
+use lbica::sim::SimulationConfig;
+use lbica::trace::workload::WorkloadScale;
+
+/// Rebuilds the same trace `sweep --matrix paper --trace-cell 0` writes:
+/// the canonical paper matrix (`SuiteConfig::harness()` in `lbica-bench`),
+/// first cell, observed run, Chrome render labelled with the cell id.
+fn paper_cell0_trace() -> String {
+    let matrix =
+        ScenarioMatrix::paper(WorkloadScale::harness(), SimulationConfig::harness(), 0x1b1c_a000);
+    let cell = matrix.cell(0).expect("the paper matrix is non-empty");
+    assert_eq!(cell.id(), "tpcc/paper/WB/s454860800", "the canonical first cell moved");
+    let (_report, observer) = cell.run_observed(SimObserver::new());
+    observer.render_chrome_trace(&cell.id())
+}
+
+#[test]
+fn paper_cell_trace_is_pinned() {
+    let fresh = paper_cell0_trace();
+    assert_eq!(
+        fresh,
+        include_str!("../figures/paper_cell0.trace.json"),
+        "figures/paper_cell0.trace.json no longer regenerates byte-for-byte"
+    );
+}
+
+#[test]
+fn pinned_paper_trace_is_structurally_valid() {
+    let stats = validate::chrome_trace(include_str!("../figures/paper_cell0.trace.json"))
+        .expect("the committed trace must stay Perfetto-loadable");
+    assert!(stats.spans > 0, "the trace must contain interval spans");
+    assert!(stats.counters > 0, "the trace must contain counter tracks");
+}

@@ -120,6 +120,49 @@ fn prelude_tier_subsystem_composes() {
 }
 
 #[test]
+fn prelude_observability_composes() {
+    // The observability surface must be reachable from the prelude alone:
+    // an observed run returns the same report as a plain run, with the
+    // trace ring and metrics registry filled on the side.
+    let spec = WorkloadSpec::tpcc_scaled(WorkloadScale::tiny());
+    let plain = Simulation::new(SimulationConfig::tiny(), spec.clone(), 42)
+        .run(&mut LbicaController::new());
+    let mut sim =
+        Simulation::new(SimulationConfig::tiny(), spec, 42).with_observer(SimObserver::new());
+    let observed = sim.run(&mut LbicaController::new());
+    assert_eq!(observed, plain, "attaching an observer must not perturb the simulation");
+
+    let observer = sim.take_observer().expect("observer survives the run");
+    let ring: &TraceRing = observer.ring();
+    assert!(ring.recorded() > 0, "the run must leave events in the trace ring");
+    let trace = observer.render_chrome_trace("wiring");
+    lbica::obs::validate::chrome_trace(&trace).expect("structurally valid Chrome trace");
+
+    let snapshot: MetricsSnapshot = observer.snapshot();
+    assert!(!snapshot.counters.is_empty(), "the sim must register counters");
+    let registry: &MetricsRegistry = observer.metrics();
+    assert_eq!(registry.snapshot(), snapshot);
+    lbica::obs::validate::metrics_json(&snapshot.render_json())
+        .expect("structurally valid metrics snapshot");
+
+    // Telemetry hooks plug into the sweep executor through the prelude too,
+    // and never feed back into the summary.
+    struct CountCells(std::sync::atomic::AtomicUsize);
+    impl TelemetryHook for CountCells {
+        fn record(&self, event: TelemetryEvent<'_>) {
+            if matches!(event, TelemetryEvent::Cell { .. }) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+    }
+    let matrix = ScenarioMatrix::smoke();
+    let hook = CountCells(std::sync::atomic::AtomicUsize::new(0));
+    let with_hook = SweepExecutor::serial().aggregate_with_telemetry(&matrix, "smoke", &hook);
+    assert_eq!(with_hook, SweepExecutor::serial().aggregate(&matrix));
+    assert_eq!(hook.0.load(std::sync::atomic::Ordering::Relaxed), matrix.len());
+}
+
+#[test]
 fn prelude_controllers_share_one_interface() {
     let spec = WorkloadSpec::web_server_scaled(WorkloadScale::tiny());
     let mut controllers: Vec<Box<dyn CacheController>> = vec![
