@@ -36,8 +36,9 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use lbica_bench::perf::validate_report;
-use lbica_bench::{Baseline, CellPerf, SuiteConfig, ThroughputRun};
+use lbica_bench::{Baseline, CellPerf, ScalingPoint, SuiteConfig, ThroughputRun};
 use lbica_lab::{ScenarioMatrix, SweepExecutor};
+use lbica_sim::SimArena;
 
 #[derive(Debug)]
 struct Options {
@@ -177,18 +178,29 @@ fn main() -> ExitCode {
 
     // Per-cell serial timing: best-of-iters wall, deterministic counters
     // from the last report (identical across iterations by construction).
-    let mut cells = Vec::with_capacity(matrix.len());
-    for scenario in matrix.cells() {
-        let mut best_wall_us = u64::MAX;
-        let mut last = None;
-        for _ in 0..opts.iters {
+    // Iterations are interleaved round-robin across the matrix (full passes)
+    // rather than run back-to-back per cell, so a time-local noise window
+    // cannot poison every sample of one cell — each cell's minimum is taken
+    // over samples spread across the whole measurement. One arena across all
+    // cells and passes, exactly like a sweep worker: after the first pass
+    // every run is allocation-free, so the serial figure measures the same
+    // steady-state path the executor runs.
+    let mut arena = SimArena::new();
+    let scenarios: Vec<_> = matrix.cells().collect();
+    let mut best_walls = vec![u64::MAX; scenarios.len()];
+    let mut last_reports: Vec<_> = (0..scenarios.len()).map(|_| None).collect();
+    for _ in 0..opts.iters {
+        for (slot, scenario) in scenarios.iter().enumerate() {
             let started = Instant::now();
-            let report = scenario.run();
-            let wall_us = started.elapsed().as_micros() as u64;
-            best_wall_us = best_wall_us.min(wall_us.max(1));
-            last = Some(report);
+            let report = scenario.run_in(&mut arena);
+            let wall_us = (started.elapsed().as_micros() as u64).max(1);
+            best_walls[slot] = best_walls[slot].min(wall_us);
+            last_reports[slot] = Some(report);
         }
-        let report = last.expect("at least one iteration ran");
+    }
+    let mut cells = Vec::with_capacity(scenarios.len());
+    for ((scenario, best_wall_us), last) in scenarios.iter().zip(best_walls).zip(last_reports) {
+        let report = last.expect("at least one pass ran");
         let events = report.perf.events_processed;
         let cell = CellPerf {
             id: scenario.id(),
@@ -207,32 +219,57 @@ fn main() -> ExitCode {
         cells.push(cell);
     }
 
-    // One whole-matrix sweep for the parallel wall figure.
+    // The scaling curve: best-of-iters whole-matrix sweeps at jobs ∈
+    // {1, 2, 4, per-core, requested}, ascending and deduplicated. The
+    // headline parallel_wall_us is the curve's entry at the requested jobs.
     let executor = SweepExecutor::new(opts.jobs);
-    let started = Instant::now();
-    let reports = executor.run(&matrix);
-    let parallel_wall_us = (started.elapsed().as_micros() as u64).max(1);
-    drop(reports);
+    let detected_cores = SweepExecutor::default_jobs();
+    let mut jobs_set = vec![1, 2, 4, detected_cores, executor.jobs()];
+    jobs_set.sort_unstable();
+    jobs_set.dedup();
+    let mut scaling = Vec::with_capacity(jobs_set.len());
+    for &jobs in &jobs_set {
+        let sweep = SweepExecutor::new(jobs);
+        let mut best_wall_us = u64::MAX;
+        for _ in 0..opts.iters {
+            let started = Instant::now();
+            let reports = sweep.run(&matrix);
+            let wall_us = (started.elapsed().as_micros() as u64).max(1);
+            best_wall_us = best_wall_us.min(wall_us);
+            drop(reports);
+        }
+        eprintln!("  scaling: jobs {jobs:>3} -> {best_wall_us:>9} us");
+        scaling.push(ScalingPoint { jobs, wall_us: best_wall_us });
+    }
+    let parallel_wall_us = scaling
+        .iter()
+        .find(|p| p.jobs == executor.jobs())
+        .expect("requested jobs is in the measured set")
+        .wall_us;
 
     let run = ThroughputRun {
         matrix: opts.matrix.clone(),
         jobs: executor.jobs(),
         iters: opts.iters,
+        detected_cores,
         cells,
         parallel_wall_us,
+        scaling,
     };
     let baseline = opts
         .baseline_wall_us
         .map(|wall_us| Baseline { label: opts.baseline_label.clone(), wall_us });
 
     println!(
-        "matrix {}: {} events in {} us serial ({:.0} events/sec), {} us parallel on {} worker(s)",
+        "matrix {}: {} events in {} us serial ({:.0} events/sec), {} us parallel on {} worker(s) \
+         ({} core(s) detected)",
         run.matrix,
         run.total_events(),
         run.serial_wall_us(),
         run.events_per_sec(),
         run.parallel_wall_us,
         run.jobs,
+        run.detected_cores,
     );
     if let Some(base) = &baseline {
         println!(

@@ -16,7 +16,13 @@ use std::path::Path;
 
 /// The schema identifier stamped into every emitted document. Bump when a
 /// field changes meaning or disappears.
-pub const SCHEMA: &str = "lbica-bench-sim/v1";
+///
+/// v2: added `detected_cores` and the `scaling` table (best-of-iters
+/// whole-matrix wall per jobs count), so `parallel_wall_us` is one labelled
+/// point on a curve instead of a single unexplained number; the validator
+/// cross-checks the serial-vs-parallel relation against the jobs/core
+/// metadata.
+pub const SCHEMA: &str = "lbica-bench-sim/v2";
 
 /// Escapes a string for embedding in a JSON document (quotes, backslashes
 /// and control characters) — user-supplied labels must not be able to
@@ -79,19 +85,38 @@ pub struct Baseline {
     pub wall_us: u64,
 }
 
+/// One point of the multi-core scaling curve: the best-of-iters wall clock
+/// of a whole-matrix executor sweep at a given worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalingPoint {
+    /// Worker threads of the sweep.
+    pub jobs: usize,
+    /// Best (minimum) whole-matrix wall-clock across iterations, µs.
+    pub wall_us: u64,
+}
+
 /// A complete throughput measurement of one matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThroughputRun {
     /// Matrix name (`paper`, `tiny`, ...).
     pub matrix: String,
-    /// Worker threads used for the parallel-wall measurement.
+    /// Worker threads used for the headline parallel-wall measurement.
     pub jobs: usize,
     /// Iterations per cell (wall times are best-of).
     pub iters: u32,
+    /// Cores the benchmark host exposed
+    /// (`std::thread::available_parallelism`) — the context that explains
+    /// the serial-vs-parallel relation. On a 1-core box `parallel_wall_us`
+    /// legitimately exceeds `serial_wall_us` (scheduling overhead, no
+    /// parallelism to win); on a multi-core box it must not.
+    pub detected_cores: usize,
     /// Per-cell measurements, in cell-enumeration order.
     pub cells: Vec<CellPerf>,
-    /// Wall-clock of one whole-matrix sweep through the executor, µs.
+    /// Wall-clock of a whole-matrix sweep at `jobs` workers, µs (the
+    /// `scaling` entry matching `jobs`).
     pub parallel_wall_us: u64,
+    /// The scaling curve: one entry per measured jobs count, ascending.
+    pub scaling: Vec<ScalingPoint>,
 }
 
 impl ThroughputRun {
@@ -126,11 +151,22 @@ impl ThroughputRun {
         let _ = writeln!(out, "  \"matrix\": \"{}\",", escape_json(&self.matrix));
         let _ = writeln!(out, "  \"jobs\": {},", self.jobs);
         let _ = writeln!(out, "  \"iters\": {},", self.iters);
+        let _ = writeln!(out, "  \"detected_cores\": {},", self.detected_cores);
         let _ = writeln!(out, "  \"total_events\": {},", self.total_events());
         let _ = writeln!(out, "  \"serial_wall_us\": {},", self.serial_wall_us());
         let _ = writeln!(out, "  \"parallel_wall_us\": {},", self.parallel_wall_us);
         let _ = writeln!(out, "  \"events_per_sec\": {:.1},", self.events_per_sec());
         let _ = writeln!(out, "  \"peak_event_queue_depth\": {},", self.peak_event_queue_depth());
+        let _ = writeln!(out, "  \"scaling\": [");
+        for (i, point) in self.scaling.iter().enumerate() {
+            let comma = if i + 1 < self.scaling.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"jobs\": {}, \"wall_us\": {}}}{comma}",
+                point.jobs, point.wall_us
+            );
+        }
+        let _ = writeln!(out, "  ],");
         if let Some(base) = baseline {
             let base_eps = CellPerf::events_per_sec(self.total_events(), base.wall_us);
             let speedup = if base.wall_us == 0 {
@@ -175,22 +211,63 @@ impl ThroughputRun {
 }
 
 /// Keys every `BENCH_sim.json` document must carry.
-const REQUIRED_KEYS: [&str; 9] = [
+const REQUIRED_KEYS: [&str; 11] = [
     "\"schema\"",
     "\"matrix\"",
     "\"jobs\"",
     "\"iters\"",
+    "\"detected_cores\"",
     "\"total_events\"",
     "\"serial_wall_us\"",
     "\"parallel_wall_us\"",
     "\"events_per_sec\"",
+    "\"scaling\"",
     "\"cells\"",
 ];
 
+/// Extracts the first `"key": <number>` value from the document. The
+/// emitter writes every top-level numeric field before any nested object
+/// repeating its key (the baseline's `serial_wall_us`, the scaling rows'
+/// `jobs`), so first occurrence == top-level value.
+fn extract_u64(text: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    let start = text.find(&needle)? + needle.len();
+    let digits: String = text[start..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Parses the `"scaling": [...]` table into (jobs, wall_us) rows.
+fn extract_scaling(text: &str) -> Option<Vec<(u64, u64)>> {
+    let start = text.find("\"scaling\": [")? + "\"scaling\": [".len();
+    let body = &text[start..text[start..].find(']')? + start];
+    let mut rows = Vec::new();
+    for entry in body.split('{').skip(1) {
+        let jobs = extract_u64(entry, "jobs")?;
+        let wall = extract_u64(entry, "wall_us")?;
+        rows.push((jobs, wall));
+    }
+    Some(rows)
+}
+
 /// Validates a rendered `BENCH_sim.json` document: schema marker, required
-/// keys, balanced braces/brackets and at least one cell entry. This is a
-/// structural check (the environment has no JSON parser), strict enough to
-/// catch truncated or mis-shaped artifacts in CI.
+/// keys, balanced braces/brackets, at least one cell entry, and the
+/// serial-vs-parallel cross-check — the document must carry jobs/core
+/// metadata that *explains* its parallel wall figure:
+///
+/// * the `scaling` table must exist and contain a `jobs = 1` row plus a
+///   row matching the headline `jobs`, whose wall equals
+///   `parallel_wall_us` (the headline is a labelled point on the curve,
+///   not a free-floating number);
+/// * a claimed parallel *speedup* (`parallel_wall_us` < `serial_wall_us`
+///   by more than measurement noise) requires `jobs >= 2` **and**
+///   `detected_cores >= 2`;
+/// * a parallel wall *worse* than serial with `jobs >= 2` is only
+///   acceptable on a single-core host (`detected_cores == 1`) — on a
+///   multi-core box that relation is the misleading artifact v2 exists to
+///   reject.
+///
+/// This is a structural check (the environment has no JSON parser), strict
+/// enough to catch truncated or mis-shaped artifacts in CI.
 pub fn validate_report(text: &str) -> Result<(), String> {
     if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
         return Err(format!("missing or wrong schema marker (want {SCHEMA})"));
@@ -235,6 +312,50 @@ pub fn validate_report(text: &str) -> Result<(), String> {
     if !text.contains("\"id\":") {
         return Err("no cell entries".to_string());
     }
+
+    // Numeric cross-check: the jobs/core metadata must explain the
+    // serial-vs-parallel relation.
+    let jobs = extract_u64(text, "jobs").ok_or("unreadable \"jobs\" value")?;
+    let cores = extract_u64(text, "detected_cores").ok_or("unreadable \"detected_cores\" value")?;
+    let serial =
+        extract_u64(text, "serial_wall_us").ok_or("unreadable \"serial_wall_us\" value")?;
+    let parallel =
+        extract_u64(text, "parallel_wall_us").ok_or("unreadable \"parallel_wall_us\" value")?;
+    if jobs == 0 || cores == 0 {
+        return Err("jobs and detected_cores must be at least 1".to_string());
+    }
+    let scaling = extract_scaling(text).ok_or("unreadable \"scaling\" table")?;
+    if !scaling.iter().any(|&(j, _)| j == 1) {
+        return Err("scaling table lacks the jobs = 1 row".to_string());
+    }
+    match scaling.iter().find(|&&(j, _)| j == jobs) {
+        None => return Err(format!("scaling table lacks the headline jobs = {jobs} row")),
+        Some(&(_, wall)) if wall != parallel => {
+            return Err(format!(
+                "parallel_wall_us ({parallel}) disagrees with the scaling row at jobs = {jobs} \
+                 ({wall})"
+            ));
+        }
+        Some(_) => {}
+    }
+    // A >10% speedup needs actual parallelism: multiple workers on
+    // multiple cores. (Within 10% is measurement noise — a lone worker's
+    // single sweep can beat the sum of best-of-iters serial times slightly.)
+    if parallel * 10 < serial * 9 && (jobs < 2 || cores < 2) {
+        return Err(format!(
+            "parallel_wall_us ({parallel}) claims a speedup over serial_wall_us ({serial}) that \
+             jobs = {jobs} / detected_cores = {cores} cannot explain"
+        ));
+    }
+    // The v1 artifact this schema replaces: a parallel wall *worse* than
+    // serial presented next to jobs >= 2. Only a single-core host explains
+    // that; on a multi-core box the document is misleading and rejected.
+    if parallel > serial && jobs >= 2 && cores >= 2 {
+        return Err(format!(
+            "parallel_wall_us ({parallel}) exceeds serial_wall_us ({serial}) although jobs = \
+             {jobs} workers ran on detected_cores = {cores} cores"
+        ));
+    }
     Ok(())
 }
 
@@ -257,8 +378,14 @@ mod tests {
             matrix: "paper".to_string(),
             jobs: 2,
             iters: 3,
+            detected_cores: 4,
             cells: vec![cell("tpcc/paper/WB/s1", 50_000, 400_000), cell("b", 25_000, 100_000)],
             parallel_wall_us: 60_000,
+            scaling: vec![
+                ScalingPoint { jobs: 1, wall_us: 76_000 },
+                ScalingPoint { jobs: 2, wall_us: 60_000 },
+                ScalingPoint { jobs: 4, wall_us: 42_000 },
+            ],
         }
     }
 
@@ -297,6 +424,63 @@ mod tests {
     #[test]
     fn zero_wall_is_guarded() {
         assert_eq!(CellPerf::events_per_sec(100, 0), 0.0);
+    }
+
+    #[test]
+    fn validator_rejects_unexplained_parallel_relations() {
+        // Multi-core speedup claimed on a single-core host.
+        let mut r = run();
+        r.detected_cores = 1;
+        let text = r.render_json(None);
+        let err = validate_report(&text).expect_err("1-core speedup must be rejected");
+        assert!(err.contains("cannot explain"), "{err}");
+
+        // Parallel worse than serial although jobs and cores are plural —
+        // the misleading v1 artifact.
+        let mut r = run();
+        r.parallel_wall_us = 90_000;
+        r.scaling[1].wall_us = 90_000;
+        let err = validate_report(&r.render_json(None))
+            .expect_err("a multi-core slowdown must be rejected");
+        assert!(err.contains("exceeds serial_wall_us"), "{err}");
+
+        // ...but on a 1-core host the same slowdown is explained, and valid.
+        r.detected_cores = 1;
+        validate_report(&r.render_json(None)).expect("1-core slowdown is legitimate");
+    }
+
+    #[test]
+    fn validator_requires_a_consistent_scaling_table() {
+        // No jobs = 1 anchor row.
+        let mut r = run();
+        r.scaling.remove(0);
+        let err = validate_report(&r.render_json(None)).expect_err("missing jobs=1 row");
+        assert!(err.contains("jobs = 1"), "{err}");
+
+        // No row for the headline jobs value.
+        let mut r = run();
+        let headline = r.jobs;
+        r.scaling.retain(|p| p.jobs != headline);
+        let err = validate_report(&r.render_json(None)).expect_err("missing headline row");
+        assert!(err.contains("headline"), "{err}");
+
+        // Headline row disagreeing with parallel_wall_us.
+        let mut r = run();
+        r.scaling[1].wall_us += 1;
+        let err = validate_report(&r.render_json(None)).expect_err("inconsistent headline row");
+        assert!(err.contains("disagrees"), "{err}");
+    }
+
+    #[test]
+    fn within_noise_single_worker_parallel_walls_pass() {
+        // jobs = 1 on a 1-core box, parallel a hair under serial: noise,
+        // not an impossible speedup.
+        let mut r = run();
+        r.jobs = 1;
+        r.detected_cores = 1;
+        r.parallel_wall_us = 74_000;
+        r.scaling = vec![ScalingPoint { jobs: 1, wall_us: 74_000 }];
+        validate_report(&r.render_json(None)).expect("within-noise document validates");
     }
 
     #[test]

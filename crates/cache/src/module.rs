@@ -371,14 +371,28 @@ impl CacheModule {
         }
     }
 
+    /// Pre-populates the cache to full capacity with the clean blocks
+    /// `0..capacity_blocks()` — equivalent to `prewarm(0..capacity)` but via
+    /// the map's sequential fast fill, skipping the per-insert tag scans.
+    pub fn prewarm_full(&mut self) {
+        self.map.fill_sequential(0);
+    }
+
     /// Drops every cached block without writing anything back. Only for
     /// tests and warm-up resets.
     pub fn clear(&mut self) {
-        self.map = SetAssociativeMap::new(
-            self.config.num_sets,
-            self.config.associativity,
-            self.config.replacement,
-        );
+        self.map.reset();
+    }
+
+    /// Restores the module to its freshly constructed state: map emptied in
+    /// place (the slot arenas keep their allocations), statistics zeroed and
+    /// the policy back to the configured initial policy. Observationally
+    /// equivalent to `CacheModule::new(*self.config())` — the arena-reuse
+    /// fast path.
+    pub fn reset(&mut self) {
+        self.map.reset();
+        self.policy = self.config.initial_policy;
+        self.stats = CacheStats::default();
     }
 }
 
@@ -571,5 +585,26 @@ mod tests {
         assert_eq!(cache.cached_blocks(), 0);
         assert_eq!(cache.stats().writes(), 1);
         assert_eq!(cache.capacity_blocks(), CacheConfig::small_test().capacity_blocks());
+    }
+
+    #[test]
+    fn reset_is_equivalent_to_fresh_construction() {
+        let mut cache = module();
+        cache.access(&write(1, 0));
+        cache.access(&read(2, 64));
+        cache.set_policy(WritePolicy::ReadOnly);
+        cache.reset();
+        assert_eq!(cache, CacheModule::new(CacheConfig::small_test()));
+        assert_eq!(cache.policy(), WritePolicy::WriteBack);
+        assert_eq!(cache.stats().reads() + cache.stats().writes(), 0);
+    }
+
+    #[test]
+    fn prewarm_full_matches_naive_prewarm() {
+        let mut fast = module();
+        fast.prewarm_full();
+        let mut naive = module();
+        naive.prewarm(0..naive.capacity_blocks() as u64);
+        assert_eq!(fast, naive);
     }
 }

@@ -240,6 +240,105 @@ impl SetAssociativeMap {
         }
     }
 
+    /// Clears every slot without deallocating, restoring the exact state of
+    /// a freshly constructed map (including derive-`PartialEq` equality):
+    /// the backing arenas keep their capacity so a reused map performs no
+    /// allocations.
+    pub fn reset(&mut self) {
+        self.tags.fill(0);
+        self.meta.fill(SlotMeta::Empty);
+        self.next.fill(NIL);
+        self.prev.fill(NIL);
+        self.head.fill(NIL);
+        self.tail.fill(NIL);
+        self.set_dirty.fill(0);
+        self.len = 0;
+        self.dirty = 0;
+    }
+
+    /// Fills the map to capacity with the clean blocks
+    /// `first_block .. first_block + capacity`, exactly equivalent to (but
+    /// much faster than) [`SetAssociativeMap::reset`] followed by inserting
+    /// them in ascending order: each set receives its `associativity`
+    /// resident blocks directly, with recency running coldest→hottest in
+    /// insertion order, skipping the per-insert tag scans entirely. This is
+    /// the prewarm fast path — equivalence to the naive insert loop is
+    /// pinned by a proptest below.
+    pub fn fill_sequential(&mut self, first_block: u64) {
+        let assoc = self.associativity;
+        let sets = self.num_sets as u64;
+        let start_rem = first_block % sets;
+        for set in 0..self.num_sets {
+            let base = self.set_base(set);
+            // First block ≥ first_block that maps to this set.
+            let rel = (set as u64 + sets - start_rem) % sets;
+            let first_in_set = first_block + rel;
+            for way in 0..assoc {
+                let slot = base + way;
+                self.tags[slot] = first_in_set + way as u64 * sets;
+                self.meta[slot] = SlotMeta::Clean;
+                self.next[slot] = if way + 1 == assoc { NIL } else { (slot + 1) as u32 };
+                self.prev[slot] = if way == 0 { NIL } else { (slot - 1) as u32 };
+            }
+            self.head[set] = base as u32;
+            self.tail[set] = (base + assoc - 1) as u32;
+        }
+        self.set_dirty.fill(0);
+        self.len = self.capacity_blocks();
+        self.dirty = 0;
+    }
+
+    /// Locates the slot holding `block` without a recency update. The
+    /// returned handle feeds the `*_at` operations below and stays valid
+    /// until the block is invalidated or evicted: recency updates splice
+    /// links but never move a block between slots.
+    pub fn locate(&self, block: u64) -> Option<u32> {
+        self.find(block).map(|slot| slot as u32)
+    }
+
+    /// Records a hit on an occupied slot handle — identical to
+    /// [`SetAssociativeMap::touch`] on the block it holds, minus the tag
+    /// scan.
+    pub fn touch_at(&mut self, slot: u32) {
+        let slot = slot as usize;
+        debug_assert!(self.meta[slot] != SlotMeta::Empty, "touch_at on an empty slot");
+        self.touch_slot(slot / self.associativity, slot);
+    }
+
+    /// The state of the block in an occupied slot handle.
+    pub fn state_at(&self, slot: u32) -> SlotState {
+        self.meta[slot as usize].state().expect("state_at on an empty slot")
+    }
+
+    /// Marks the block in an occupied slot handle dirty — identical to
+    /// [`SetAssociativeMap::mark_dirty`] minus the tag scan.
+    pub fn mark_dirty_at(&mut self, slot: u32) {
+        let slot = slot as usize;
+        if self.meta[slot] == SlotMeta::Clean {
+            self.meta[slot] = SlotMeta::Dirty;
+            self.dirty += 1;
+            self.set_dirty[slot / self.associativity] += 1;
+        } else {
+            debug_assert!(self.meta[slot] == SlotMeta::Dirty, "mark_dirty_at on an empty slot");
+        }
+    }
+
+    /// Removes the block in an occupied slot handle, returning its state —
+    /// identical to [`SetAssociativeMap::invalidate`] minus the tag scan.
+    pub fn invalidate_at(&mut self, slot: u32) -> SlotState {
+        let slot = slot as usize;
+        let set = slot / self.associativity;
+        let state = self.meta[slot].state().expect("invalidate_at on an empty slot");
+        self.meta[slot] = SlotMeta::Empty;
+        self.unlink(set, slot);
+        self.len -= 1;
+        if state == SlotState::Dirty {
+            self.dirty -= 1;
+            self.set_dirty[set] -= 1;
+        }
+        state
+    }
+
     /// Whether `block` is cached.
     pub fn contains(&self, block: u64) -> bool {
         self.find(block).is_some()
@@ -582,6 +681,74 @@ mod tests {
         }
         assert_eq!(m.dirty_blocks(), 0);
         assert!(m.set_dirty.iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn reset_restores_the_freshly_constructed_state() {
+        let mut m = SetAssociativeMap::new(4, 2, ReplacementKind::Lru);
+        for b in 0..16 {
+            m.insert(b, if b % 3 == 0 { SlotState::Dirty } else { SlotState::Clean });
+        }
+        m.invalidate(9);
+        m.reset();
+        assert_eq!(m, SetAssociativeMap::new(4, 2, ReplacementKind::Lru));
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.dirty_blocks(), 0);
+        // The reset map behaves like a fresh one.
+        assert_eq!(m.insert(0, SlotState::Clean), InsertOutcome::Inserted);
+    }
+
+    #[test]
+    fn fill_sequential_matches_naive_inserts() {
+        for (num_sets, assoc) in [(4usize, 2usize), (7, 3), (1, 8), (128, 4)] {
+            for first in [0u64, 1, 5, 512, 513] {
+                for replacement in [ReplacementKind::Lru, ReplacementKind::Fifo] {
+                    let mut naive = SetAssociativeMap::new(num_sets, assoc, replacement);
+                    let cap = naive.capacity_blocks() as u64;
+                    for b in first..first + cap {
+                        naive.insert(b, SlotState::Clean);
+                    }
+                    let mut fast = SetAssociativeMap::new(num_sets, assoc, replacement);
+                    // Start from a dirtied state to prove the fill is a
+                    // complete overwrite.
+                    fast.insert(first + 1, SlotState::Dirty);
+                    fast.fill_sequential(first);
+                    assert_eq!(
+                        fast, naive,
+                        "fill_sequential({first}) diverged for {num_sets}x{assoc} {replacement:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slot_addressed_ops_match_block_addressed_ones() {
+        let mut by_block = SetAssociativeMap::new(4, 2, ReplacementKind::Lru);
+        let mut by_slot = by_block.clone();
+        for b in [0u64, 4, 1, 5, 2] {
+            by_block.insert(b, SlotState::Clean);
+            by_slot.insert(b, SlotState::Clean);
+        }
+        assert_eq!(by_slot.locate(9), None);
+
+        let slot = by_slot.locate(4).expect("block 4 cached");
+        assert_eq!(by_slot.state_at(slot), SlotState::Clean);
+        by_block.touch(4);
+        by_slot.touch_at(slot);
+        assert_eq!(by_slot, by_block);
+
+        by_block.mark_dirty(4);
+        by_slot.mark_dirty_at(slot);
+        assert_eq!(by_slot, by_block);
+        // Marking an already-dirty slot is a no-op, as with mark_dirty.
+        by_slot.mark_dirty_at(slot);
+        assert_eq!(by_slot, by_block);
+        assert_eq!(by_slot.state_at(slot), SlotState::Dirty);
+
+        assert_eq!(by_block.invalidate(4), Some(SlotState::Dirty));
+        assert_eq!(by_slot.invalidate_at(slot), SlotState::Dirty);
+        assert_eq!(by_slot, by_block);
     }
 
     #[test]

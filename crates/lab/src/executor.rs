@@ -95,16 +95,26 @@ impl SweepExecutor {
         let handle = &handle;
         std::thread::scope(|scope| {
             for worker in 0..workers {
-                scope.spawn(move || loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    if index >= range.end {
-                        break;
+                scope.spawn(move || {
+                    // One arena per worker: cells claimed by this thread
+                    // reuse the previous cell's backing stores whenever the
+                    // config repeats (the common case — a matrix axis varies
+                    // workload/controller/seed far more often than config).
+                    // Reset is observationally equivalent to fresh
+                    // construction, so reports stay byte-identical for any
+                    // jobs count and any claim order.
+                    let mut arena = lbica_sim::SimArena::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= range.end {
+                            break;
+                        }
+                        let scenario = matrix.cell(index).expect("cursor index in bounds");
+                        let started = Instant::now();
+                        let report = scenario.run_in(&mut arena);
+                        let wall_us = started.elapsed().as_micros() as u64;
+                        handle(worker, index, &scenario, report, wall_us);
                     }
-                    let scenario = matrix.cell(index).expect("cursor index in bounds");
-                    let started = Instant::now();
-                    let report = scenario.run();
-                    let wall_us = started.elapsed().as_micros() as u64;
-                    handle(worker, index, &scenario, report, wall_us);
                 });
             }
         });

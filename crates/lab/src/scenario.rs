@@ -126,6 +126,16 @@ impl Scenario {
             .run(controller.as_mut())
     }
 
+    /// Like [`Scenario::run`], but drawing the simulated system from
+    /// `arena` so consecutive cells on one worker thread reuse their
+    /// backing allocations. Byte-identical to [`Scenario::run`] (reset is
+    /// observationally equivalent to fresh construction).
+    pub fn run_in(&self, arena: &mut lbica_sim::SimArena) -> SimulationReport {
+        let mut controller = self.controller.build();
+        Simulation::new(self.config, self.workload.clone(), self.stream_seed)
+            .run_in(controller.as_mut(), arena)
+    }
+
     /// Runs the cell with `observer` attached and returns the report
     /// together with the observer, now holding the run's metrics and
     /// trace ring. The report is identical to [`Scenario::run`]'s — the
@@ -138,6 +148,21 @@ impl Scenario {
         let mut sim = Simulation::new(self.config, self.workload.clone(), self.stream_seed)
             .with_observer(observer);
         let report = sim.run(controller.as_mut());
+        let observer = sim.take_observer().expect("observer survives the run");
+        (report, observer)
+    }
+
+    /// The arena-backed twin of [`Scenario::run_observed`]: identical
+    /// report and observer contents, reused backing stores.
+    pub fn run_observed_in(
+        &self,
+        observer: lbica_obs::SimObserver,
+        arena: &mut lbica_sim::SimArena,
+    ) -> (SimulationReport, lbica_obs::SimObserver) {
+        let mut controller = self.controller.build();
+        let mut sim = Simulation::new(self.config, self.workload.clone(), self.stream_seed)
+            .with_observer(observer);
+        let report = sim.run_in(controller.as_mut(), arena);
         let observer = sim.take_observer().expect("observer survives the run");
         (report, observer)
     }

@@ -1,0 +1,98 @@
+//! The arena-reuse determinism contract, pinned end to end: a run drawing
+//! its simulated system from a [`SimArena`] that already holds a previous
+//! run's state must be **byte-identical** to a fresh-state run — same
+//! report, same figures CSV, same chrome-trace snapshot — for flat and
+//! tiered configs, serially and under `--jobs 8`.
+
+use proptest::prelude::*;
+
+use lbica_lab::{
+    derive_seed, ControllerKind, CsvSink, JsonSink, Scenario, ScenarioMatrix, SweepExecutor,
+};
+use lbica_obs::SimObserver;
+use lbica_sim::{SimArena, SimulationConfig};
+use lbica_trace::workload::{WorkloadScale, WorkloadSpec};
+
+fn workload(which: usize) -> WorkloadSpec {
+    let scale = WorkloadScale::tiny();
+    match which {
+        0 => WorkloadSpec::tpcc_scaled(scale),
+        1 => WorkloadSpec::mail_server_scaled(scale),
+        _ => WorkloadSpec::web_server_scaled(scale),
+    }
+}
+
+fn controller(which: usize) -> ControllerKind {
+    match which {
+        0 => ControllerKind::Wb,
+        1 => ControllerKind::Sib,
+        _ => ControllerKind::Lbica,
+    }
+}
+
+fn config(tiered: bool) -> (&'static str, SimulationConfig) {
+    if tiered {
+        ("tiny-2t", SimulationConfig::tiny_two_tier())
+    } else {
+        ("tiny", SimulationConfig::tiny())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A reused arena's second (and third) run of a cell reproduces the
+    /// fresh-state report and trace snapshot bit for bit.
+    #[test]
+    fn arena_reused_runs_are_byte_identical_to_fresh_runs(
+        wl in 0usize..3,
+        ctrl in 0usize..3,
+        seed in 0u64..4,
+        tiered in prop_oneof![Just(false), Just(true)],
+    ) {
+        let spec = workload(wl);
+        let (label, cfg) = config(tiered);
+        let stream = derive_seed(spec.name(), label, seed);
+        let cell = Scenario::new(spec, label, cfg, controller(ctrl), seed, stream);
+
+        let fresh = cell.run();
+        let (fresh_observed, fresh_obs) = cell.run_observed(SimObserver::new());
+        prop_assert_eq!(&fresh, &fresh_observed);
+        let fresh_trace = fresh_obs.render_chrome_trace("cell");
+
+        let mut arena = SimArena::new();
+        let first = cell.run_in(&mut arena);   // builds fresh, stores
+        let second = cell.run_in(&mut arena);  // reset + reuse
+        prop_assert_eq!(&fresh, &first);
+        prop_assert_eq!(&fresh, &second, "arena-reused report diverged");
+
+        let (observed, obs) = cell.run_observed_in(SimObserver::new(), &mut arena);
+        prop_assert_eq!(&fresh, &observed, "arena-reused observed report diverged");
+        prop_assert_eq!(
+            fresh_trace,
+            obs.render_chrome_trace("cell"),
+            "arena-reused trace snapshot diverged"
+        );
+    }
+
+    /// Whole-sweep check across a flat + tiered matrix: the per-worker
+    /// arenas inside the executor change nothing — serial and `--jobs 8`
+    /// sweeps render identical figures CSV and JSON.
+    #[test]
+    fn sweep_figures_are_identical_serial_and_jobs_8(
+        wl in 0usize..3,
+        seed in 0u64..4,
+    ) {
+        let matrix = ScenarioMatrix::new()
+            .with_workloads(vec![workload(wl)])
+            .with_seeds(vec![seed])
+            .push_config("tiny", SimulationConfig::tiny())
+            .push_config("tiny-2t", SimulationConfig::tiny_two_tier());
+
+        let serial = SweepExecutor::serial().aggregate(&matrix);
+        let jobs8 = SweepExecutor::new(8).aggregate(&matrix);
+        prop_assert_eq!(&serial, &jobs8);
+        prop_assert_eq!(CsvSink::render(&serial), CsvSink::render(&jobs8));
+        prop_assert_eq!(JsonSink::render(&serial), JsonSink::render(&jobs8));
+    }
+}

@@ -131,6 +131,19 @@ impl EventQueue {
         self.peak_len
     }
 
+    /// Clears all pending events and counters while keeping every backing
+    /// allocation — both lanes, the payload slab and its free list — so the
+    /// next simulation run schedules into already-sized storage. Afterwards
+    /// the queue is observationally identical to a freshly constructed one.
+    pub fn reset(&mut self) {
+        self.sorted.clear();
+        self.heap.clear();
+        self.payloads.clear();
+        self.free.clear();
+        self.next_seq = 0;
+        self.peak_len = 0;
+    }
+
     /// Schedules `kind` to fire at `time`.
     pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.next_seq;
@@ -185,10 +198,46 @@ impl EventQueue {
     }
 
     /// Pops the earliest pending event if it fires at or before `limit`.
+    ///
+    /// One peek at each lane front decides both which lane holds the global
+    /// minimum and whether it is due — this runs once per event of the
+    /// simulation loop, so it avoids the separate `next_time` + `pop`
+    /// front-comparison round trip.
     pub fn pop_until(&mut self, limit: SimTime) -> Option<Event> {
-        match self.next_time() {
-            Some(t) if t <= limit => self.pop(),
-            _ => None,
+        let from_sorted = match (self.sorted.front(), self.heap.peek()) {
+            (Some(s), Some(h)) => {
+                if (s.time, s.seq) <= (h.time, h.seq) {
+                    if s.time > limit {
+                        return None;
+                    }
+                    true
+                } else {
+                    if h.time > limit {
+                        return None;
+                    }
+                    false
+                }
+            }
+            (Some(s), None) => {
+                if s.time > limit {
+                    return None;
+                }
+                true
+            }
+            (None, Some(h)) => {
+                if h.time > limit {
+                    return None;
+                }
+                false
+            }
+            (None, None) => return None,
+        };
+        if from_sorted {
+            let entry = self.sorted.pop_front().expect("front exists");
+            Some(Event { time: entry.time, seq: entry.seq, kind: entry.kind })
+        } else {
+            let key = self.heap.pop().expect("peek exists");
+            Some(self.take(key))
         }
     }
 

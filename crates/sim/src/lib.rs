@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod config;
 pub mod controller;
 pub mod event;
@@ -44,6 +45,7 @@ pub mod system;
 pub mod tiered;
 pub mod tracker;
 
+pub use arena::SimArena;
 pub use config::{DiskDeviceConfig, SimulationConfig};
 pub use controller::{
     BypassDirective, CacheController, ControllerContext, ControllerDecision,

@@ -3,15 +3,14 @@
 use lbica_obs::{QueueTier, SimObserver};
 use lbica_trace::workload::WorkloadSpec;
 
+use crate::arena::SimArena;
 use crate::config::SimulationConfig;
 use crate::controller::{CacheController, ControllerContext, TierLoad};
 use crate::report::{PolicyChange, SimulationReport};
-use crate::system::StorageSystem;
-use crate::tiered::TieredStorageSystem;
 
 use lbica_storage::time::SimTime;
 
-/// Drives one [`WorkloadSpec`] through a [`StorageSystem`] under a
+/// Drives one [`WorkloadSpec`] through a [`StorageSystem`](crate::system::StorageSystem) under a
 /// [`CacheController`], interval by interval, producing a
 /// [`SimulationReport`].
 ///
@@ -72,14 +71,30 @@ impl Simulation {
     /// Runs the full workload under `controller` and returns the report.
     ///
     /// Configurations describing two or more cache levels run on the
-    /// tiered datapath ([`TieredStorageSystem`]); everything else takes
+    /// tiered datapath ([`TieredStorageSystem`](crate::tiered::TieredStorageSystem));
+    /// everything else takes
     /// the paper's flat single-SSD path, which is untouched by the tier
     /// subsystem (single-tier results are bit-identical to the seed).
     pub fn run(&mut self, controller: &mut dyn CacheController) -> SimulationReport {
+        let mut arena = SimArena::new();
+        self.run_in(controller, &mut arena)
+    }
+
+    /// Like [`Simulation::run`], but sourcing (and returning) the simulated
+    /// system's backing stores from `arena`, so consecutive runs of the same
+    /// [`SimulationConfig`] on one thread reuse their allocations instead of
+    /// rebuilding them per run. Reset is observationally equivalent to fresh
+    /// construction (see [`SimArena`]), so the report — and any observed
+    /// trace — is byte-identical to [`Simulation::run`]'s.
+    pub fn run_in(
+        &mut self,
+        controller: &mut dyn CacheController,
+        arena: &mut SimArena,
+    ) -> SimulationReport {
         if self.config.is_tiered() {
-            return self.run_tiered(controller);
+            return self.run_tiered(controller, arena);
         }
-        let mut system = StorageSystem::new(&self.config);
+        let mut system = arena.take_flat(&self.config);
         system.set_policy(controller.initial_policy());
 
         let total_intervals = self.spec.total_intervals();
@@ -187,7 +202,7 @@ impl Simulation {
             obs.observe_app_latency(system.app_latency_histogram());
         }
 
-        SimulationReport {
+        let report = SimulationReport {
             workload: self.spec.name().to_string(),
             controller: controller.name().to_string(),
             total_intervals,
@@ -206,7 +221,9 @@ impl Simulation {
                 peak_event_queue_depth: system.peak_event_queue_depth(),
             },
             tier_stats: Vec::new(),
-        }
+        };
+        arena.store_flat(self.config, system);
+        report
     }
 
     /// The tiered-datapath twin of [`Simulation::run`]: same interval loop,
@@ -219,8 +236,12 @@ impl Simulation {
     /// by the figure characterization tests, and keeping it monomorphic and
     /// untouched is the cheapest way to guarantee that. Changes to the
     /// interval protocol must be applied to both loops.
-    fn run_tiered(&mut self, controller: &mut dyn CacheController) -> SimulationReport {
-        let mut system = TieredStorageSystem::new(&self.config);
+    fn run_tiered(
+        &mut self,
+        controller: &mut dyn CacheController,
+        arena: &mut SimArena,
+    ) -> SimulationReport {
+        let mut system = arena.take_tiered(&self.config);
         // On an explicitly per-tier topology `set_policy` drives the hot
         // tier only (lower levels are config-pinned; see
         // `TieredCacheModule::set_policy`), so a configured warm-tier
@@ -360,7 +381,7 @@ impl Simulation {
         // The headline cache stats stay hot-tier shaped (hit/miss/bypass of
         // the level every application request is judged against); the full
         // per-level breakdown rides in `tier_stats`.
-        SimulationReport {
+        let report = SimulationReport {
             workload: self.spec.name().to_string(),
             controller: controller.name().to_string(),
             total_intervals,
@@ -379,7 +400,9 @@ impl Simulation {
                 peak_event_queue_depth: system.peak_event_queue_depth(),
             },
             tier_stats: system.tier_level_stats(),
-        }
+        };
+        arena.store_tiered(self.config, system);
+        report
     }
 }
 
@@ -583,6 +606,35 @@ mod tests {
         assert!(report.app_p50_latency_us <= report.app_p95_latency_us);
         assert!(report.app_p95_latency_us <= report.app_p99_latency_us);
         assert!(report.app_p99_latency_us <= report.app_max_latency_us);
+    }
+
+    #[test]
+    fn arena_reuse_reproduces_fresh_runs_exactly() {
+        let mut arena = SimArena::new();
+        for config in [
+            SimulationConfig::tiny(),
+            SimulationConfig::tiny_two_tier(),
+            SimulationConfig::tiny_three_tier(),
+        ] {
+            let spec = WorkloadSpec::tpcc_scaled(WorkloadScale::tiny());
+            let fresh = Simulation::new(config, spec.clone(), 13)
+                .run(&mut StaticPolicyController::write_back());
+            // First pass may build fresh; second pass reuses the stored
+            // system via reset. Both must equal the from-scratch run.
+            for pass in 0..2 {
+                let reused = Simulation::new(config, spec.clone(), 13)
+                    .run_in(&mut StaticPolicyController::write_back(), &mut arena);
+                assert_eq!(fresh, reused, "pass {pass} diverged");
+            }
+        }
+        // Cycling back to an earlier config after the arena holds a
+        // different shape rebuilds fresh — and still matches.
+        let spec = WorkloadSpec::tpcc_scaled(WorkloadScale::tiny());
+        let fresh = Simulation::new(SimulationConfig::tiny(), spec.clone(), 13)
+            .run(&mut StaticPolicyController::write_back());
+        let reused = Simulation::new(SimulationConfig::tiny(), spec, 13)
+            .run_in(&mut StaticPolicyController::write_back(), &mut arena);
+        assert_eq!(fresh, reused);
     }
 
     #[test]

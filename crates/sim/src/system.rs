@@ -1,7 +1,7 @@
 //! The simulated storage system: cache module + two device stations.
 
 use lbica_cache::{CacheModule, CacheOutcome, TargetDevice, WritePolicy};
-use lbica_storage::device::{DeviceModel, HddModel, SsdModel};
+use lbica_storage::device::{AnyDeviceModel, DeviceModel, HddModel, SsdModel};
 use lbica_storage::queue::DeviceQueue;
 use lbica_storage::request::{IoRequest, RequestClass, RequestId, RequestOrigin};
 use lbica_storage::time::{SimDuration, SimTime};
@@ -35,7 +35,7 @@ impl TierId {
 /// service slots.
 pub struct DeviceStation {
     pub(crate) queue: DeviceQueue,
-    pub(crate) model: Box<dyn DeviceModel + Send>,
+    pub(crate) model: AnyDeviceModel,
     pub(crate) parallelism: usize,
     pub(crate) in_service: usize,
 }
@@ -58,7 +58,7 @@ impl DeviceStation {
     /// Panics if `parallelism` is zero.
     pub fn new(
         name: impl Into<String>,
-        model: Box<dyn DeviceModel + Send>,
+        model: impl Into<AnyDeviceModel>,
         parallelism: usize,
     ) -> Self {
         assert!(parallelism > 0, "a device needs at least one service slot");
@@ -67,7 +67,7 @@ impl DeviceStation {
         // requests would conflate their completions.
         DeviceStation {
             queue: DeviceQueue::without_merging(name),
-            model,
+            model: model.into(),
             parallelism,
             in_service: 0,
         }
@@ -92,6 +92,15 @@ impl DeviceStation {
     /// `hddLatency`).
     pub fn avg_latency(&self) -> SimDuration {
         self.model.avg_latency()
+    }
+
+    /// Returns the station to its freshly constructed state — empty queue,
+    /// zeroed statistics, no in-service requests, device history forgotten —
+    /// while keeping the queue's ring buffer allocated.
+    pub(crate) fn reset(&mut self) {
+        self.queue.reset();
+        self.model.reset_history();
+        self.in_service = 0;
     }
 }
 
@@ -118,12 +127,12 @@ impl StorageSystem {
     pub fn new(config: &SimulationConfig) -> Self {
         let mut cache = CacheModule::new(config.cache);
         if config.prewarm_cache {
-            cache.prewarm(0..config.cache.capacity_blocks() as u64);
+            cache.prewarm_full();
         }
-        let ssd_model: Box<dyn DeviceModel + Send> = Box::new(SsdModel::new(config.cache_device));
-        let disk_model: Box<dyn DeviceModel + Send> = match config.disk_device {
-            DiskDeviceConfig::MidrangeSsd(cfg) => Box::new(SsdModel::new(cfg)),
-            DiskDeviceConfig::Hdd(cfg) => Box::new(HddModel::new(cfg)),
+        let ssd_model = AnyDeviceModel::Ssd(SsdModel::new(config.cache_device));
+        let disk_model = match config.disk_device {
+            DiskDeviceConfig::MidrangeSsd(cfg) => AnyDeviceModel::Ssd(SsdModel::new(cfg)),
+            DiskDeviceConfig::Hdd(cfg) => AnyDeviceModel::Hdd(HddModel::new(cfg)),
         };
         StorageSystem {
             cache,
@@ -138,6 +147,29 @@ impl StorageSystem {
             events_processed: 0,
             outcome_scratch: CacheOutcome::new(),
         }
+    }
+
+    /// Returns the system to the state [`StorageSystem::new`] would produce
+    /// for the same config, reusing every backing allocation: cache slot
+    /// arenas, device-queue ring buffers, event-queue lanes and payload
+    /// slab, tracker slabs and monitor histories all keep their capacity.
+    /// The caller (the [`crate::SimArena`]) guarantees the config is
+    /// identical to the one the system was built with.
+    pub(crate) fn reset(&mut self, config: &SimulationConfig) {
+        self.cache.reset();
+        if config.prewarm_cache {
+            self.cache.prewarm_full();
+        }
+        self.ssd.reset();
+        self.disk.reset();
+        self.events.reset();
+        self.clock = SimTime::ZERO;
+        self.iostat.reset();
+        self.probe.reset();
+        self.app.reset();
+        self.next_id = 1;
+        self.events_processed = 0;
+        self.outcome_scratch.clear();
     }
 
     /// The current simulated time.

@@ -9,7 +9,7 @@
 //! here only when the configuration describes two or more levels.
 
 use lbica_cache::WritePolicy;
-use lbica_storage::device::{DeviceModel, HddModel, SsdModel};
+use lbica_storage::device::{AnyDeviceModel, DeviceModel, HddModel, SsdModel};
 use lbica_storage::queue::DeviceQueue;
 use lbica_storage::request::{IoRequest, RequestClass, RequestId, RequestOrigin};
 use lbica_storage::time::{SimDuration, SimTime};
@@ -71,13 +71,13 @@ impl TieredStorageSystem {
             .levels()
             .enumerate()
             .map(|(i, spec)| {
-                let model: Box<dyn DeviceModel + Send> = Box::new(SsdModel::new(spec.device));
+                let model = AnyDeviceModel::Ssd(SsdModel::new(spec.device));
                 DeviceStation::new(format!("tier{i}-ssd"), model, spec.parallelism)
             })
             .collect();
-        let disk_model: Box<dyn DeviceModel + Send> = match config.disk_device {
-            DiskDeviceConfig::MidrangeSsd(cfg) => Box::new(SsdModel::new(cfg)),
-            DiskDeviceConfig::Hdd(cfg) => Box::new(HddModel::new(cfg)),
+        let disk_model = match config.disk_device {
+            DiskDeviceConfig::MidrangeSsd(cfg) => AnyDeviceModel::Ssd(SsdModel::new(cfg)),
+            DiskDeviceConfig::Hdd(cfg) => AnyDeviceModel::Hdd(HddModel::new(cfg)),
         };
         let n = levels.len();
         TieredStorageSystem {
@@ -96,6 +96,33 @@ impl TieredStorageSystem {
             spilled_reads: 0,
             outcome_scratch: TieredOutcome::new(),
         }
+    }
+
+    /// Returns the system to the state [`TieredStorageSystem::new`] would
+    /// produce for the same config, reusing every backing allocation (see
+    /// [`crate::StorageSystem`]'s reset for the flat analogue). The caller
+    /// (the [`crate::SimArena`]) guarantees the config — including the tier
+    /// topology — is identical to the one the system was built with.
+    pub(crate) fn reset(&mut self, config: &SimulationConfig) {
+        self.cache.reset();
+        if config.prewarm_cache {
+            self.cache.prewarm_to_capacity();
+        }
+        for station in &mut self.levels {
+            station.reset();
+        }
+        self.disk.reset();
+        self.counters.fill(LevelCounters::default());
+        self.events.reset();
+        self.clock = SimTime::ZERO;
+        self.iostat.reset();
+        self.probe.reset();
+        self.app.reset();
+        self.next_id = 1;
+        self.events_processed = 0;
+        self.spilled_requests = 0;
+        self.spilled_reads = 0;
+        self.outcome_scratch.clear();
     }
 
     /// The current simulated time.
@@ -338,6 +365,12 @@ impl TieredStorageSystem {
     /// tier aggregates every level's completions; the queue depth reported
     /// is the *hot tier's* (the signal the paper's detector watches).
     pub fn end_interval(&mut self, index: u32) -> lbica_trace::monitor::IntervalReport {
+        // Fold the interval's deferred tier-movement deltas into the base
+        // counters in one pass. Observationally invisible —
+        // `TieredCacheModule::movement` always reports base + pending — but
+        // it keeps the deferred buffer's folding cost off the per-event path
+        // and bounds it to one add per level per interval.
+        self.cache.commit_moves();
         let cache_depth = self.levels[0].outstanding();
         let disk_depth = self.disk.outstanding();
         let mut report = self.iostat.finish_interval(index, cache_depth, disk_depth);

@@ -86,6 +86,20 @@ impl AppTracker {
         self.slots.len() - self.free.len()
     }
 
+    /// Clears all accounting while keeping the id→slot index, the entry
+    /// slab, and the free list allocated, so a reused tracker registers
+    /// requests without growing any Vec. Observationally identical to a
+    /// freshly constructed tracker afterwards.
+    pub fn reset(&mut self) {
+        self.index.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.completed = 0;
+        self.total_latency_us = 0;
+        self.max_latency_us = 0;
+        self.latency.reset();
+    }
+
     /// Registers an application request that fans out into `pending_ops`
     /// datapath operations.
     pub fn register(&mut self, id: RequestId, arrival: SimTime, pending_ops: u32) {

@@ -78,6 +78,82 @@ pub trait DeviceModel {
     fn reset_history(&mut self);
 }
 
+/// A closed enum over the two concrete device models.
+///
+/// The simulator's device stations hold this instead of a
+/// `Box<dyn DeviceModel>`: `service_time` sits on the per-dispatch hot path
+/// of the event loop, and the enum dispatch lets the compiler inline the
+/// models' latency arithmetic where a vtable call could not.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyDeviceModel {
+    /// An SSD (cache device, warm tier or mid-range disk subsystem).
+    Ssd(SsdModel),
+    /// A spinning-disk subsystem.
+    Hdd(HddModel),
+}
+
+impl DeviceModel for AnyDeviceModel {
+    #[inline]
+    fn kind(&self) -> DeviceKind {
+        match self {
+            AnyDeviceModel::Ssd(m) => m.kind(),
+            AnyDeviceModel::Hdd(m) => m.kind(),
+        }
+    }
+
+    #[inline]
+    fn capacity_sectors(&self) -> u64 {
+        match self {
+            AnyDeviceModel::Ssd(m) => m.capacity_sectors(),
+            AnyDeviceModel::Hdd(m) => m.capacity_sectors(),
+        }
+    }
+
+    #[inline]
+    fn service_time(&mut self, request: &IoRequest) -> SimDuration {
+        match self {
+            AnyDeviceModel::Ssd(m) => m.service_time(request),
+            AnyDeviceModel::Hdd(m) => m.service_time(request),
+        }
+    }
+
+    #[inline]
+    fn avg_read_latency(&self) -> SimDuration {
+        match self {
+            AnyDeviceModel::Ssd(m) => m.avg_read_latency(),
+            AnyDeviceModel::Hdd(m) => m.avg_read_latency(),
+        }
+    }
+
+    #[inline]
+    fn avg_write_latency(&self) -> SimDuration {
+        match self {
+            AnyDeviceModel::Ssd(m) => m.avg_write_latency(),
+            AnyDeviceModel::Hdd(m) => m.avg_write_latency(),
+        }
+    }
+
+    #[inline]
+    fn reset_history(&mut self) {
+        match self {
+            AnyDeviceModel::Ssd(m) => m.reset_history(),
+            AnyDeviceModel::Hdd(m) => m.reset_history(),
+        }
+    }
+}
+
+impl From<SsdModel> for AnyDeviceModel {
+    fn from(model: SsdModel) -> Self {
+        AnyDeviceModel::Ssd(model)
+    }
+}
+
+impl From<HddModel> for AnyDeviceModel {
+    fn from(model: HddModel) -> Self {
+        AnyDeviceModel::Hdd(model)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

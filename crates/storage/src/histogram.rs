@@ -23,13 +23,36 @@ const BUCKETS: usize = 128;
 /// `partition_point` instead of a floating-point `ln` — `record` sits on the
 /// completion hot path of the simulator.
 fn bucket_bounds() -> &'static [u64; BUCKETS] {
-    static BOUNDS: OnceLock<[u64; BUCKETS]> = OnceLock::new();
-    BOUNDS.get_or_init(|| {
+    &bucket_table().bounds
+}
+
+/// The bounds plus a bit-length jump table accelerating bucket lookup.
+///
+/// `start[b]` is the index of the first bucket whose bound can hold the
+/// smallest `b`-bit value, i.e. `partition_point(bounds, bound < 2^(b-1))`.
+/// A sample of bit length `b` therefore lands at or after `start[b]`, and
+/// since ×1.25 buckets cover one octave in at most four steps, the exact
+/// bucket is at most a handful of entries further — a short predictable
+/// scan instead of a full binary search per recorded sample.
+struct BucketTable {
+    bounds: [u64; BUCKETS],
+    start: [u8; 65],
+}
+
+fn bucket_table() -> &'static BucketTable {
+    static TABLE: OnceLock<BucketTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
         let mut bounds = [0u64; BUCKETS];
         for (i, slot) in bounds.iter_mut().enumerate() {
             *slot = BUCKET_GROWTH.powi(i as i32 + 1).ceil() as u64;
         }
-        bounds
+        let mut start = [0u8; 65];
+        for (b, slot) in start.iter_mut().enumerate().skip(1) {
+            let smallest = 1u64 << (b - 1);
+            let idx = bounds.partition_point(|&bound| bound < smallest);
+            *slot = idx.min(BUCKETS - 1) as u8;
+        }
+        BucketTable { bounds, start }
     })
 }
 
@@ -69,7 +92,17 @@ impl LatencyHistogram {
     }
 
     fn bucket_index(latency_us: u64) -> usize {
-        bucket_bounds().partition_point(|&bound| bound < latency_us).min(BUCKETS - 1)
+        // Jump to the first candidate bucket for this bit length, then scan
+        // the few ×1.25 buckets inside the octave. Exactly equivalent to
+        // `bounds.partition_point(|&bound| bound < latency_us)` clamped to
+        // the last bucket (pinned by `bucket_index_matches_partition_point`).
+        let table = bucket_table();
+        let bits = (u64::BITS - latency_us.leading_zeros()) as usize;
+        let mut idx = table.start[bits] as usize;
+        while idx < BUCKETS && table.bounds[idx] < latency_us {
+            idx += 1;
+        }
+        idx.min(BUCKETS - 1)
     }
 
     /// Upper bound (µs) of the bucket with the given index.
@@ -185,6 +218,24 @@ impl Default for LatencyHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bucket_index_matches_partition_point() {
+        // The jump-table lookup must agree with the binary search it
+        // replaced on every boundary-adjacent value and across all octaves.
+        let bounds = bucket_bounds();
+        let reference = |us: u64| bounds.partition_point(|&bound| bound < us).min(BUCKETS - 1);
+        let mut probes = vec![0u64, 1, u64::MAX];
+        for &bound in bounds.iter() {
+            probes.extend([bound.saturating_sub(1), bound, bound + 1]);
+        }
+        for bits in 0..64u32 {
+            probes.extend([1u64 << bits, (1u64 << bits) + 1, (1u64 << bits) - 1]);
+        }
+        for us in probes {
+            assert_eq!(LatencyHistogram::bucket_index(us), reference(us), "divergence at {us}");
+        }
+    }
 
     fn filled(values: &[u64]) -> LatencyHistogram {
         let mut h = LatencyHistogram::new();

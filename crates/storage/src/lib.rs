@@ -43,7 +43,9 @@ pub mod request;
 pub mod time;
 
 pub use block::{BlockRange, Lba, BLOCK_SECTORS, SECTOR_SIZE};
-pub use device::{DeviceKind, DeviceModel, HddConfig, HddModel, SsdConfig, SsdModel};
+pub use device::{
+    AnyDeviceModel, DeviceKind, DeviceModel, HddConfig, HddModel, SsdConfig, SsdModel,
+};
 pub use error::StorageError;
 pub use histogram::LatencyHistogram;
 pub use queue::{DeviceQueue, QueueSnapshot, QueueStats};

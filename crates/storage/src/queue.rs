@@ -284,6 +284,14 @@ impl DeviceQueue {
         self.pending.clear();
         self.mix = QueueSnapshot::default();
     }
+
+    /// Like [`DeviceQueue::clear`] but also zeroes the cumulative
+    /// statistics, leaving the queue observationally identical to a freshly
+    /// constructed one while keeping the pending ring buffer allocated.
+    pub fn reset(&mut self) {
+        self.clear();
+        self.stats = QueueStats::default();
+    }
 }
 
 #[cfg(test)]

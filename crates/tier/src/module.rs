@@ -54,6 +54,13 @@ pub struct TieredCacheModule {
     maps: Vec<SetAssociativeMap>,
     stats: Vec<CacheStats>,
     movement: Vec<TierMovement>,
+    /// Deferred movement deltas accumulated since the last
+    /// [`TieredCacheModule::commit_moves`]: the hot paths batch their
+    /// metadata-move bookkeeping here and the simulator folds the buffer
+    /// into `movement` in one pass per interval.
+    /// [`TieredCacheModule::movement`] always reports committed + pending,
+    /// so the deferral is observationally invisible.
+    pending: Vec<TierMovement>,
     policies: Vec<WritePolicy>,
     /// Whether the *configured* per-level policies were uniform: decides
     /// whether the single policy knob drives the whole stack (the paper's
@@ -85,6 +92,7 @@ impl TieredCacheModule {
             maps,
             stats: vec![CacheStats::default(); n],
             movement: vec![TierMovement::default(); n],
+            pending: vec![TierMovement::default(); n],
             topology,
         }
     }
@@ -162,9 +170,38 @@ impl TieredCacheModule {
         &self.stats[level]
     }
 
-    /// Inter-tier movement counters of level `level`.
-    pub fn movement(&self, level: usize) -> &TierMovement {
-        &self.movement[level]
+    /// Inter-tier movement counters of level `level`: the committed
+    /// counters plus any deltas still sitting in the deferred-move buffer,
+    /// so the view is exact at any point between
+    /// [`TieredCacheModule::commit_moves`] calls.
+    pub fn movement(&self, level: usize) -> TierMovement {
+        let base = &self.movement[level];
+        let delta = &self.pending[level];
+        TierMovement {
+            promotions_in: base.promotions_in + delta.promotions_in,
+            demotions_in: base.demotions_in + delta.demotions_in,
+            demotions_out: base.demotions_out + delta.demotions_out,
+            spills_in: base.spills_in + delta.spills_in,
+            read_spills_in: base.read_spills_in + delta.read_spills_in,
+            back_invalidations: base.back_invalidations + delta.back_invalidations,
+        }
+    }
+
+    /// Folds the deferred-move buffer into the committed movement counters
+    /// in one pass and clears it. The simulator calls this once per
+    /// monitoring interval; because [`TieredCacheModule::movement`] always
+    /// reports committed + pending, calling it earlier or later never
+    /// changes an observable number.
+    pub fn commit_moves(&mut self) {
+        for (base, delta) in self.movement.iter_mut().zip(self.pending.iter_mut()) {
+            base.promotions_in += delta.promotions_in;
+            base.demotions_in += delta.demotions_in;
+            base.demotions_out += delta.demotions_out;
+            base.spills_in += delta.spills_in;
+            base.read_spills_in += delta.read_spills_in;
+            base.back_invalidations += delta.back_invalidations;
+            *delta = TierMovement::default();
+        }
     }
 
     /// Number of blocks currently cached at `level`.
@@ -234,8 +271,49 @@ impl TieredCacheModule {
         outcome.set_served_by_cache(!disk_in_datapath);
     }
 
-    /// Handles one block of an application read. Returns `true` on hit.
-    fn handle_read_block(&mut self, block: u64, outcome: &mut TieredOutcome) -> bool {
+    /// [`TieredCacheModule::access_into`] resolved through the pre-handle
+    /// block-addressed lookups: every hit re-finds its block for each
+    /// touch, invalidate and dirty upgrade instead of reusing one located
+    /// slot. Semantically identical to `access_into` (pinned by the
+    /// `eager_equivalence` proptest); kept only as the reference side of
+    /// the `tier/batched_vs_eager_movement` micro-bench.
+    #[doc(hidden)]
+    pub fn access_into_eager(&mut self, request: &IoRequest, outcome: &mut TieredOutcome) {
+        debug_assert_eq!(
+            request.origin(),
+            RequestOrigin::Application,
+            "only application requests enter the tiered cache module"
+        );
+        outcome.clear();
+        let mut any_miss = false;
+        let mut any_hit = false;
+
+        for block in request.range().block_indices() {
+            let hit = match request.kind() {
+                RequestKind::Read => self.handle_read_block_eager(block, outcome),
+                RequestKind::Write => self.handle_write_block_eager(block, outcome),
+            };
+            if hit {
+                any_hit = true;
+            } else {
+                any_miss = true;
+            }
+        }
+
+        match request.kind() {
+            RequestKind::Read => outcome.set_read_hit(any_hit && !any_miss),
+            RequestKind::Write => outcome.set_write_hit(any_hit && !any_miss),
+        }
+        let disk_in_datapath = outcome
+            .ops()
+            .iter()
+            .any(|op| op.target == TierTarget::Disk && op.origin == RequestOrigin::Application);
+        outcome.set_served_by_cache(!disk_in_datapath);
+    }
+
+    /// The eager (block-addressed) read path: the original touch-per-level
+    /// probe followed by re-finding invalidates.
+    fn handle_read_block_eager(&mut self, block: u64, outcome: &mut TieredOutcome) -> bool {
         let range = Self::block_range(block);
         if let Some(level) = (0..self.maps.len()).find(|&i| self.maps[i].touch(block)) {
             self.stats[level].read_hits += 1;
@@ -248,17 +326,13 @@ impl TieredCacheModule {
             ));
             if level > 0 && self.topology.promotion == PromotionPolicy::OnHit {
                 let state = match self.topology.inclusion {
-                    // Exclusive: the block *moves* up, carrying its state.
                     InclusionPolicy::Exclusive => {
                         self.maps[level].invalidate(block).expect("hit block is resident")
                     }
-                    // Inclusive: the lower line stays resident (and keeps
-                    // ownership of any dirty data); the hot tier gets a
-                    // clean copy.
                     InclusionPolicy::Inclusive => SlotState::Clean,
                 };
                 self.insert_cascading(0, block, state, outcome);
-                self.movement[0].promotions_in += 1;
+                self.pending[0].promotions_in += 1;
                 self.stats[0].promotes += 1;
                 outcome.push(TieredOp::new(
                     TierTarget::Level(0),
@@ -266,6 +340,170 @@ impl TieredCacheModule {
                     RequestOrigin::Promote,
                     range,
                 ));
+            }
+            return true;
+        }
+
+        self.stats[0].read_misses += 1;
+        outcome.push(TieredOp::new(
+            TierTarget::Disk,
+            RequestKind::Read,
+            RequestOrigin::Application,
+            range,
+        ));
+        let place = self.topology.placement_level();
+        if self.policies[place].promotes_read_misses() {
+            self.insert_cascading(place, block, SlotState::Clean, outcome);
+            self.stats[place].promotes += 1;
+            outcome.push(TieredOp::new(
+                TierTarget::Level(place),
+                RequestKind::Write,
+                RequestOrigin::Promote,
+                range,
+            ));
+        } else {
+            self.stats[0].unpromoted_read_misses += 1;
+        }
+        false
+    }
+
+    /// The eager (block-addressed) write path: `resident_level` scan plus
+    /// re-finding insert/mark-dirty/invalidate calls.
+    fn handle_write_block_eager(&mut self, block: u64, outcome: &mut TieredOutcome) -> bool {
+        let range = Self::block_range(block);
+        let resident = self.resident_level(block);
+        let policy = self.policies[resident.unwrap_or(0)];
+
+        if !policy.buffers_writes() {
+            self.stats[0].write_bypasses += 1;
+            self.stats[0].write_misses += 1;
+            if let Some(level) = resident {
+                self.drop_copies_from(level, block);
+            }
+            outcome.push(TieredOp::new(
+                TierTarget::Disk,
+                RequestKind::Write,
+                RequestOrigin::Application,
+                range,
+            ));
+            return false;
+        }
+
+        match resident {
+            Some(level) => self.stats[level].write_hits += 1,
+            None => self.stats[0].write_misses += 1,
+        }
+        let state = if policy.leaves_dirty_blocks() { SlotState::Dirty } else { SlotState::Clean };
+        let target = match resident {
+            Some(level) if level > 0 && self.topology.promotion == PromotionPolicy::OnHit => {
+                let merged = match self.topology.inclusion {
+                    InclusionPolicy::Exclusive => {
+                        let old =
+                            self.maps[level].invalidate(block).expect("hit block is resident");
+                        if old == SlotState::Dirty {
+                            SlotState::Dirty
+                        } else {
+                            state
+                        }
+                    }
+                    InclusionPolicy::Inclusive => state,
+                };
+                self.insert_cascading(0, block, merged, outcome);
+                self.pending[0].promotions_in += 1;
+                outcome.note_hit_level(level);
+                0
+            }
+            Some(level) => {
+                self.insert_cascading(level, block, state, outcome);
+                if policy.leaves_dirty_blocks() {
+                    self.maps[level].mark_dirty(block);
+                }
+                outcome.note_hit_level(level);
+                level
+            }
+            None => {
+                self.insert_cascading(0, block, state, outcome);
+                0
+            }
+        };
+
+        outcome.push(TieredOp::new(
+            TierTarget::Level(target),
+            RequestKind::Write,
+            RequestOrigin::Application,
+            range,
+        ));
+
+        if policy.writes_through() {
+            outcome.push(TieredOp::new(
+                TierTarget::Disk,
+                RequestKind::Write,
+                RequestOrigin::Application,
+                range,
+            ));
+        }
+        true
+    }
+
+    /// Locates the topmost level holding `block` together with its slot
+    /// handle, without a recency update — one tag scan per level, reused by
+    /// every subsequent operation on the hit instead of re-finding the
+    /// block.
+    fn locate_resident(&self, block: u64) -> Option<(usize, u32)> {
+        for level in 0..self.maps.len() {
+            if let Some(slot) = self.maps[level].locate(block) {
+                return Some((level, slot));
+            }
+        }
+        None
+    }
+
+    /// Handles one block of an application read. Returns `true` on hit.
+    ///
+    /// Hits are resolved through one slot-handle lookup per level: the
+    /// recency touch, the exclusive-promotion invalidate and the dirty-state
+    /// read all reuse the located slot instead of re-scanning the set, which
+    /// is what the pre-handle implementation
+    /// ([`TieredCacheModule::access_into_eager`]) paid on every promoting
+    /// hit.
+    fn handle_read_block(&mut self, block: u64, outcome: &mut TieredOutcome) -> bool {
+        let range = Self::block_range(block);
+        if let Some((level, slot)) = self.locate_resident(block) {
+            self.stats[level].read_hits += 1;
+            outcome.note_hit_level(level);
+            outcome.push(TieredOp::new(
+                TierTarget::Level(level),
+                RequestKind::Read,
+                RequestOrigin::Application,
+                range,
+            ));
+            if level > 0 && self.topology.promotion == PromotionPolicy::OnHit {
+                let state = match self.topology.inclusion {
+                    // Exclusive: the block *moves* up, carrying its state.
+                    // The touch the eager path performed before the
+                    // invalidate is elided: splicing a slot to the hot end
+                    // and then unlinking it leaves the same recency list as
+                    // unlinking it directly.
+                    InclusionPolicy::Exclusive => self.maps[level].invalidate_at(slot),
+                    // Inclusive: the lower line stays resident (and keeps
+                    // ownership of any dirty data); the hot tier gets a
+                    // clean copy.
+                    InclusionPolicy::Inclusive => {
+                        self.maps[level].touch_at(slot);
+                        SlotState::Clean
+                    }
+                };
+                self.insert_cascading(0, block, state, outcome);
+                self.pending[0].promotions_in += 1;
+                self.stats[0].promotes += 1;
+                outcome.push(TieredOp::new(
+                    TierTarget::Level(0),
+                    RequestKind::Write,
+                    RequestOrigin::Promote,
+                    range,
+                ));
+            } else {
+                self.maps[level].touch_at(slot);
             }
             return true;
         }
@@ -306,16 +544,16 @@ impl TieredCacheModule {
     /// old shared-policy behaviour.
     fn handle_write_block(&mut self, block: u64, outcome: &mut TieredOutcome) -> bool {
         let range = Self::block_range(block);
-        let resident = self.resident_level(block);
-        let policy = self.policies[resident.unwrap_or(0)];
+        let resident = self.locate_resident(block);
+        let policy = self.policies[resident.map_or(0, |(level, _)| level)];
 
         if !policy.buffers_writes() {
             // Read-only cache: the write bypasses to the disk subsystem and
             // any cached copy becomes stale.
             self.stats[0].write_bypasses += 1;
             self.stats[0].write_misses += 1;
-            if let Some(level) = resident {
-                self.drop_copies_from(level, block);
+            if let Some((level, slot)) = resident {
+                self.drop_copies_from_at(level, slot, block);
             }
             outcome.push(TieredOp::new(
                 TierTarget::Disk,
@@ -328,19 +566,20 @@ impl TieredCacheModule {
 
         // Write is absorbed by the hierarchy (WB, WT or WO): write-allocate.
         match resident {
-            Some(level) => self.stats[level].write_hits += 1,
+            Some((level, _)) => self.stats[level].write_hits += 1,
             None => self.stats[0].write_misses += 1,
         }
         let state = if policy.leaves_dirty_blocks() { SlotState::Dirty } else { SlotState::Clean };
         let target = match resident {
-            Some(level) if level > 0 && self.topology.promotion == PromotionPolicy::OnHit => {
+            Some((level, slot))
+                if level > 0 && self.topology.promotion == PromotionPolicy::OnHit =>
+            {
                 let merged = match self.topology.inclusion {
                     // Exclusive: the write overwrites the block, so it
                     // moves to the hot tier carrying the dirtier of its
                     // old and new states.
                     InclusionPolicy::Exclusive => {
-                        let old =
-                            self.maps[level].invalidate(block).expect("hit block is resident");
+                        let old = self.maps[level].invalidate_at(slot);
                         if old == SlotState::Dirty {
                             SlotState::Dirty
                         } else {
@@ -352,16 +591,20 @@ impl TieredCacheModule {
                     InclusionPolicy::Inclusive => state,
                 };
                 self.insert_cascading(0, block, merged, outcome);
-                self.movement[0].promotions_in += 1;
+                self.pending[0].promotions_in += 1;
                 outcome.note_hit_level(level);
                 0
             }
-            Some(level) => {
-                // In-place write: refresh recency and upgrade the state,
-                // exactly like the flat module's write-allocate insert.
-                self.insert_cascading(level, block, state, outcome);
+            Some((level, slot)) => {
+                // In-place write: refresh recency and upgrade the state via
+                // the located slot. The eager path routed this through a
+                // full `insert` (tag scan → `AlreadyPresent` → touch →
+                // upgrade) plus a `mark_dirty` re-find; the net effect is
+                // exactly a touch plus a dirty upgrade when the policy
+                // leaves dirty blocks (`state` is `Dirty` iff it does).
+                self.maps[level].touch_at(slot);
                 if policy.leaves_dirty_blocks() {
-                    self.maps[level].mark_dirty(block);
+                    self.maps[level].mark_dirty_at(slot);
                 }
                 outcome.note_hit_level(level);
                 level
@@ -392,6 +635,21 @@ impl TieredCacheModule {
 
     /// Invalidates every copy of `block` at `level` and (inclusive
     /// hierarchies) below it, counting one invalidation per dropped copy.
+    /// The topmost copy is removed through its already-located slot handle.
+    fn drop_copies_from_at(&mut self, level: usize, slot: u32, block: u64) {
+        self.maps[level].invalidate_at(slot);
+        self.stats[level].invalidations += 1;
+        if self.topology.inclusion == InclusionPolicy::Inclusive {
+            for lower in level + 1..self.maps.len() {
+                if self.maps[lower].invalidate(block).is_some() {
+                    self.stats[lower].invalidations += 1;
+                }
+            }
+        }
+    }
+
+    /// Block-addressed variant of [`TieredCacheModule::drop_copies_from_at`]
+    /// for the eager reference path.
     fn drop_copies_from(&mut self, level: usize, block: u64) {
         self.maps[level].invalidate(block);
         self.stats[level].invalidations += 1;
@@ -455,7 +713,7 @@ impl TieredCacheModule {
         if self.topology.inclusion == InclusionPolicy::Inclusive {
             for upper in 0..from {
                 if let Some(upper_state) = self.maps[upper].invalidate(victim) {
-                    self.movement[upper].back_invalidations += 1;
+                    self.pending[upper].back_invalidations += 1;
                     self.stats[upper].invalidations += 1;
                     outcome.note_back_invalidation();
                     if upper_state == SlotState::Dirty {
@@ -477,8 +735,8 @@ impl TieredCacheModule {
                 SlotState::Dirty => self.stats[from].dirty_evictions += 1,
                 SlotState::Clean => self.stats[from].clean_evictions += 1,
             }
-            self.movement[from].demotions_out += 1;
-            self.movement[from + 1].demotions_in += 1;
+            self.pending[from].demotions_out += 1;
+            self.pending[from + 1].demotions_in += 1;
             // Reading the victim off its level and writing it one level
             // down: both legs carry the Evict class.
             outcome.push(TieredOp::new(
@@ -542,7 +800,7 @@ impl TieredCacheModule {
             SlotState::Clean
         };
         self.insert_cascading(level, block, state, outcome);
-        self.movement[level].spills_in += 1;
+        self.pending[level].spills_in += 1;
     }
 
     /// Absorbs a load-balancer *read* spill: a queued application read
@@ -560,7 +818,7 @@ impl TieredCacheModule {
         assert!(level > 0 && level < self.maps.len(), "spill target must be a lower level");
         let state = self.remove_all_copies(block).unwrap_or(SlotState::Clean);
         self.insert_cascading(level, block, state, outcome);
-        self.movement[level].read_spills_in += 1;
+        self.pending[level].read_spills_in += 1;
     }
 
     /// Pulls `block` out of *every* level holding it — not just the levels
@@ -602,15 +860,39 @@ impl TieredCacheModule {
     /// Pre-populates every level to capacity with clean blocks (level 0
     /// holds blocks `0..cap0`, level 1 the next `cap1`, and so on) without
     /// touching the statistics — the tiered analogue of the flat module's
-    /// warm-up skip.
+    /// warm-up skip. Each level is filled through the map's sequential fast
+    /// fill (a complete overwrite equivalent to inserting its block range in
+    /// ascending order), so warming a large hierarchy costs one linear pass
+    /// instead of a tag scan per block.
     pub fn prewarm_to_capacity(&mut self) {
         let mut next = 0u64;
         for map in &mut self.maps {
-            let cap = map.capacity_blocks() as u64;
-            for block in next..next + cap {
-                let _ = map.insert(block, SlotState::Clean);
-            }
-            next += cap;
+            map.fill_sequential(next);
+            next += map.capacity_blocks() as u64;
+        }
+    }
+
+    /// Restores the hierarchy to its freshly constructed state in place: the
+    /// slot arenas keep their allocations, every counter (committed and
+    /// deferred) is zeroed and the per-level policies return to their
+    /// configured initial values. Observationally equivalent to
+    /// `TieredCacheModule::new(*self.topology())` — the arena-reuse fast
+    /// path.
+    pub fn reset(&mut self) {
+        for map in &mut self.maps {
+            map.reset();
+        }
+        for stats in &mut self.stats {
+            *stats = CacheStats::default();
+        }
+        for movement in &mut self.movement {
+            *movement = TierMovement::default();
+        }
+        for delta in &mut self.pending {
+            *delta = TierMovement::default();
+        }
+        for (policy, spec) in self.policies.iter_mut().zip(self.topology.levels()) {
+            *policy = spec.cache.initial_policy;
         }
     }
 
@@ -1008,6 +1290,56 @@ mod tests {
             "dirty back-invalidated data must write back: {:?}",
             out.ops()
         );
+    }
+
+    #[test]
+    fn reset_is_equivalent_to_fresh_construction() {
+        let topo = TierTopology::two_level(spec(2, 2), spec(4, 2))
+            .with_level_policy(1, WritePolicy::WriteThrough);
+        let mut cache = TieredCacheModule::new(topo);
+        for i in 0..6u64 {
+            cache.access(&write(i, i * 2 * 8));
+            cache.access(&read(10 + i, i * 8));
+        }
+        cache.set_policy(WritePolicy::ReadOnly);
+        cache.reset();
+        assert_eq!(cache, TieredCacheModule::new(topo));
+        assert_eq!(cache.level_policy(1), WritePolicy::WriteThrough);
+        assert_eq!(cache.movement(0), TierMovement::default());
+        assert_eq!(cache.cached_blocks(0) + cache.cached_blocks(1), 0);
+    }
+
+    #[test]
+    fn commit_moves_is_observationally_invisible() {
+        let mut cache = two_level();
+        for i in 0..6u64 {
+            cache.access(&write(i, i * 2 * 8)); // forces demotions
+        }
+        cache.access(&read(20, 0)); // warm hit promotes back up
+        let live: Vec<TierMovement> = (0..2).map(|l| cache.movement(l)).collect();
+        assert!(live[0].promotions_in > 0 && live[1].demotions_in > 0);
+        cache.commit_moves();
+        let committed: Vec<TierMovement> = (0..2).map(|l| cache.movement(l)).collect();
+        assert_eq!(live, committed);
+        // A second commit with an empty buffer is a no-op too.
+        cache.commit_moves();
+        assert_eq!(committed, (0..2).map(|l| cache.movement(l)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fast_prewarm_matches_naive_per_block_inserts() {
+        let mut fast = two_level();
+        fast.prewarm_to_capacity();
+        let mut naive = two_level();
+        let mut next = 0u64;
+        for level in 0..2 {
+            let cap = naive.maps[level].capacity_blocks() as u64;
+            for block in next..next + cap {
+                let _ = naive.maps[level].insert(block, SlotState::Clean);
+            }
+            next += cap;
+        }
+        assert_eq!(fast, naive);
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Model-based equivalence of the slot-addressed hot path against the
+//! eager block-addressed reference: [`TieredCacheModule::access_into`] and
+//! [`TieredCacheModule::access_into_eager`] must produce identical outcomes
+//! and leave identical module state — same maps, same statistics, same
+//! movement counters — for any multi-level topology and access sequence.
+//! This is the contract that lets the optimized path claim bit-identical
+//! semantics while skipping the per-hit re-find scans.
+
+use proptest::prelude::*;
+
+use lbica_cache::{CacheConfig, ReplacementKind, WritePolicy};
+use lbica_storage::device::SsdConfig;
+use lbica_storage::request::{IoRequest, RequestKind, RequestOrigin};
+use lbica_tier::{
+    DemotionPolicy, InclusionPolicy, PromotionPolicy, TierLevelSpec, TierTopology,
+    TieredCacheModule, TieredOutcome,
+};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Read(u64),
+    Write(u64),
+    BigRead(u64, u64),
+    BigWrite(u64, u64),
+    SetPolicy(WritePolicy),
+    Invalidate(u64),
+}
+
+fn arb_policy() -> impl Strategy<Value = WritePolicy> {
+    prop_oneof![
+        Just(WritePolicy::WriteBack),
+        Just(WritePolicy::WriteThrough),
+        Just(WritePolicy::ReadOnly),
+        Just(WritePolicy::WriteOnly),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0u8..6, 0u64..96, 1u64..4, arb_policy()).prop_map(|(which, block, len, policy)| match which {
+        0 => Op::Read(block),
+        1 => Op::Write(block),
+        2 => Op::BigRead(block, len),
+        3 => Op::BigWrite(block, len),
+        4 => Op::SetPolicy(policy),
+        _ => Op::Invalidate(block),
+    })
+}
+
+fn spec(num_sets: usize, associativity: usize, replacement: ReplacementKind) -> TierLevelSpec {
+    TierLevelSpec::new(
+        CacheConfig {
+            num_sets,
+            associativity,
+            replacement,
+            initial_policy: WritePolicy::WriteBack,
+        },
+        SsdConfig::samsung_863a(),
+        1,
+    )
+}
+
+fn arb_topology() -> impl Strategy<Value = TierTopology> {
+    let geometry = prop_oneof![Just((2usize, 2usize)), Just((3, 2)), Just((1, 4))];
+    let levels = prop_oneof![Just(2usize), Just(3)];
+    let replacement = prop_oneof![Just(ReplacementKind::Lru), Just(ReplacementKind::Fifo)];
+    let inclusion = prop_oneof![Just(InclusionPolicy::Exclusive), Just(InclusionPolicy::Inclusive)];
+    let promotion = prop_oneof![Just(PromotionPolicy::OnHit), Just(PromotionPolicy::Never)];
+    let demotion = prop_oneof![
+        Just(DemotionPolicy::Cascade),
+        Just(DemotionPolicy::DirtyCascade),
+        Just(DemotionPolicy::None),
+    ];
+    (geometry, levels, replacement, inclusion, promotion, demotion).prop_map(
+        |((sets, ways), levels, replacement, inclusion, promotion, demotion)| {
+            let hot = spec(sets, ways, replacement);
+            let warm = spec(sets * 2, ways, replacement);
+            let topo = if levels == 2 {
+                TierTopology::two_level(hot, warm)
+            } else {
+                TierTopology::three_level(hot, warm, spec(sets * 4, ways, replacement))
+            };
+            topo.with_inclusion(inclusion).with_promotion(promotion).with_demotion(demotion)
+        },
+    )
+}
+
+fn request(id: u64, kind: RequestKind, block: u64, blocks: u64) -> IoRequest {
+    IoRequest::new(id, kind, RequestOrigin::Application, block * 8, blocks * 8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn slot_addressed_path_matches_the_eager_reference(
+        topology in arb_topology(),
+        prewarm in prop_oneof![Just(false), Just(true)],
+        ops in proptest::collection::vec(arb_op(), 1..250),
+    ) {
+        let mut fast = TieredCacheModule::new(topology);
+        let mut eager = fast.clone();
+        if prewarm {
+            fast.prewarm_to_capacity();
+            eager.prewarm_to_capacity();
+        }
+
+        let mut fast_out = TieredOutcome::new();
+        let mut eager_out = TieredOutcome::new();
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Read(block) => {
+                    let req = request(step as u64, RequestKind::Read, block, 1);
+                    fast.access_into(&req, &mut fast_out);
+                    eager.access_into_eager(&req, &mut eager_out);
+                }
+                Op::Write(block) => {
+                    let req = request(step as u64, RequestKind::Write, block, 1);
+                    fast.access_into(&req, &mut fast_out);
+                    eager.access_into_eager(&req, &mut eager_out);
+                }
+                Op::BigRead(block, len) => {
+                    let req = request(step as u64, RequestKind::Read, block, len);
+                    fast.access_into(&req, &mut fast_out);
+                    eager.access_into_eager(&req, &mut eager_out);
+                }
+                Op::BigWrite(block, len) => {
+                    let req = request(step as u64, RequestKind::Write, block, len);
+                    fast.access_into(&req, &mut fast_out);
+                    eager.access_into_eager(&req, &mut eager_out);
+                }
+                Op::SetPolicy(policy) => {
+                    fast.set_policy(policy);
+                    eager.set_policy(policy);
+                    continue;
+                }
+                Op::Invalidate(block) => {
+                    prop_assert_eq!(
+                        fast.invalidate_block(block),
+                        eager.invalidate_block(block),
+                        "invalidate({}) diverged at step {}", block, step
+                    );
+                    continue;
+                }
+            }
+            prop_assert_eq!(&fast_out, &eager_out, "outcome diverged at step {}", step);
+            for level in 0..fast.levels() {
+                prop_assert_eq!(
+                    fast.movement(level), eager.movement(level),
+                    "movement[{}] diverged at step {}", level, step
+                );
+            }
+            prop_assert_eq!(&fast, &eager, "module state diverged at step {}", step);
+        }
+
+        // Committing the deferred buffer changes no observable number.
+        let before: Vec<_> = (0..fast.levels()).map(|l| fast.movement(l)).collect();
+        fast.commit_moves();
+        let after: Vec<_> = (0..fast.levels()).map(|l| fast.movement(l)).collect();
+        prop_assert_eq!(before, after);
+    }
+}

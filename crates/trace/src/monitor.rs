@@ -181,6 +181,19 @@ impl IostatCollector {
         report
     }
 
+    /// Clears both per-interval accumulators and the report history while
+    /// keeping the history Vec (and the histograms' bucket arrays)
+    /// allocated. Observationally identical to a fresh collector afterwards.
+    pub fn reset(&mut self) {
+        self.cache.enqueued = 0;
+        self.cache.peak_queue_depth = 0;
+        self.cache.latency.reset();
+        self.disk.enqueued = 0;
+        self.disk.peak_queue_depth = 0;
+        self.disk.latency.reset();
+        self.history.clear();
+    }
+
     /// All interval reports produced so far.
     pub fn history(&self) -> &[IntervalReport] {
         &self.history
@@ -229,6 +242,13 @@ impl BlktraceProbe {
     /// Number of observations accumulated.
     pub const fn samples(&self) -> u32 {
         self.samples
+    }
+
+    /// Clears the probe back to its freshly constructed state (same effect
+    /// as discarding [`BlktraceProbe::take`]'s result).
+    pub fn reset(&mut self) {
+        self.accumulated = QueueSnapshot::default();
+        self.samples = 0;
     }
 
     /// Returns the accumulated mix and resets the probe for the next
