@@ -1,0 +1,37 @@
+//! Measures the cost of the phase profiler itself: the same simulation
+//! cell run unprofiled (the `NoProf` instantiation, which monomorphizes
+//! to the uninstrumented loop) and with a `PhaseProfiler` attached
+//! (`Instant::now()` marks around every phase).
+//!
+//! The pair `prof/overhead_off` / `prof/overhead_on` is the
+//! `prof/overhead_on_off` comparison quoted in the README: the delta
+//! between the two is the total profiling overhead for a full cell run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lbica_lab::{Scenario, ScenarioMatrix};
+use lbica_obs::PhaseProfiler;
+use lbica_sim::SimArena;
+
+/// The measured cell: first cell of the tiered smoke-scale tier-policy
+/// matrix, so every phase (including tier movement) is exercised.
+fn cell() -> Scenario {
+    ScenarioMatrix::tier_policy().cell(0).expect("the tier-policy matrix is non-empty")
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let scenario = cell();
+    let mut arena = SimArena::new();
+    c.bench_function("prof/overhead_off", |b| {
+        b.iter(|| std::hint::black_box(scenario.run_in(&mut arena)))
+    });
+    c.bench_function("prof/overhead_on", |b| {
+        b.iter(|| {
+            let (report, profile) = scenario.run_profiled_in(PhaseProfiler::new(), &mut arena);
+            std::hint::black_box((report, profile))
+        })
+    });
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

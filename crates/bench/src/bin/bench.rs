@@ -1,0 +1,135 @@
+//! The perf-regression ledger CLI: compare and fold `BENCH_sim.json`
+//! documents.
+//!
+//! ```text
+//! bench diff OLD NEW [--tolerance PCT] [--out FILE]
+//! bench history FILE...
+//! ```
+//!
+//! `diff` compares two `lbica-bench-sim/v2` documents of the same matrix
+//! cell-by-cell, prints the per-cell and per-matrix delta tables, and
+//! exits non-zero when any cell's wall-clock grew beyond the tolerance
+//! (default 25%, a generous noise floor for wall-clock measurements on
+//! shared hardware). `--out FILE` additionally writes the
+//! `lbica-bench-diff/v1` report (validated by `obs_validate bench-diff`).
+//! Event-count drift is reported but does not fail the diff — the
+//! figure-pin tests police simulation semantics.
+//!
+//! `history` parses any number of documents, in the order given, and
+//! prints the perf-trajectory table (one row per document).
+//!
+//! Exit codes: 0 ok, 1 regression (or failed validation), 2 usage or
+//! unreadable/unparseable input.
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+use lbica_bench::diff::{diff, history_table, BenchDoc};
+
+const USAGE: &str = "usage: bench diff OLD NEW [--tolerance PCT] [--out FILE]\n       \
+                     bench history FILE...";
+
+/// Default wall-clock noise tolerance, percent.
+const DEFAULT_TOLERANCE_PCT: f64 = 25.0;
+
+fn load_doc(path: &str) -> Result<BenchDoc, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchDoc::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn run_diff(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut tolerance = DEFAULT_TOLERANCE_PCT;
+    let mut out: Option<&str> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let Some(value) = iter.next() else {
+                    return usage_error("--tolerance needs a percentage");
+                };
+                tolerance = match value.parse::<f64>() {
+                    Ok(pct) if pct >= 0.0 => pct,
+                    _ => return usage_error("--tolerance needs a non-negative percentage"),
+                };
+            }
+            "--out" => {
+                let Some(value) = iter.next() else {
+                    return usage_error("--out needs a file path");
+                };
+                out = Some(value);
+            }
+            flag if flag.starts_with("--") => {
+                return usage_error(&format!("unknown flag {flag}"));
+            }
+            path => paths.push(path),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return usage_error("diff takes exactly two documents (OLD NEW)");
+    };
+    let (old, new) = match (load_doc(old_path), load_doc(new_path)) {
+        (Ok(old), Ok(new)) => (old, new),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match diff(&old, &new, tolerance) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: documents are not comparable: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render_table());
+    if let Some(path) = out {
+        if let Err(e) = fs::write(path, report.render_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote {path}");
+    }
+    if report.regressions() > 0 {
+        eprintln!(
+            "error: {} cell(s) regressed beyond the {tolerance}% tolerance",
+            report.regressions()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_history(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        return usage_error("history needs at least one document");
+    }
+    let mut docs = Vec::with_capacity(args.len());
+    for path in args {
+        match load_doc(path) {
+            Ok(doc) => docs.push(doc),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    print!("{}", history_table(&docs));
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "diff" => run_diff(rest),
+        Some((cmd, rest)) if cmd == "history" => run_history(rest),
+        _ => usage_error("expected a subcommand (diff or history)"),
+    }
+}

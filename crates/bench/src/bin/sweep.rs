@@ -5,7 +5,7 @@
 //! sweep [--matrix tiny|geometry|devices|tiered|tier-policy|inclusion
 //!               |replacement|replay|paper]
 //!       [--jobs N] [--out DIR] [--shard I/N]
-//!       [--telemetry FILE] [--trace-cell IDX] [--list]
+//!       [--telemetry FILE] [--profile FILE] [--trace-cell IDX] [--list]
 //! sweep merge PART.json... [--out DIR] [--telemetry FILE]
 //! ```
 //!
@@ -59,6 +59,17 @@
 //! (`sweep_<matrix>.cell<IDX>.trace.json`, loadable in Perfetto or
 //! `chrome://tracing`) into `--out`. Trace timestamps are sim-time, so
 //! the file is deterministic for a given cell.
+//!
+//! `--profile FILE` attaches the `lbica-obs` phase profiler to every
+//! simulation: each worker accumulates per-phase wall-clock locally and
+//! folds its profile into a shared [`ProfileFold`] when it exits, so the
+//! aggregate is commutative and `--jobs`-independent in *shape* (the
+//! nanosecond figures are wall-clock and vary run to run). The merged
+//! `lbica-prof/v1` document lands in FILE and the sorted self-time table
+//! prints to stderr. Like telemetry, profiling is strictly out-of-band:
+//! the CSV/JSON summaries stay byte-identical with or without it.
+//!
+//! [`ProfileFold`]: lbica_lab::ProfileFold
 
 use std::env;
 use std::fs;
@@ -89,7 +100,8 @@ const MATRICES: [(&str, &str); 9] = [
 
 const USAGE: &str = "\
 usage: sweep [--matrix NAME] [--jobs N] [--out DIR] [--shard I/N]
-             [--telemetry FILE] [--trace-cell IDX] [--list] [--help]
+             [--telemetry FILE] [--profile FILE] [--trace-cell IDX]
+             [--list] [--help]
        sweep merge PART.json... [--out DIR] [--telemetry FILE]
 
 subcommands:
@@ -107,6 +119,9 @@ flags:
   --telemetry FILE write a JSONL execution-telemetry stream to FILE plus folded
                    metrics snapshots beside it (FILE -> *.metrics.json/.prom);
                    wall-clock lands only here, never in the summaries
+  --profile FILE   attach the phase profiler to every simulation and write the
+                   merged lbica-prof/v1 phase profile to FILE (self-time table
+                   on stderr); summaries stay byte-identical either way
   --trace-cell IDX after the sweep, re-run cell IDX with the trace ring attached
                    and write sweep_<matrix>.cell<IDX>.trace.json (Chrome/
                    Perfetto trace-event format) into --out
@@ -120,6 +135,7 @@ struct Options {
     out_dir: PathBuf,
     shard: Option<(usize, usize)>,
     telemetry: Option<PathBuf>,
+    profile: Option<PathBuf>,
     trace_cell: Option<usize>,
 }
 
@@ -169,6 +185,7 @@ fn parse_args() -> Result<Option<Options>, String> {
         out_dir: PathBuf::from("target/sweep"),
         shard: None,
         telemetry: None,
+        profile: None,
         trace_cell: None,
     };
     let mut args = env::args().skip(1);
@@ -193,6 +210,10 @@ fn parse_args() -> Result<Option<Options>, String> {
                 opts.telemetry =
                     Some(PathBuf::from(flag_value(&mut args, "--telemetry", "a file path")?));
             }
+            "--profile" => {
+                opts.profile =
+                    Some(PathBuf::from(flag_value(&mut args, "--profile", "a file path")?));
+            }
             "--trace-cell" => {
                 let idx = flag_value(&mut args, "--trace-cell", "a cell index")?;
                 opts.trace_cell =
@@ -214,6 +235,12 @@ fn parse_args() -> Result<Option<Options>, String> {
     if opts.trace_cell.is_some() && opts.shard.is_some() {
         return Err("--trace-cell cannot be combined with --shard \
                     (trace the cell from an unsharded run)"
+            .to_string());
+    }
+    if opts.profile.is_some() && opts.shard.is_some() {
+        return Err("--profile cannot be combined with --shard \
+                    (profile an unsharded run; per-shard profiles would cover \
+                    disjoint cell ranges)"
             .to_string());
     }
     Ok(Some(opts))
@@ -528,11 +555,28 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
     let fan = FanOut::new(&hooks);
 
     let started = Instant::now();
-    let summary = executor.aggregate_with_telemetry(&matrix, &opts.matrix, &fan);
+    let profile_fold = opts.profile.as_deref().map(|_| lbica_lab::ProfileFold::new());
+    let summary = match &profile_fold {
+        Some(fold) => executor.aggregate_profiled(&matrix, &opts.matrix, &fan, fold),
+        None => executor.aggregate_with_telemetry(&matrix, &opts.matrix, &fan),
+    };
     eprintln!("sweep finished in {:.2?}", started.elapsed());
     drop(hooks);
     if let Some(s) = sinks {
         s.finish()?;
+    }
+    if let (Some(fold), Some(path)) = (&profile_fold, opts.profile.as_deref()) {
+        let merged = fold.snapshot();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+        }
+        fs::write(path, merged.render_json(&opts.matrix))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprint!("{}", merged.render_table());
+        println!("wrote {}", path.display());
     }
 
     write_summary(&opts.out_dir, &opts.matrix, &summary)?;

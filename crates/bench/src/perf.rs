@@ -27,7 +27,7 @@ pub const SCHEMA: &str = "lbica-bench-sim/v2";
 /// Escapes a string for embedding in a JSON document (quotes, backslashes
 /// and control characters) — user-supplied labels must not be able to
 /// corrupt the emitted file.
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -229,7 +229,7 @@ const REQUIRED_KEYS: [&str; 11] = [
 /// emitter writes every top-level numeric field before any nested object
 /// repeating its key (the baseline's `serial_wall_us`, the scaling rows'
 /// `jobs`), so first occurrence == top-level value.
-fn extract_u64(text: &str, key: &str) -> Option<u64> {
+pub(crate) fn extract_u64(text: &str, key: &str) -> Option<u64> {
     let needle = format!("\"{key}\": ");
     let start = text.find(&needle)? + needle.len();
     let digits: String = text[start..].chars().take_while(char::is_ascii_digit).collect();

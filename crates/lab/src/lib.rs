@@ -60,6 +60,6 @@ pub use partial::{MergeError, MergedSweep, PartialError, PartialSweep, PARTIAL_S
 pub use scenario::{derive_seed, Scenario};
 pub use sink::{CsvSink, JsonSink};
 pub use telemetry::{
-    CellTelemetry, FanOut, JsonlTelemetry, MetricsFold, NullTelemetry, StderrProgress,
+    CellTelemetry, FanOut, JsonlTelemetry, MetricsFold, NullTelemetry, ProfileFold, StderrProgress,
     SweepTelemetry, TelemetryEvent, TelemetryHook,
 };

@@ -16,8 +16,18 @@ use crate::aggregate::{GroupStats, SweepSummary};
 ///
 /// Each row is one aggregation group tagged by `section`
 /// (`total` / `workload` / `controller` / `config`); workload rows
-/// additionally carry the LBICA-vs-WB delta columns, which are empty for
-/// the other sections.
+/// additionally carry the LBICA-vs-WB delta columns. Rows for which the
+/// delta is undefined carry an explicit `n/a` sentinel in both columns.
+///
+/// **Pairwise-delta limitation:** the delta columns compare exactly one
+/// controller pair — LBICA against the WB baseline, the paper's headline
+/// comparison — and are defined per *workload* group only. Any other row
+/// (total/controller/config sections, and workload groups whose cells do
+/// not contain both a LBICA and a WB run — e.g. a matrix whose controller
+/// axis is `LBICA-T` vs `WB`) renders `n/a`. Generalizing to arbitrary
+/// controller pairs is a tracked ROADMAP item ("Pairwise controller
+/// deltas + a controller bake-off framework"); until it lands, `n/a`
+/// distinguishes "no delta defined here" from a delta of zero.
 #[derive(Debug, Clone, Copy)]
 pub struct CsvSink;
 
@@ -79,7 +89,10 @@ impl CsvSink {
                 let _ = writeln!(out, ",{load:.3},{latency:.3}");
             }
             None => {
-                let _ = writeln!(out, ",,");
+                // Explicit sentinel, not empty cells: consumers can tell
+                // "no LBICA-vs-WB delta defined for this row" apart from
+                // a blank field (see the pairwise-delta limitation above).
+                let _ = writeln!(out, ",n/a,n/a");
             }
         }
     }
@@ -200,11 +213,11 @@ mod tests {
         for column in ["avg_p50_latency_us", "avg_p95_latency_us", "avg_p99_latency_us"] {
             assert!(header.contains(column), "missing column {column}");
         }
-        // Workload rows carry delta columns; the total row leaves them empty.
+        // Workload rows carry delta columns; the total row marks them n/a.
         let total_row = csv.lines().nth(1).unwrap();
-        assert!(total_row.ends_with(",,"));
+        assert!(total_row.ends_with(",n/a,n/a"));
         let workload_row = csv.lines().find(|l| l.starts_with("workload,")).unwrap();
-        assert!(!workload_row.ends_with(",,"));
+        assert!(!workload_row.ends_with(",n/a,n/a"));
         // Every row has the same column count as the header.
         let columns = csv.lines().next().unwrap().split(',').count();
         for line in csv.lines() {

@@ -1,0 +1,333 @@
+//! The deterministic phase profiler: where does *wall* time go, per
+//! subsystem?
+//!
+//! The paper's whole argument rests on attributing time to the right
+//! bottleneck (cache vs. disk queues); this module makes the same
+//! attribution about the reproduction itself. The simulator's hot loop is
+//! carved into a fixed vocabulary of [`Phase`]s, and a [`PhaseSink`]
+//! threaded through the loop accumulates monotonic-clock deltas and call
+//! counts per phase — index-addressed arrays, zero allocation, no locking.
+//!
+//! Two implementations exist:
+//!
+//! - [`NoProf`], a zero-sized sink whose methods are empty `#[inline]`
+//!   bodies. The unprofiled monomorphization of the hot loop compiles to
+//!   exactly the code it had before profiling existed.
+//! - [`PhaseProfiler`], which stamps [`std::time::Instant`] marks and
+//!   accumulates `[u64; PHASE_COUNT]` totals. It follows the same
+//!   write-only pattern as [`crate::SimObserver`]: it records, it never
+//!   steers, and the determinism contract guarantees a profiled run's
+//!   report is byte-identical to an unprofiled one.
+//!
+//! Profiles from different workers [`merge`](PhaseProfiler::merge)
+//! commutatively (plain per-phase adds), the same fold contract the lab's
+//! `MetricsFold` obeys — so a parallel sweep's aggregate profile is
+//! order-independent even though the numbers themselves are wall-clock.
+//! Rendered documents carry the [`PROF_SCHEMA`] marker; wall time lives
+//! only in these artifacts, never in simulator reports.
+
+use std::time::Instant;
+
+/// Schema identifier stamped into rendered profile documents.
+pub const PROF_SCHEMA: &str = "lbica-prof/v1";
+
+/// Number of phases in the fixed vocabulary.
+pub const PHASE_COUNT: usize = 7;
+
+/// One subsystem of the simulator hot loop, as carved up for attribution.
+///
+/// The discriminants are array indices into the profiler's accumulators;
+/// the order is fixed and documents render phases in this order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// Popping events off the queue and feeding interval arrivals in.
+    EventQueue = 0,
+    /// The cache module's datapath decision (`access_into`).
+    CacheMap = 1,
+    /// Device stations: enqueue fan-out, dispatch, completion bookkeeping.
+    DeviceModel = 2,
+    /// The per-interval controller consult and its bypass application.
+    Controller = 3,
+    /// Committing deferred promotion/demotion moves (tiered runs only).
+    TierMovement = 4,
+    /// Application request tracking (register / complete).
+    Tracker = 5,
+    /// Interval measurement gathering and final report assembly.
+    Report = 6,
+}
+
+impl Phase {
+    /// Every phase, in rendering order.
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::EventQueue,
+        Phase::CacheMap,
+        Phase::DeviceModel,
+        Phase::Controller,
+        Phase::TierMovement,
+        Phase::Tracker,
+        Phase::Report,
+    ];
+
+    /// The accumulator index of this phase.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The snake_case name used in documents and tables.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Phase::EventQueue => "event_queue",
+            Phase::CacheMap => "cache_map",
+            Phase::DeviceModel => "device_model",
+            Phase::Controller => "controller",
+            Phase::TierMovement => "tier_movement",
+            Phase::Tracker => "tracker",
+            Phase::Report => "report",
+        }
+    }
+}
+
+/// The instrumentation point the simulator hot loop writes to.
+///
+/// `mark()` opens a region, `record(phase, mark)` closes it and attributes
+/// the elapsed time. The associated `Mark` type lets [`NoProf`] use `()` —
+/// no clock is read at all when profiling is off.
+pub trait PhaseSink {
+    /// An opaque begin-of-region stamp.
+    type Mark: Copy;
+
+    /// Opens a timed region.
+    fn mark(&mut self) -> Self::Mark;
+
+    /// Closes the region opened at `mark`, attributing it to `phase`.
+    fn record(&mut self, phase: Phase, mark: Self::Mark);
+}
+
+/// The profiler-off sink: zero-sized, every method an empty inline body.
+///
+/// The hot loop is generic over [`PhaseSink`]; its `NoProf`
+/// monomorphization is the code the simulator had before profiling
+/// existed, so the unprofiled path pays nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoProf;
+
+impl PhaseSink for NoProf {
+    type Mark = ();
+
+    #[inline(always)]
+    fn mark(&mut self) -> Self::Mark {}
+
+    #[inline(always)]
+    fn record(&mut self, _phase: Phase, _mark: Self::Mark) {}
+}
+
+/// Accumulated wall-time and call counts per [`Phase`].
+///
+/// Attach one to a run via `Simulation::with_profiler`, or let the lab
+/// fold per-worker profilers into one (`ProfileFold`). Totals add
+/// commutatively, so the merged profile of a parallel sweep is independent
+/// of worker count and claim order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseProfiler {
+    total_ns: [u64; PHASE_COUNT],
+    calls: [u64; PHASE_COUNT],
+}
+
+impl PhaseProfiler {
+    /// A profiler with all accumulators zeroed.
+    pub fn new() -> Self {
+        PhaseProfiler::default()
+    }
+
+    /// Total nanoseconds attributed to `phase`.
+    pub const fn total_ns(&self, phase: Phase) -> u64 {
+        self.total_ns[phase.index()]
+    }
+
+    /// Number of regions recorded against `phase`.
+    pub const fn calls(&self, phase: Phase) -> u64 {
+        self.calls[phase.index()]
+    }
+
+    /// Nanoseconds attributed across all phases.
+    pub fn grand_total_ns(&self) -> u64 {
+        self.total_ns.iter().sum()
+    }
+
+    /// Regions recorded across all phases.
+    pub fn grand_total_calls(&self) -> u64 {
+        self.calls.iter().sum()
+    }
+
+    /// Folds `other`'s accumulators into this profiler. Plain per-phase
+    /// adds: commutative and associative, so any fold order yields the
+    /// same aggregate (the `MetricsFold` contract).
+    pub fn merge(&mut self, other: &PhaseProfiler) {
+        for i in 0..PHASE_COUNT {
+            self.total_ns[i] += other.total_ns[i];
+            self.calls[i] += other.calls[i];
+        }
+    }
+
+    /// Renders the [`PROF_SCHEMA`] JSON document. The *structure* is fully
+    /// deterministic — fixed phase order, every phase always present — only
+    /// the measured values vary run to run.
+    pub fn render_json(&self, label: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(1024);
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"{PROF_SCHEMA}\",");
+        let _ = writeln!(out, "  \"label\": \"{}\",", crate::escape::json(label));
+        let _ = writeln!(out, "  \"total_ns\": {},", self.grand_total_ns());
+        let _ = writeln!(out, "  \"total_calls\": {},", self.grand_total_calls());
+        let _ = writeln!(out, "  \"phases\": [");
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            let total = self.total_ns(*phase);
+            let calls = self.calls(*phase);
+            let mean = if calls == 0 { 0.0 } else { total as f64 / calls as f64 };
+            let comma = if i + 1 < PHASE_COUNT { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"phase\": \"{}\", \"total_ns\": {}, \"calls\": {}, \"mean_ns\": {:.1}}}{}",
+                phase.name(),
+                total,
+                calls,
+                mean,
+                comma
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Renders the human-readable self-time table (for stderr), phases
+    /// sorted by total time descending.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write;
+        let grand = self.grand_total_ns();
+        let mut rows: Vec<Phase> = Phase::ALL.to_vec();
+        // Stable sort + fixed tie-break on the enum order keeps the table
+        // deterministic even when two phases measure identically.
+        rows.sort_by_key(|p| std::cmp::Reverse(self.total_ns(*p)));
+        let mut out = String::with_capacity(640);
+        let _ = writeln!(
+            out,
+            "{:<14} {:>12} {:>12} {:>12} {:>7}",
+            "phase", "total_ms", "calls", "mean_ns", "share"
+        );
+        for phase in rows {
+            let total = self.total_ns(phase);
+            let calls = self.calls(phase);
+            let mean = if calls == 0 { 0.0 } else { total as f64 / calls as f64 };
+            let share = if grand == 0 { 0.0 } else { 100.0 * total as f64 / grand as f64 };
+            let _ = writeln!(
+                out,
+                "{:<14} {:>12.3} {:>12} {:>12.1} {:>6.1}%",
+                phase.name(),
+                total as f64 / 1e6,
+                calls,
+                mean,
+                share
+            );
+        }
+        out
+    }
+}
+
+impl PhaseSink for PhaseProfiler {
+    type Mark = Instant;
+
+    #[inline]
+    fn mark(&mut self) -> Self::Mark {
+        Instant::now()
+    }
+
+    #[inline]
+    fn record(&mut self, phase: Phase, mark: Self::Mark) {
+        let i = phase.index();
+        self.total_ns[i] += mark.elapsed().as_nanos() as u64;
+        self.calls[i] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_indices_match_rendering_order() {
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            assert_eq!(phase.index(), i);
+        }
+    }
+
+    #[test]
+    fn recording_accumulates_time_and_calls() {
+        let mut prof = PhaseProfiler::new();
+        for _ in 0..3 {
+            let mark = prof.mark();
+            prof.record(Phase::CacheMap, mark);
+        }
+        assert_eq!(prof.calls(Phase::CacheMap), 3);
+        assert_eq!(prof.calls(Phase::Report), 0);
+        assert_eq!(prof.grand_total_calls(), 3);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = PhaseProfiler::new();
+        let mut b = PhaseProfiler::new();
+        a.total_ns[0] = 100;
+        a.calls[0] = 2;
+        b.total_ns[0] = 50;
+        b.calls[0] = 1;
+        b.total_ns[6] = 7;
+        b.calls[6] = 7;
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total_ns(Phase::EventQueue), 150);
+        assert_eq!(ab.calls(Phase::EventQueue), 3);
+        assert_eq!(ab.calls(Phase::Report), 7);
+    }
+
+    #[test]
+    fn json_document_carries_schema_and_every_phase() {
+        let mut prof = PhaseProfiler::new();
+        let mark = prof.mark();
+        prof.record(Phase::DeviceModel, mark);
+        let doc = prof.render_json("tiny");
+        assert!(doc.contains("\"schema\": \"lbica-prof/v1\""));
+        assert!(doc.contains("\"label\": \"tiny\""));
+        for phase in Phase::ALL {
+            assert!(doc.contains(&format!("\"phase\": \"{}\"", phase.name())));
+        }
+        assert_eq!(doc.matches("\"phase\":").count(), PHASE_COUNT);
+    }
+
+    #[test]
+    fn table_sorts_by_self_time_descending() {
+        let mut prof = PhaseProfiler::new();
+        prof.total_ns[Phase::Report.index()] = 10;
+        prof.calls[Phase::Report.index()] = 1;
+        prof.total_ns[Phase::CacheMap.index()] = 1000;
+        prof.calls[Phase::CacheMap.index()] = 4;
+        let table = prof.render_table();
+        let cache_at = table.find("cache_map").expect("cache_map row");
+        let report_at = table.find("report").expect("report row");
+        assert!(cache_at < report_at, "the hotter phase renders first");
+    }
+
+    #[test]
+    fn noprof_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<NoProf>(), 0);
+        let mut sink = NoProf;
+        #[allow(clippy::let_unit_value)]
+        let mark = sink.mark();
+        sink.record(Phase::EventQueue, mark);
+    }
+}

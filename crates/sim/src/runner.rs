@@ -1,6 +1,6 @@
 //! The per-workload simulation driver.
 
-use lbica_obs::{QueueTier, SimObserver};
+use lbica_obs::{NoProf, Phase, PhaseProfiler, PhaseSink, QueueTier, SimObserver};
 use lbica_trace::workload::WorkloadSpec;
 
 use crate::arena::SimArena;
@@ -25,13 +25,14 @@ pub struct Simulation {
     seed: u64,
     drain_at_end: bool,
     observer: Option<SimObserver>,
+    profiler: Option<PhaseProfiler>,
 }
 
 impl Simulation {
     /// Creates a simulation of `spec` with the given configuration and
     /// random seed.
     pub fn new(config: SimulationConfig, spec: WorkloadSpec, seed: u64) -> Self {
-        Simulation { config, spec, seed, drain_at_end: true, observer: None }
+        Simulation { config, spec, seed, drain_at_end: true, observer: None, profiler: None }
     }
 
     /// Disables draining outstanding requests after the last interval
@@ -56,6 +57,23 @@ impl Simulation {
     /// if one was attached.
     pub fn take_observer(&mut self) -> Option<SimObserver> {
         self.observer.take()
+    }
+
+    /// Attaches a phase profiler that attributes the run's *wall* time to
+    /// the hot loop's subsystems (builder style). Like the observer, the
+    /// profiler is write-only: a profiled run's report is byte-identical
+    /// to an unprofiled one, and with no profiler attached the loop runs
+    /// its [`lbica_obs::NoProf`] monomorphization — the exact pre-profiler
+    /// code, zero instrumentation cost.
+    pub fn with_profiler(mut self, profiler: PhaseProfiler) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// Detaches and returns the profiler (with the run's accumulated
+    /// phase totals), if one was attached.
+    pub fn take_profiler(&mut self) -> Option<PhaseProfiler> {
+        self.profiler.take()
     }
 
     /// The workload being simulated.
@@ -91,9 +109,38 @@ impl Simulation {
         controller: &mut dyn CacheController,
         arena: &mut SimArena,
     ) -> SimulationReport {
-        if self.config.is_tiered() {
-            return self.run_tiered(controller, arena);
+        // The profiler is threaded as a generic PhaseSink so the
+        // no-profiler path monomorphizes to the uninstrumented loop; it is
+        // taken out of `self` for the duration of the run and restored
+        // afterwards (mirroring how callers retrieve it via
+        // `take_profiler`).
+        match self.profiler.take() {
+            Some(mut prof) => {
+                let report = if self.config.is_tiered() {
+                    self.run_tiered(controller, arena, &mut prof)
+                } else {
+                    self.run_flat(controller, arena, &mut prof)
+                };
+                self.profiler = Some(prof);
+                report
+            }
+            None => {
+                if self.config.is_tiered() {
+                    self.run_tiered(controller, arena, &mut NoProf)
+                } else {
+                    self.run_flat(controller, arena, &mut NoProf)
+                }
+            }
         }
+    }
+
+    /// The flat-datapath interval loop (see [`Simulation::run_in`]).
+    fn run_flat<P: PhaseSink>(
+        &mut self,
+        controller: &mut dyn CacheController,
+        arena: &mut SimArena,
+        prof: &mut P,
+    ) -> SimulationReport {
         let mut system = arena.take_flat(&self.config);
         system.set_policy(controller.initial_policy());
 
@@ -109,16 +156,21 @@ impl Simulation {
         for index in 0..total_intervals {
             // 1. Feed the interval's arrivals and run the event loop to the
             //    interval boundary.
+            let mark = prof.mark();
             for record in self.spec.generate_interval(index, self.seed) {
                 system.schedule_record(&record);
             }
+            prof.record(Phase::EventQueue, mark);
             let boundary = SimTime::from_micros((index as u64 + 1) * interval_us);
-            system.run_until(boundary);
+            system.run_until_with(boundary, prof);
 
             // 2. Gather the iostat/blktrace measurements for the interval.
+            let mark = prof.mark();
             let mut report = system.end_interval(index);
+            prof.record(Phase::Report, mark);
 
             // 3. Consult the controller and apply its decision.
+            let mark = prof.mark();
             let decision = {
                 let ctx = ControllerContext {
                     interval_index: index,
@@ -147,6 +199,7 @@ impl Simulation {
             }
             let moved = system.apply_bypass(&decision.bypass) as u64;
             bypassed_total += moved;
+            prof.record(Phase::Controller, mark);
 
             // Out-of-band observability: reads interval measurements, never
             // feeds anything back into the system or the report.
@@ -189,7 +242,7 @@ impl Simulation {
             // cover the whole workload. 600 × 100 ms = 60 simulated seconds,
             // a hard cap: a backlog the system cannot clear in that window
             // is truncated rather than chased forever.
-            system.drain(600);
+            system.drain_with(600, prof);
         }
 
         if let Some(obs) = self.observer.as_mut() {
@@ -202,6 +255,7 @@ impl Simulation {
             obs.observe_app_latency(system.app_latency_histogram());
         }
 
+        let mark = prof.mark();
         let report = SimulationReport {
             workload: self.spec.name().to_string(),
             controller: controller.name().to_string(),
@@ -222,6 +276,7 @@ impl Simulation {
             },
             tier_stats: Vec::new(),
         };
+        prof.record(Phase::Report, mark);
         arena.store_flat(self.config, system);
         report
     }
@@ -234,12 +289,15 @@ impl Simulation {
     /// The loop is deliberately duplicated rather than abstracted over the
     /// two system types: the flat path is pinned bit-identical to the seed
     /// by the figure characterization tests, and keeping it monomorphic and
-    /// untouched is the cheapest way to guarantee that. Changes to the
-    /// interval protocol must be applied to both loops.
-    fn run_tiered(
+    /// untouched is the cheapest way to guarantee that. (Both loops are
+    /// generic over the [`PhaseSink`] only — the `NoProf` instantiation
+    /// compiles to the uninstrumented loop.) Changes to the interval
+    /// protocol must be applied to both loops.
+    fn run_tiered<P: PhaseSink>(
         &mut self,
         controller: &mut dyn CacheController,
         arena: &mut SimArena,
+        prof: &mut P,
     ) -> SimulationReport {
         let mut system = arena.take_tiered(&self.config);
         // On an explicitly per-tier topology `set_policy` drives the hot
@@ -260,15 +318,20 @@ impl Simulation {
         let mut observed_moves = (0u64, 0u64);
 
         for index in 0..total_intervals {
+            let mark = prof.mark();
             for record in self.spec.generate_interval(index, self.seed) {
                 system.schedule_record(&record);
             }
+            prof.record(Phase::EventQueue, mark);
             let boundary = SimTime::from_micros((index as u64 + 1) * interval_us);
-            system.run_until(boundary);
+            system.run_until_with(boundary, prof);
 
-            let mut report = system.end_interval(index);
+            let mut report = system.end_interval_with(index, prof);
+            let mark = prof.mark();
             system.tier_loads_into(&mut tier_loads);
+            prof.record(Phase::Report, mark);
 
+            let mark = prof.mark();
             let decision = {
                 let ctx = ControllerContext {
                     interval_index: index,
@@ -320,6 +383,7 @@ impl Simulation {
             let spill_writes = system.spilled_requests() - spilled_writes_before;
             let spill_reads = system.spilled_reads() - spilled_reads_before;
             bypassed_total += moved - (spill_writes + spill_reads);
+            prof.record(Phase::Controller, mark);
 
             // Out-of-band observability, mirroring the flat loop plus the
             // tier-movement events only this datapath can produce.
@@ -365,7 +429,7 @@ impl Simulation {
         }
 
         if self.drain_at_end {
-            system.drain(600);
+            system.drain_with(600, prof);
         }
 
         if let Some(obs) = self.observer.as_mut() {
@@ -381,6 +445,7 @@ impl Simulation {
         // The headline cache stats stay hot-tier shaped (hit/miss/bypass of
         // the level every application request is judged against); the full
         // per-level breakdown rides in `tier_stats`.
+        let mark = prof.mark();
         let report = SimulationReport {
             workload: self.spec.name().to_string(),
             controller: controller.name().to_string(),
@@ -401,6 +466,7 @@ impl Simulation {
             },
             tier_stats: system.tier_level_stats(),
         };
+        prof.record(Phase::Report, mark);
         arena.store_tiered(self.config, system);
         report
     }
@@ -583,6 +649,37 @@ mod tests {
                 .find(|c| c.name == "lbica_sim_events_processed_total")
                 .expect("events counter registered");
             assert_eq!(events.value, plain.perf.events_processed);
+        }
+    }
+
+    #[test]
+    fn profiled_runs_produce_identical_reports_to_unprofiled_ones() {
+        use lbica_obs::{Phase, PhaseProfiler};
+        for config in [SimulationConfig::tiny(), SimulationConfig::tiny_two_tier()] {
+            let spec = WorkloadSpec::tpcc_scaled(WorkloadScale::tiny());
+            let plain = Simulation::new(config, spec.clone(), 11)
+                .run(&mut StaticPolicyController::write_back());
+            let mut profiled =
+                Simulation::new(config, spec, 11).with_profiler(PhaseProfiler::new());
+            let report = profiled.run(&mut StaticPolicyController::write_back());
+            assert_eq!(plain, report, "profiler must not perturb the report");
+
+            let prof = profiled.take_profiler().expect("profiler attached");
+            assert!(profiled.take_profiler().is_none());
+            // Every event pops through the EventQueue phase, plus one feed
+            // region per interval.
+            assert!(
+                prof.calls(Phase::EventQueue) > plain.perf.events_processed,
+                "event-queue regions cover every pop"
+            );
+            assert!(prof.calls(Phase::CacheMap) > 0);
+            assert_eq!(prof.calls(Phase::Controller), plain.intervals.len() as u64);
+            if config.is_tiered() {
+                assert_eq!(prof.calls(Phase::TierMovement), plain.intervals.len() as u64);
+            } else {
+                assert_eq!(prof.calls(Phase::TierMovement), 0, "flat runs never move tiers");
+            }
+            assert!(prof.calls(Phase::Report) > plain.intervals.len() as u64);
         }
     }
 

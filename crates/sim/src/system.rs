@@ -1,6 +1,7 @@
 //! The simulated storage system: cache module + two device stations.
 
 use lbica_cache::{CacheModule, CacheOutcome, TargetDevice, WritePolicy};
+use lbica_obs::{NoProf, Phase, PhaseSink};
 use lbica_storage::device::{AnyDeviceModel, DeviceModel, HddModel, SsdModel};
 use lbica_storage::queue::DeviceQueue;
 use lbica_storage::request::{IoRequest, RequestClass, RequestId, RequestOrigin};
@@ -244,12 +245,27 @@ impl StorageSystem {
     /// Runs the event loop until every event at or before `limit` has been
     /// processed, then advances the clock to `limit`.
     pub fn run_until(&mut self, limit: SimTime) {
-        while let Some(event) = self.events.pop_until(limit) {
+        self.run_until_with(limit, &mut NoProf);
+    }
+
+    /// [`StorageSystem::run_until`] with a [`PhaseSink`] attributing wall
+    /// time to the hot loop's phases. The [`NoProf`] monomorphization is
+    /// the unprofiled loop exactly — every sink call inlines to nothing —
+    /// and a real profiler never feeds anything back, so the simulation is
+    /// byte-identical either way.
+    pub fn run_until_with<P: PhaseSink>(&mut self, limit: SimTime, prof: &mut P) {
+        loop {
+            let mark = prof.mark();
+            let popped = self.events.pop_until(limit);
+            prof.record(Phase::EventQueue, mark);
+            let Some(event) = popped else { break };
             self.clock = event.time;
             self.events_processed += 1;
             match event.kind {
-                EventKind::Arrival(request) => self.handle_arrival(request),
-                EventKind::Completion { tier, request } => self.handle_completion(tier, request),
+                EventKind::Arrival(request) => self.handle_arrival(request, prof),
+                EventKind::Completion { tier, request } => {
+                    self.handle_completion(tier, request, prof)
+                }
                 EventKind::LevelCompletion { .. } => {
                     unreachable!("the flat storage system schedules no tiered-level completions")
                 }
@@ -258,17 +274,23 @@ impl StorageSystem {
         self.clock = limit;
     }
 
-    fn handle_arrival(&mut self, request: IoRequest) {
+    fn handle_arrival<P: PhaseSink>(&mut self, request: IoRequest, prof: &mut P) {
         let now = self.clock;
         // Temporarily take the scratch buffer so the cache can fill it
         // while `self` stays borrowable for the enqueue fan-out.
         let mut outcome = std::mem::take(&mut self.outcome_scratch);
+        let mark = prof.mark();
         self.cache.access_into(&request, &mut outcome);
+        prof.record(Phase::CacheMap, mark);
         let datapath_ops =
             outcome.ops().iter().filter(|op| op.origin == RequestOrigin::Application).count()
                 as u32;
+        let mark = prof.mark();
         self.app.register(request.id(), now, datapath_ops);
+        prof.record(Phase::Tracker, mark);
+        let mark = prof.mark();
         self.enqueue_outcome(request.id(), &outcome, now);
+        prof.record(Phase::DeviceModel, mark);
         self.outcome_scratch = outcome;
     }
 
@@ -336,20 +358,26 @@ impl StorageSystem {
         }
     }
 
-    fn handle_completion(&mut self, tier: TierId, request: IoRequest) {
+    fn handle_completion<P: PhaseSink>(&mut self, tier: TierId, request: IoRequest, prof: &mut P) {
         let now = self.clock;
+        let mark = prof.mark();
         {
             let station = self.station_mut(tier);
             station.in_service -= 1;
         }
         let latency = request.latency().map(|d| d.as_micros()).unwrap_or_default();
         self.iostat.record_completion(tier.monitor_tier(), latency);
+        prof.record(Phase::DeviceModel, mark);
         if request.origin() == RequestOrigin::Application {
             if let Some(parent) = request.parent() {
+                let mark = prof.mark();
                 self.app.complete_op(parent, now);
+                prof.record(Phase::Tracker, mark);
             }
         }
+        let mark = prof.mark();
         self.try_dispatch(tier);
+        prof.record(Phase::DeviceModel, mark);
     }
 
     /// Closes monitoring interval `index`, returning its report (queue
@@ -453,6 +481,12 @@ impl StorageSystem {
     /// a hard cap that bounds the wall-clock cost of a pathological
     /// backlog. Returns `true` if the system fully drained.
     pub fn drain(&mut self, max_steps: u32) -> bool {
+        self.drain_with(max_steps, &mut NoProf)
+    }
+
+    /// [`StorageSystem::drain`] with phase attribution (see
+    /// [`StorageSystem::run_until_with`]).
+    pub fn drain_with<P: PhaseSink>(&mut self, max_steps: u32, prof: &mut P) -> bool {
         let step = SimDuration::from_millis(100);
         let mut steps = 0;
         while self.pending_events() > 0 {
@@ -460,7 +494,7 @@ impl StorageSystem {
                 return false;
             }
             let boundary = self.now() + step;
-            self.run_until(boundary);
+            self.run_until_with(boundary, prof);
             steps += 1;
         }
         true

@@ -9,6 +9,7 @@
 //! here only when the configuration describes two or more levels.
 
 use lbica_cache::WritePolicy;
+use lbica_obs::{NoProf, Phase, PhaseSink};
 use lbica_storage::device::{AnyDeviceModel, DeviceModel, HddModel, SsdModel};
 use lbica_storage::queue::DeviceQueue;
 use lbica_storage::request::{IoRequest, RequestClass, RequestId, RequestOrigin};
@@ -215,16 +216,27 @@ impl TieredStorageSystem {
     /// Runs the event loop until every event at or before `limit` has been
     /// processed, then advances the clock to `limit`.
     pub fn run_until(&mut self, limit: SimTime) {
-        while let Some(event) = self.events.pop_until(limit) {
+        self.run_until_with(limit, &mut NoProf);
+    }
+
+    /// [`TieredStorageSystem::run_until`] with a [`PhaseSink`] attributing
+    /// wall time to the hot loop's phases (see
+    /// [`crate::StorageSystem::run_until_with`] for the contract).
+    pub fn run_until_with<P: PhaseSink>(&mut self, limit: SimTime, prof: &mut P) {
+        loop {
+            let mark = prof.mark();
+            let popped = self.events.pop_until(limit);
+            prof.record(Phase::EventQueue, mark);
+            let Some(event) = popped else { break };
             self.clock = event.time;
             self.events_processed += 1;
             match event.kind {
-                EventKind::Arrival(request) => self.handle_arrival(request),
+                EventKind::Arrival(request) => self.handle_arrival(request, prof),
                 EventKind::LevelCompletion { level, request } => {
-                    self.handle_level_completion(level, request)
+                    self.handle_level_completion(level, request, prof)
                 }
                 EventKind::Completion { tier: TierId::Disk, request } => {
-                    self.handle_disk_completion(request)
+                    self.handle_disk_completion(request, prof)
                 }
                 EventKind::Completion { tier: TierId::Ssd, .. } => {
                     unreachable!("the tiered system addresses cache levels by index")
@@ -234,15 +246,21 @@ impl TieredStorageSystem {
         self.clock = limit;
     }
 
-    fn handle_arrival(&mut self, request: IoRequest) {
+    fn handle_arrival<P: PhaseSink>(&mut self, request: IoRequest, prof: &mut P) {
         let now = self.clock;
         let mut outcome = std::mem::take(&mut self.outcome_scratch);
+        let mark = prof.mark();
         self.cache.access_into(&request, &mut outcome);
+        prof.record(Phase::CacheMap, mark);
         let datapath_ops =
             outcome.ops().iter().filter(|op| op.origin == RequestOrigin::Application).count()
                 as u32;
+        let mark = prof.mark();
         self.app.register(request.id(), now, datapath_ops);
+        prof.record(Phase::Tracker, mark);
+        let mark = prof.mark();
         self.enqueue_outcome(request.id(), &outcome, now);
+        prof.record(Phase::DeviceModel, mark);
         self.outcome_scratch = outcome;
     }
 
@@ -331,8 +349,14 @@ impl TieredStorageSystem {
         }
     }
 
-    fn handle_level_completion(&mut self, level: usize, request: IoRequest) {
+    fn handle_level_completion<P: PhaseSink>(
+        &mut self,
+        level: usize,
+        request: IoRequest,
+        prof: &mut P,
+    ) {
         let now = self.clock;
+        let mark = prof.mark();
         self.levels[level].in_service -= 1;
         let latency = request.latency().map(|d| d.as_micros()).unwrap_or_default();
         self.iostat.record_completion(Tier::Cache, latency);
@@ -340,42 +364,68 @@ impl TieredStorageSystem {
         counters.completed += 1;
         counters.total_latency_us += latency;
         counters.max_latency_us = counters.max_latency_us.max(latency);
+        prof.record(Phase::DeviceModel, mark);
         if request.origin() == RequestOrigin::Application {
             if let Some(parent) = request.parent() {
+                let mark = prof.mark();
                 self.app.complete_op(parent, now);
+                prof.record(Phase::Tracker, mark);
             }
         }
+        let mark = prof.mark();
         self.try_dispatch_level(level);
+        prof.record(Phase::DeviceModel, mark);
     }
 
-    fn handle_disk_completion(&mut self, request: IoRequest) {
+    fn handle_disk_completion<P: PhaseSink>(&mut self, request: IoRequest, prof: &mut P) {
         let now = self.clock;
+        let mark = prof.mark();
         self.disk.in_service -= 1;
         let latency = request.latency().map(|d| d.as_micros()).unwrap_or_default();
         self.iostat.record_completion(Tier::Disk, latency);
+        prof.record(Phase::DeviceModel, mark);
         if request.origin() == RequestOrigin::Application {
             if let Some(parent) = request.parent() {
+                let mark = prof.mark();
                 self.app.complete_op(parent, now);
+                prof.record(Phase::Tracker, mark);
             }
         }
+        let mark = prof.mark();
         self.try_dispatch_disk();
+        prof.record(Phase::DeviceModel, mark);
     }
 
     /// Closes monitoring interval `index`, returning its report. The cache
     /// tier aggregates every level's completions; the queue depth reported
     /// is the *hot tier's* (the signal the paper's detector watches).
     pub fn end_interval(&mut self, index: u32) -> lbica_trace::monitor::IntervalReport {
+        self.end_interval_with(index, &mut NoProf)
+    }
+
+    /// [`TieredStorageSystem::end_interval`] with phase attribution: the
+    /// deferred tier-movement commit lands in [`Phase::TierMovement`], the
+    /// measurement gathering in [`Phase::Report`].
+    pub fn end_interval_with<P: PhaseSink>(
+        &mut self,
+        index: u32,
+        prof: &mut P,
+    ) -> lbica_trace::monitor::IntervalReport {
         // Fold the interval's deferred tier-movement deltas into the base
         // counters in one pass. Observationally invisible —
         // `TieredCacheModule::movement` always reports base + pending — but
         // it keeps the deferred buffer's folding cost off the per-event path
         // and bounds it to one add per level per interval.
+        let mark = prof.mark();
         self.cache.commit_moves();
+        prof.record(Phase::TierMovement, mark);
+        let mark = prof.mark();
         let cache_depth = self.levels[0].outstanding();
         let disk_depth = self.disk.outstanding();
         let mut report = self.iostat.finish_interval(index, cache_depth, disk_depth);
         report.cache_queue_mix = self.probe.take();
         report.policy_label = self.cache.policy().label().to_string();
+        prof.record(Phase::Report, mark);
         report
     }
 
@@ -544,6 +594,12 @@ impl TieredStorageSystem {
     /// Drains outstanding work in fixed 100 ms steps, bounded by
     /// `max_steps`; returns `true` if the system fully drained.
     pub fn drain(&mut self, max_steps: u32) -> bool {
+        self.drain_with(max_steps, &mut NoProf)
+    }
+
+    /// [`TieredStorageSystem::drain`] with phase attribution (see
+    /// [`TieredStorageSystem::run_until_with`]).
+    pub fn drain_with<P: PhaseSink>(&mut self, max_steps: u32, prof: &mut P) -> bool {
         let step = SimDuration::from_millis(100);
         let mut steps = 0;
         while self.pending_events() > 0 {
@@ -551,7 +607,7 @@ impl TieredStorageSystem {
                 return false;
             }
             let boundary = self.now() + step;
-            self.run_until(boundary);
+            self.run_until_with(boundary, prof);
             steps += 1;
         }
         true

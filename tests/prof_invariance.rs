@@ -1,0 +1,107 @@
+//! Determinism contract, layer 7: profiling invariance.
+//!
+//! Attaching the phase profiler must not perturb a single byte of any
+//! deterministic artifact — sweep summaries (CSV and JSON), the pinned
+//! figure CSVs, and the pinned paper-cell Chrome trace — at any worker
+//! count. The profiler is write-only: marks are taken around phases and
+//! folded into wall-clock accumulators, and nothing flows back into the
+//! simulation. These tests enforce that contract the same way layers 1–6
+//! are enforced: byte-for-byte equality.
+
+use proptest::prelude::*;
+
+use lbica::lab::{
+    CsvSink, JsonSink, NullTelemetry, ProfileFold, ScenarioMatrix, SweepExecutor, SweepSummary,
+};
+use lbica::obs::{Phase, PhaseProfiler, SimObserver};
+use lbica::sim::{SimArena, SimulationConfig};
+use lbica::trace::workload::WorkloadScale;
+
+/// Runs `matrix` with the profiler folded across workers, returning the
+/// summary and the merged profile.
+fn profiled_summary(matrix: &ScenarioMatrix, jobs: usize) -> (SweepSummary, PhaseProfiler) {
+    let fold = ProfileFold::new();
+    let summary =
+        SweepExecutor::new(jobs).aggregate_profiled(matrix, "invariance", &NullTelemetry, &fold);
+    (summary, fold.snapshot())
+}
+
+#[test]
+fn sweep_summaries_are_profiling_invariant_at_any_worker_count() {
+    let matrix = ScenarioMatrix::smoke();
+    let plain = SweepExecutor::serial().aggregate(&matrix);
+    for jobs in [1, 8] {
+        let (profiled, profile) = profiled_summary(&matrix, jobs);
+        assert_eq!(
+            CsvSink::render(&plain),
+            CsvSink::render(&profiled),
+            "CSV summary drifted with profiling at jobs={jobs}"
+        );
+        assert_eq!(
+            JsonSink::render(&plain),
+            JsonSink::render(&profiled),
+            "JSON summary drifted with profiling at jobs={jobs}"
+        );
+        // The profiler did observe the sweep it rode along with.
+        assert!(profile.grand_total_calls() > 0, "profile is empty at jobs={jobs}");
+        assert!(profile.calls(Phase::EventQueue) > 0);
+    }
+}
+
+#[test]
+fn pinned_figure_csvs_regenerate_identically_under_profiling() {
+    for (matrix, pinned, name) in [
+        (
+            ScenarioMatrix::tier_policy(),
+            include_str!("../figures/sweep_tier_policy.csv"),
+            "sweep_tier_policy.csv",
+        ),
+        (
+            ScenarioMatrix::inclusion(),
+            include_str!("../figures/sweep_inclusion.csv"),
+            "sweep_inclusion.csv",
+        ),
+    ] {
+        let (profiled, profile) = profiled_summary(&matrix, 8);
+        assert_eq!(
+            CsvSink::render(&profiled),
+            pinned,
+            "figures/{name} no longer regenerates byte-for-byte with the profiler attached"
+        );
+        // Both figure matrices are tiered, so tier movement was profiled.
+        assert!(profile.calls(Phase::TierMovement) > 0, "{name}: no tier-movement phase marks");
+    }
+}
+
+#[test]
+fn pinned_paper_trace_is_profiling_invariant() {
+    // The observed-run twin of `tests/obs_figures.rs`, with the profiler
+    // attached alongside the observer: same cell, same trace bytes.
+    let matrix =
+        ScenarioMatrix::paper(WorkloadScale::harness(), SimulationConfig::harness(), 0x1b1c_a000);
+    let cell = matrix.cell(0).expect("the paper matrix is non-empty");
+    let mut arena = SimArena::new();
+    let (report, profile) = cell.run_profiled_in(PhaseProfiler::new(), &mut arena);
+    let (observed_report, observer) = cell.run_observed(SimObserver::new());
+    assert_eq!(report, observed_report, "profiled and observed runs disagree on the report");
+    assert_eq!(
+        observer.render_chrome_trace(&cell.id()),
+        include_str!("../figures/paper_cell0.trace.json"),
+        "figures/paper_cell0.trace.json no longer regenerates byte-for-byte"
+    );
+    assert!(profile.grand_total_calls() > 0, "the paper cell produced an empty profile");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Any worker count, profiled or not, produces the same summary bytes
+    /// as the serial unprofiled run.
+    #[test]
+    fn summary_bytes_are_invariant_across_jobs_and_profiling(jobs in 2usize..=8) {
+        let matrix = ScenarioMatrix::smoke();
+        let baseline = CsvSink::render(&SweepExecutor::serial().aggregate(&matrix));
+        let (profiled, _) = profiled_summary(&matrix, jobs);
+        prop_assert_eq!(baseline, CsvSink::render(&profiled));
+    }
+}
