@@ -2,31 +2,35 @@
 //! via `--shard` / `merge` — and writes aggregated CSV/JSON summaries.
 //!
 //! ```text
-//! sweep [--matrix tiny|geometry|devices|tiered|tier-policy|inclusion
-//!               |replacement|replay|paper]
-//!       [--jobs N] [--out DIR] [--shard I/N]
-//!       [--telemetry FILE] [--profile FILE] [--trace-cell IDX] [--list]
+//! sweep [--matrix NAME] [--jobs N] [--out DIR] [--shard I/N]
+//!       [--telemetry FILE] [--profile FILE] [--trace-cell IDX]
+//!       [--checkpoint-cell IDX] [--list]
 //! sweep merge PART.json... [--out DIR] [--telemetry FILE]
 //! ```
 //!
-//! Named matrices:
+//! The named matrices live in one registry (`MATRICES`): the `--help`
+//! text, `--list` output and `--matrix` validation all render from it, so
+//! the three cannot drift apart. Highlights (`--list` has the full set):
 //!
 //! * `tiny` (default) — 4 workloads × 3 controllers × 3 seeds at tiny
 //!   scale (36 cells); the CI smoke matrix.
-//! * `geometry` — cache-size sweep (3 workloads × 3 geometries × 3
-//!   controllers, 27 cells).
-//! * `devices` — SSD vs HDD disk subsystem (18 cells).
-//! * `tiered` — flat vs two-level vs three-level cache hierarchy
-//!   (27 cells).
-//! * `tier-policy` — per-tier write policies (uniform WB, write-through
-//!   warm tier, read-only warm tier) under the WB baseline, LBICA and the
-//!   tier-aware LBICA-T (27 cells).
-//! * `inclusion` — exclusive vs inclusive two-level hierarchy (18 cells).
-//! * `replacement` — LRU vs FIFO victim selection (18 cells).
+//! * `tiered` / `tier-policy` / `inclusion` / `replacement` — cache
+//!   hierarchy and policy axes.
+//! * `zipf` — synthetic Zipfian block-popularity skew sweep.
+//! * `diurnal` — paper workloads flat vs day/night arrival modulation.
+//! * `multi-tenant` / `paper-mt` — interleaved per-tenant streams; these
+//!   summaries carry per-tenant offered-load rows (CSV `tenant` section,
+//!   JSON `by_tenant`), regenerated from the matrix definition so they
+//!   are identical however the sweep was executed or sharded.
 //! * `replay` — captured traces round-tripped through the binary codec
 //!   and replayed (6 cells).
 //! * `paper` — the canonical figure matrix at published scale (9 cells,
 //!   slow).
+//!
+//! `--checkpoint-cell IDX` re-runs cell IDX split at its midpoint through
+//! a binary-encoded replay checkpoint and fails unless the resumed report
+//! is byte-identical to the straight run — CI's proof that pause/resume
+//! replay is exact.
 //!
 //! Results stream into the `lbica-lab` aggregator as cells complete; the
 //! summary is independent of `--jobs`, so `--jobs 1` and `--jobs 8`
@@ -86,22 +90,99 @@ use lbica_lab::{
 };
 use lbica_obs::SimObserver;
 
-const MATRICES: [(&str, &str); 9] = [
-    ("tiny", "4 workloads x 3 controllers x 3 seeds, tiny scale (36 cells)"),
-    ("geometry", "cache-size sweep: 64/128/256 sets (27 cells)"),
-    ("devices", "mid-range-SSD vs 7.2K-HDD disk subsystem (18 cells)"),
-    ("tiered", "flat vs 2-level vs 3-level cache hierarchy (27 cells)"),
-    ("tier-policy", "per-tier write policies under WB/LBICA/LBICA-T (27 cells)"),
-    ("inclusion", "exclusive vs inclusive two-level hierarchy (18 cells)"),
-    ("replacement", "LRU vs FIFO victim selection (18 cells)"),
-    ("replay", "codec-round-tripped trace-replay cells (6 cells)"),
-    ("paper", "the canonical figure matrix at published scale (9 cells, slow)"),
+/// One row of the matrix registry: the CLI name, the `--list` blurb and
+/// the builder. The `usage()` flag help, `--list` and `--matrix`
+/// validation all render from this one table, so the three can no longer
+/// drift apart (a unit test below pins the property).
+struct MatrixDef {
+    name: &'static str,
+    desc: &'static str,
+    build: fn() -> ScenarioMatrix,
+}
+
+fn paper_matrix() -> ScenarioMatrix {
+    let config = SuiteConfig::harness();
+    ScenarioMatrix::paper(config.scale, config.sim, config.seed)
+}
+
+const MATRICES: [MatrixDef; 13] = [
+    MatrixDef {
+        name: "tiny",
+        desc: "4 workloads x 3 controllers x 3 seeds, tiny scale (36 cells)",
+        build: ScenarioMatrix::tiny,
+    },
+    MatrixDef {
+        name: "geometry",
+        desc: "cache-size sweep: 64/128/256 sets (27 cells)",
+        build: ScenarioMatrix::geometry,
+    },
+    MatrixDef {
+        name: "devices",
+        desc: "mid-range-SSD vs 7.2K-HDD disk subsystem (18 cells)",
+        build: ScenarioMatrix::devices,
+    },
+    MatrixDef {
+        name: "tiered",
+        desc: "flat vs 2-level vs 3-level cache hierarchy (27 cells)",
+        build: ScenarioMatrix::tiered,
+    },
+    MatrixDef {
+        name: "tier-policy",
+        desc: "per-tier write policies under WB/LBICA/LBICA-T (27 cells)",
+        build: ScenarioMatrix::tier_policy,
+    },
+    MatrixDef {
+        name: "inclusion",
+        desc: "exclusive vs inclusive two-level hierarchy (18 cells)",
+        build: ScenarioMatrix::inclusion,
+    },
+    MatrixDef {
+        name: "replacement",
+        desc: "LRU vs FIFO victim selection (18 cells)",
+        build: ScenarioMatrix::replacement,
+    },
+    MatrixDef {
+        name: "replay",
+        desc: "codec-round-tripped trace-replay cells (6 cells)",
+        build: ScenarioMatrix::replay_demo,
+    },
+    MatrixDef {
+        name: "zipf",
+        desc: "Zipfian block-popularity skew sweep: s=0.0/0.6/0.9/1.2 (12 cells)",
+        build: ScenarioMatrix::zipf,
+    },
+    MatrixDef {
+        name: "diurnal",
+        desc: "paper workloads flat vs day/night diurnal modulation (18 cells)",
+        build: ScenarioMatrix::diurnal,
+    },
+    MatrixDef {
+        name: "multi-tenant",
+        desc: "1/2/4-tenant interleaves of identical templates (9 cells)",
+        build: ScenarioMatrix::multi_tenant,
+    },
+    MatrixDef {
+        name: "paper-mt",
+        desc: "six-tenant paper mix, flat + two-tier (6 cells)",
+        build: ScenarioMatrix::paper_mt,
+    },
+    MatrixDef {
+        name: "paper",
+        desc: "the canonical figure matrix at published scale (9 cells, slow)",
+        build: paper_matrix,
+    },
 ];
 
-const USAGE: &str = "\
+fn matrix_name_list() -> String {
+    MATRICES.iter().map(|m| m.name).collect::<Vec<_>>().join("|")
+}
+
+fn usage() -> String {
+    format!(
+        "\
 usage: sweep [--matrix NAME] [--jobs N] [--out DIR] [--shard I/N]
              [--telemetry FILE] [--profile FILE] [--trace-cell IDX]
-             [--list] [--help]
+             [--checkpoint-cell IDX] [--list] [--help]
        sweep merge PART.json... [--out DIR] [--telemetry FILE]
 
 subcommands:
@@ -109,8 +190,8 @@ subcommands:
   merge            fold shard partials back into whole-matrix summaries
 
 flags:
-  --matrix NAME    matrix to run: tiny|geometry|devices|tiered|tier-policy|
-                   inclusion|replacement|replay|paper (default: tiny; see --list)
+  --matrix NAME    matrix to run (default: tiny; see --list):
+                   {names}
   --jobs N         worker threads, 0 = one per core (default: 0)
   --out DIR        output directory (default: target/sweep); with --shard, may
                    name the partial .json file directly
@@ -125,8 +206,15 @@ flags:
   --trace-cell IDX after the sweep, re-run cell IDX with the trace ring attached
                    and write sweep_<matrix>.cell<IDX>.trace.json (Chrome/
                    Perfetto trace-event format) into --out
+  --checkpoint-cell IDX
+                   after the sweep, re-run cell IDX split at its midpoint via a
+                   binary-encoded replay checkpoint and fail unless the resumed
+                   report is byte-identical to the straight run
   --list           list the named matrices and exit
-  --help, -h       show this message";
+  --help, -h       show this message",
+        names = matrix_name_list()
+    )
+}
 
 #[derive(Debug)]
 struct Options {
@@ -137,6 +225,7 @@ struct Options {
     telemetry: Option<PathBuf>,
     profile: Option<PathBuf>,
     trace_cell: Option<usize>,
+    checkpoint_cell: Option<usize>,
 }
 
 #[derive(Debug)]
@@ -187,6 +276,7 @@ fn parse_args() -> Result<Option<Options>, String> {
         telemetry: None,
         profile: None,
         trace_cell: None,
+        checkpoint_cell: None,
     };
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -219,14 +309,20 @@ fn parse_args() -> Result<Option<Options>, String> {
                 opts.trace_cell =
                     Some(idx.parse().map_err(|_| "--trace-cell needs a cell index".to_string())?);
             }
+            "--checkpoint-cell" => {
+                let idx = flag_value(&mut args, "--checkpoint-cell", "a cell index")?;
+                opts.checkpoint_cell = Some(
+                    idx.parse().map_err(|_| "--checkpoint-cell needs a cell index".to_string())?,
+                );
+            }
             "--list" => {
-                for (name, desc) in MATRICES {
-                    println!("{name:<10} {desc}");
+                for def in &MATRICES {
+                    println!("{:<13} {}", def.name, def.desc);
                 }
                 return Ok(None);
             }
             "--help" | "-h" => {
-                println!("{USAGE}");
+                println!("{}", usage());
                 return Ok(None);
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -235,6 +331,11 @@ fn parse_args() -> Result<Option<Options>, String> {
     if opts.trace_cell.is_some() && opts.shard.is_some() {
         return Err("--trace-cell cannot be combined with --shard \
                     (trace the cell from an unsharded run)"
+            .to_string());
+    }
+    if opts.checkpoint_cell.is_some() && opts.shard.is_some() {
+        return Err("--checkpoint-cell cannot be combined with --shard \
+                    (check the cell from an unsharded run)"
             .to_string());
     }
     if opts.profile.is_some() && opts.shard.is_some() {
@@ -272,21 +373,11 @@ fn parse_merge_args() -> Result<MergeOptions, String> {
 }
 
 fn build_matrix(name: &str) -> Result<ScenarioMatrix, String> {
-    match name {
-        "tiny" => Ok(ScenarioMatrix::tiny()),
-        "geometry" => Ok(ScenarioMatrix::geometry()),
-        "devices" => Ok(ScenarioMatrix::devices()),
-        "tiered" => Ok(ScenarioMatrix::tiered()),
-        "tier-policy" => Ok(ScenarioMatrix::tier_policy()),
-        "inclusion" => Ok(ScenarioMatrix::inclusion()),
-        "replacement" => Ok(ScenarioMatrix::replacement()),
-        "replay" => Ok(ScenarioMatrix::replay_demo()),
-        "paper" => {
-            let config = SuiteConfig::harness();
-            Ok(ScenarioMatrix::paper(config.scale, config.sim, config.seed))
-        }
-        other => Err(format!("unknown matrix `{other}` (try --list)")),
-    }
+    MATRICES
+        .iter()
+        .find(|def| def.name == name)
+        .map(|def| (def.build)())
+        .ok_or_else(|| format!("unknown matrix `{name}` (try --list)"))
 }
 
 fn print_summary(summary: &SweepSummary) {
@@ -503,6 +594,15 @@ fn run_merge(opts: &MergeOptions) -> Result<(), String> {
     }
     let merged = PartialSweep::merge(&partials).map_err(|e| e.to_string())?;
     eprintln!("merged {} shard(s), {} cells", partials.len(), merged.cells);
+    // Re-derive the per-tenant offered-load rows from the matrix
+    // definition, exactly as the unsharded path does — tenant rows are a
+    // pure function of the matrix, so merge output stays byte-identical
+    // to a single-process run. A partial from an unregistered matrix name
+    // merges fine; it just carries no tenant section.
+    let summary = match build_matrix(&merged.matrix) {
+        Ok(matrix) => merged.summary.with_tenant_rows(&matrix),
+        Err(_) => merged.summary,
+    };
     let telemetry = lbica_lab::SweepTelemetry {
         matrix: merged.matrix.clone(),
         jobs: 1,
@@ -519,7 +619,7 @@ fn run_merge(opts: &MergeOptions) -> Result<(), String> {
         drop(j.into_inner());
         println!("wrote {}", opts.telemetry.as_deref().expect("telemetry path").display());
     }
-    write_summary(&opts.out_dir, &merged.matrix, &merged.summary)
+    write_summary(&opts.out_dir, &merged.matrix, &summary)
 }
 
 fn run_sweep(opts: &Options) -> Result<(), String> {
@@ -559,7 +659,11 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
     let summary = match &profile_fold {
         Some(fold) => executor.aggregate_profiled(&matrix, &opts.matrix, &fan, fold),
         None => executor.aggregate_with_telemetry(&matrix, &opts.matrix, &fan),
-    };
+    }
+    // Per-tenant offered-load rows regenerate from the matrix definition,
+    // never from execution, so attaching them keeps the summary
+    // `--jobs`-independent; tenant-free matrices attach nothing.
+    .with_tenant_rows(&matrix);
     eprintln!("sweep finished in {:.2?}", started.elapsed());
     drop(hooks);
     if let Some(s) = sinks {
@@ -583,6 +687,44 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
     if let Some(index) = opts.trace_cell {
         write_cell_trace(&opts.out_dir, &opts.matrix, &matrix, index)?;
     }
+    if let Some(index) = opts.checkpoint_cell {
+        check_cell_checkpoint(&opts.matrix, &matrix, index)?;
+    }
+    Ok(())
+}
+
+/// Re-runs cell `index` twice — once straight through, once split at its
+/// midpoint interval with the replay checkpoint round-tripped through the
+/// binary encoding — and fails unless the two reports are byte-identical.
+/// CI's workload-smoke job points this at a tiered `paper-mt` cell.
+fn check_cell_checkpoint(
+    matrix_name: &str,
+    matrix: &ScenarioMatrix,
+    index: usize,
+) -> Result<(), String> {
+    let cell: Scenario = matrix.cell(index).ok_or_else(|| {
+        format!(
+            "--checkpoint-cell {index} is out of range: matrix `{matrix_name}` has {} cells",
+            matrix.len()
+        )
+    })?;
+    let direct = cell.run();
+    let split = direct.total_intervals / 2;
+    let resumed = cell
+        .run_checkpointed(split)
+        .map_err(|e| format!("cell {index} (`{}`): checkpoint failed: {e}", cell.id()))?;
+    if direct != resumed {
+        return Err(format!(
+            "cell {index} (`{}`): checkpointed replay diverged from the unsplit run \
+             at split interval {split}",
+            cell.id()
+        ));
+    }
+    println!(
+        "checkpoint cell {index} (`{}`): split at {split}/{} is byte-identical",
+        cell.id(),
+        direct.total_intervals
+    );
     Ok(())
 }
 
@@ -592,7 +734,7 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
-                eprintln!("{USAGE}");
+                eprintln!("{}", usage());
                 ExitCode::FAILURE
             }
         };
@@ -602,7 +744,7 @@ fn main() -> ExitCode {
         Ok(None) => return ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("{USAGE}");
+            eprintln!("{}", usage());
             return ExitCode::FAILURE;
         }
     };
@@ -615,6 +757,50 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_names_every_registered_matrix() {
+        // The help text splices the name list straight from the registry;
+        // this pins that no future edit reverts it to a hardcoded list.
+        let usage = usage();
+        assert!(usage.contains(&matrix_name_list()));
+        for def in &MATRICES {
+            assert!(usage.contains(def.name), "usage omits `{}`", def.name);
+        }
+    }
+
+    #[test]
+    fn every_registered_matrix_builds_nonempty() {
+        for def in &MATRICES {
+            let matrix = build_matrix(def.name)
+                .unwrap_or_else(|e| panic!("matrix `{}` failed to build: {e}", def.name));
+            assert!(!matrix.is_empty(), "matrix `{}` is empty", def.name);
+        }
+        assert!(build_matrix("no-such-matrix").is_err());
+    }
+
+    #[test]
+    fn matrix_names_are_unique() {
+        for (i, a) in MATRICES.iter().enumerate() {
+            for b in &MATRICES[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate matrix name");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_specs_parse_strictly() {
+        assert_eq!(parse_shard("0/2"), Ok((0, 2)));
+        assert_eq!(parse_shard("3/4"), Ok((3, 4)));
+        for bad in ["", "1", "2/2", "5/2", "1/0", "a/b", "1/2/3"] {
+            assert!(parse_shard(bad).is_err(), "`{bad}` should be rejected");
         }
     }
 }

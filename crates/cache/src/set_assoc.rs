@@ -14,6 +14,7 @@
 
 use std::fmt;
 
+use lbica_storage::snap::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 use crate::replacement::ReplacementKind;
@@ -504,6 +505,86 @@ impl SetAssociativeMap {
             .filter(|(meta, _)| **meta != SlotMeta::Empty)
             .map(|(_, tag)| *tag)
     }
+
+    /// Serializes the map — geometry, slot arrays and recency links — for a
+    /// replay checkpoint. Derived fields (`set_mask`, per-set dirty
+    /// counters, `len`, `dirty`) are recomputed on restore rather than
+    /// stored, shrinking the corruption surface.
+    pub fn snap_to(&self, w: &mut SnapWriter) {
+        w.put_usize(self.num_sets);
+        w.put_usize(self.associativity);
+        w.put_u8(match self.replacement {
+            ReplacementKind::Lru => 0,
+            ReplacementKind::Fifo => 1,
+        });
+        for slot in 0..self.tags.len() {
+            w.put_u64(self.tags[slot]);
+            w.put_u8(match self.meta[slot] {
+                SlotMeta::Empty => 0,
+                SlotMeta::Clean => 1,
+                SlotMeta::Dirty => 2,
+            });
+            w.put_u32(self.next[slot]);
+            w.put_u32(self.prev[slot]);
+        }
+        for set in 0..self.num_sets {
+            w.put_u32(self.head[set]);
+            w.put_u32(self.tail[set]);
+        }
+    }
+
+    /// Restores a map serialized by [`SetAssociativeMap::snap_to`].
+    pub fn snap_from(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let num_sets = r.get_usize()?;
+        let associativity = r.get_usize()?;
+        if num_sets == 0 || associativity == 0 {
+            return Err(SnapError::Corrupt("cache map geometry"));
+        }
+        let slots = num_sets
+            .checked_mul(associativity)
+            .filter(|&n| n < NIL as usize)
+            .ok_or(SnapError::Corrupt("cache map geometry"))?;
+        let replacement = match r.get_u8()? {
+            0 => ReplacementKind::Lru,
+            1 => ReplacementKind::Fifo,
+            _ => return Err(SnapError::Corrupt("replacement kind tag")),
+        };
+        let link_ok = |v: u32| v == NIL || (v as usize) < slots;
+        let mut map = SetAssociativeMap::new(num_sets, associativity, replacement);
+        for slot in 0..slots {
+            map.tags[slot] = r.get_u64()?;
+            map.meta[slot] = match r.get_u8()? {
+                0 => SlotMeta::Empty,
+                1 => SlotMeta::Clean,
+                2 => SlotMeta::Dirty,
+                _ => return Err(SnapError::Corrupt("slot meta tag")),
+            };
+            map.next[slot] = r.get_u32()?;
+            map.prev[slot] = r.get_u32()?;
+            if !link_ok(map.next[slot]) || !link_ok(map.prev[slot]) {
+                return Err(SnapError::Corrupt("recency link out of range"));
+            }
+        }
+        for set in 0..num_sets {
+            map.head[set] = r.get_u32()?;
+            map.tail[set] = r.get_u32()?;
+            if !link_ok(map.head[set]) || !link_ok(map.tail[set]) {
+                return Err(SnapError::Corrupt("recency link out of range"));
+            }
+        }
+        for slot in 0..slots {
+            match map.meta[slot] {
+                SlotMeta::Empty => {}
+                SlotMeta::Clean => map.len += 1,
+                SlotMeta::Dirty => {
+                    map.len += 1;
+                    map.dirty += 1;
+                    map.set_dirty[slot / associativity] += 1;
+                }
+            }
+        }
+        Ok(map)
+    }
 }
 
 impl fmt::Display for SetAssociativeMap {
@@ -749,6 +830,49 @@ mod tests {
         assert_eq!(by_block.invalidate(4), Some(SlotState::Dirty));
         assert_eq!(by_slot.invalidate_at(slot), SlotState::Dirty);
         assert_eq!(by_slot, by_block);
+    }
+
+    #[test]
+    fn snap_round_trip_preserves_contents_recency_and_counters() {
+        for replacement in [ReplacementKind::Lru, ReplacementKind::Fifo] {
+            let mut m = SetAssociativeMap::new(4, 2, replacement);
+            for b in 0..16u64 {
+                m.insert(b, if b % 3 == 0 { SlotState::Dirty } else { SlotState::Clean });
+            }
+            m.touch(9);
+            m.invalidate(10);
+
+            let mut w = SnapWriter::new();
+            m.snap_to(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = SnapReader::new(&bytes);
+            let restored = SetAssociativeMap::snap_from(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(restored, m);
+
+            // The restored map makes the same eviction decision next.
+            let mut a = m.clone();
+            let mut b = restored;
+            assert_eq!(a.insert(100, SlotState::Clean), b.insert(100, SlotState::Clean));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn snap_from_rejects_out_of_range_links() {
+        let m = map();
+        let mut w = SnapWriter::new();
+        m.snap_to(&mut w);
+        let mut bytes = w.into_bytes();
+        // Corrupt slot 0's `next` link (after 2×usize geometry + tag byte +
+        // slot 0's 8-byte tag + 1-byte meta) to a non-NIL out-of-range index.
+        let next_off = 8 + 8 + 1 + 8 + 1;
+        bytes[next_off..next_off + 4].copy_from_slice(&1_000u32.to_le_bytes());
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(
+            SetAssociativeMap::snap_from(&mut r),
+            Err(SnapError::Corrupt("recency link out of range"))
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Cache statistics.
 
+use lbica_storage::snap::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 /// Cumulative counters maintained by a [`crate::CacheModule`].
@@ -63,6 +64,42 @@ impl CacheStats {
     /// Total evictions of either kind.
     pub fn evictions(&self) -> u64 {
         self.dirty_evictions + self.clean_evictions
+    }
+
+    /// Serializes the counters for a replay checkpoint.
+    pub fn snap_to(&self, w: &mut SnapWriter) {
+        for v in [
+            self.read_hits,
+            self.read_misses,
+            self.write_hits,
+            self.write_misses,
+            self.promotes,
+            self.dirty_evictions,
+            self.clean_evictions,
+            self.write_bypasses,
+            self.unpromoted_read_misses,
+            self.invalidations,
+            self.flushes,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Restores counters serialized by [`CacheStats::snap_to`].
+    pub fn snap_from(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(CacheStats {
+            read_hits: r.get_u64()?,
+            read_misses: r.get_u64()?,
+            write_hits: r.get_u64()?,
+            write_misses: r.get_u64()?,
+            promotes: r.get_u64()?,
+            dirty_evictions: r.get_u64()?,
+            clean_evictions: r.get_u64()?,
+            write_bypasses: r.get_u64()?,
+            unpromoted_read_misses: r.get_u64()?,
+            invalidations: r.get_u64()?,
+            flushes: r.get_u64()?,
+        })
     }
 }
 

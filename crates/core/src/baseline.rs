@@ -181,6 +181,20 @@ impl CacheController for SibController {
             burst_detected: true,
         }
     }
+
+    // The detector and victim selector are stateless; the cumulative bypass
+    // counter is the only state that has to survive a replay checkpoint.
+    fn save_state(&self, w: &mut lbica_storage::snap::SnapWriter) {
+        w.put_u64(self.bypassed);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut lbica_storage::snap::SnapReader<'_>,
+    ) -> Result<(), lbica_storage::snap::SnapError> {
+        self.bypassed = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -297,6 +297,40 @@ impl CacheController for LbicaController {
         ControllerDecision { policy: action.policy, tier_policies, bypass, burst_detected: true }
     }
 
+    fn save_state(&self, w: &mut lbica_storage::snap::SnapWriter) {
+        w.put_u32(self.calm_streak);
+        match self.last_group {
+            None => w.put_u8(0),
+            Some(group) => {
+                w.put_u8(1);
+                w.put_u8(group_tag(group));
+            }
+        }
+        w.put_u64(self.bursts_detected);
+        w.put_u64(self.spill_decisions);
+        w.put_u64(self.read_spill_decisions);
+        // The DecisionLog is deliberately skipped: it is purely diagnostic
+        // (exported to observers, never read by on_interval), and resumed
+        // runs do not support observers. The detector, characterizer,
+        // balancer and spill planner are stateless between intervals.
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut lbica_storage::snap::SnapReader<'_>,
+    ) -> Result<(), lbica_storage::snap::SnapError> {
+        self.calm_streak = r.get_u32()?;
+        self.last_group = match r.get_u8()? {
+            0 => None,
+            1 => Some(group_from_tag(r.get_u8()?)?),
+            _ => return Err(lbica_storage::snap::SnapError::Corrupt("workload group option tag")),
+        };
+        self.bursts_detected = r.get_u64()?;
+        self.spill_decisions = r.get_u64()?;
+        self.read_spill_decisions = r.get_u64()?;
+        Ok(())
+    }
+
     fn export_obs(&self, obs: &mut lbica_obs::SimObserver, interval_us: u64) {
         let reg = obs.metrics_mut();
         let bursts = reg
@@ -334,6 +368,31 @@ impl CacheController for LbicaController {
             );
         }
     }
+}
+
+/// Stable checkpoint tag of a [`WorkloadGroup`].
+fn group_tag(group: WorkloadGroup) -> u8 {
+    match group {
+        WorkloadGroup::RandomRead => 0,
+        WorkloadGroup::MixedReadWrite => 1,
+        WorkloadGroup::RandomWrite => 2,
+        WorkloadGroup::SequentialWrite => 3,
+        WorkloadGroup::SequentialRead => 4,
+        WorkloadGroup::Unknown => 5,
+    }
+}
+
+/// Inverse of [`group_tag`].
+fn group_from_tag(tag: u8) -> Result<WorkloadGroup, lbica_storage::snap::SnapError> {
+    Ok(match tag {
+        0 => WorkloadGroup::RandomRead,
+        1 => WorkloadGroup::MixedReadWrite,
+        2 => WorkloadGroup::RandomWrite,
+        3 => WorkloadGroup::SequentialWrite,
+        4 => WorkloadGroup::SequentialRead,
+        5 => WorkloadGroup::Unknown,
+        _ => return Err(lbica_storage::snap::SnapError::Corrupt("workload group tag")),
+    })
 }
 
 #[cfg(test)]
@@ -546,6 +605,35 @@ mod tests {
         assert!(d.tier_policies.is_empty());
         assert_eq!(lbica.name(), "LBICA");
         assert_eq!(LbicaController::tier_aware().name(), "LBICA-T");
+    }
+
+    #[test]
+    fn saved_state_reproduces_the_calm_streak_hysteresis() {
+        let queue = DeviceQueue::new("ssd");
+        let burst_mix = QueueSnapshot { reads: 440, writes: 22, promotes: 510, evicts: 28 };
+        let calm_mix = QueueSnapshot { reads: 5, writes: 5, promotes: 0, evicts: 0 };
+        let mut original = LbicaController::new();
+        original.on_interval(&ctx(&queue, 60, 1, burst_mix, WritePolicy::WriteBack));
+        // One calm interval: streak = 1, policy held at WO.
+        let held = original.on_interval(&ctx(&queue, 2, 10, calm_mix, WritePolicy::WriteOnly));
+        assert_eq!(held.policy, WritePolicy::WriteOnly);
+
+        let mut w = lbica_storage::snap::SnapWriter::new();
+        original.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut resumed = LbicaController::new();
+        let mut r = lbica_storage::snap::SnapReader::new(&bytes);
+        resumed.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(resumed.last_group(), original.last_group());
+        assert_eq!(resumed.bursts_detected(), original.bursts_detected());
+
+        // The *second* calm interval reverts to WB — a fresh controller
+        // (streak 0) would have held WO, so this pins the restored streak.
+        let a = original.on_interval(&ctx(&queue, 2, 10, calm_mix, WritePolicy::WriteOnly));
+        let b = resumed.on_interval(&ctx(&queue, 2, 10, calm_mix, WritePolicy::WriteOnly));
+        assert_eq!(a, b);
+        assert_eq!(b.policy, WritePolicy::WriteBack);
     }
 
     #[test]

@@ -13,7 +13,8 @@ use std::collections::BTreeMap;
 use lbica_sim::SimulationReport;
 
 use crate::controller::ControllerKind;
-use crate::scenario::Scenario;
+use crate::matrix::{ScenarioMatrix, SeedMode};
+use crate::scenario::{derive_seed, Scenario};
 
 /// Integer accumulator for one aggregation key.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -221,6 +222,81 @@ pub struct WorkloadDelta {
     pub latency_improvement_vs_wb_pct: f64,
 }
 
+/// The offered load of one tenant of a multi-tenant workload, regenerated
+/// from the workload definition — not measured from simulation results (the
+/// merged stream loses tenant identity once scheduled). Because the
+/// regeneration is a pure function of the matrix definition, tenant rows
+/// are byte-identical for any `--jobs` count and for a merged sharded
+/// sweep, and identical whether attached before or after execution.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TenantRow {
+    /// The multi-tenant workload the tenant belongs to.
+    pub workload: String,
+    /// The tenant's index within the mix.
+    pub tenant: u32,
+    /// Name of the template the tenant runs.
+    pub template: String,
+    /// Distinct (config, seed) streams folded into the row.
+    pub streams: u64,
+    /// Requests the tenant offers across those streams.
+    pub records: u64,
+    /// Read requests offered.
+    pub read_records: u64,
+    /// Write requests offered.
+    pub write_records: u64,
+    /// Sectors transferred by the offered requests.
+    pub sectors: u64,
+}
+
+/// Regenerates the per-tenant offered-load rows of every multi-tenant
+/// workload on `matrix`'s workload axis — one row per (workload, tenant),
+/// summed over the matrix's distinct (config, seed) streams (controllers
+/// share a stream, so they are not re-counted). Single-stream workloads
+/// contribute no rows, which keeps summaries of tenant-free matrices
+/// byte-identical to their pre-tenant renders.
+pub fn tenant_rows(matrix: &ScenarioMatrix) -> Vec<TenantRow> {
+    let mut rows = Vec::new();
+    for spec in matrix.workloads() {
+        let Some(mix) = spec.tenants() else { continue };
+        for tenant in 0..mix.count() {
+            let template =
+                mix.templates()[tenant as usize % mix.templates().len()].name().to_string();
+            let mut row = TenantRow {
+                workload: spec.name().to_string(),
+                tenant,
+                template,
+                streams: 0,
+                records: 0,
+                read_records: 0,
+                write_records: 0,
+                sectors: 0,
+            };
+            for config in matrix.configs() {
+                for &seed in matrix.seeds() {
+                    let stream_seed = match matrix.seed_mode() {
+                        SeedMode::Derived => derive_seed(spec.name(), &config.label, seed),
+                        SeedMode::Literal => seed,
+                    };
+                    row.streams += 1;
+                    for index in 0..spec.total_intervals() {
+                        for record in spec.tenant_interval(tenant, index, stream_seed) {
+                            row.records += 1;
+                            if record.kind.is_read() {
+                                row.read_records += 1;
+                            } else {
+                                row.write_records += 1;
+                            }
+                            row.sectors += record.sectors;
+                        }
+                    }
+                }
+            }
+            rows.push(row);
+        }
+    }
+    rows
+}
+
 /// The rendered output of a sweep: one total row plus per-axis breakdowns
 /// and the LBICA-vs-WB deltas.
 #[derive(Debug, Clone, PartialEq)]
@@ -236,6 +312,10 @@ pub struct SweepSummary {
     /// Per-workload LBICA-vs-WB deltas (workloads whose sweep ran both
     /// controllers), sorted by workload.
     pub lbica_vs_wb: Vec<WorkloadDelta>,
+    /// Per-tenant offered-load rows of the matrix's multi-tenant workloads
+    /// (empty until attached via [`SweepSummary::with_tenant_rows`], and
+    /// empty for matrices without tenant mixes).
+    pub by_tenant: Vec<TenantRow>,
 }
 
 impl SweepSummary {
@@ -247,6 +327,15 @@ impl SweepSummary {
     /// The per-workload row for `workload`.
     pub fn workload(&self, workload: &str) -> Option<&GroupStats> {
         self.by_workload.iter().find(|g| g.key == workload)
+    }
+
+    /// Attaches the per-tenant offered-load rows regenerated from `matrix`
+    /// (builder style) — see [`tenant_rows`]. Both the single-process sweep
+    /// and `sweep merge` attach from the same matrix definition, so sharded
+    /// and unsharded summaries stay byte-identical.
+    pub fn with_tenant_rows(mut self, matrix: &ScenarioMatrix) -> Self {
+        self.by_tenant = tenant_rows(matrix);
+        self
     }
 }
 
@@ -320,6 +409,7 @@ impl Aggregator {
             by_controller: rows(&self.by_controller),
             by_config: rows(&self.by_config),
             lbica_vs_wb: deltas,
+            by_tenant: Vec::new(),
         }
     }
 }
@@ -423,5 +513,48 @@ mod tests {
         assert_eq!(summary.total.avg_latency_us, 0.0);
         assert!(summary.by_workload.is_empty());
         assert!(summary.lbica_vs_wb.is_empty());
+        assert!(summary.by_tenant.is_empty());
+    }
+
+    #[test]
+    fn tenant_rows_cover_every_tenant_of_every_mix() {
+        let matrix = ScenarioMatrix::multi_tenant();
+        let rows = tenant_rows(&matrix);
+        // mt1 + mt2 + mt4 tenants.
+        assert_eq!(rows.len(), 1 + 2 + 4);
+        for row in &rows {
+            assert_eq!(row.streams, 1, "1 config x 1 seed");
+            assert!(row.records > 0, "tenant {}/{} offered no load", row.workload, row.tenant);
+            assert_eq!(row.records, row.read_records + row.write_records);
+            assert!(row.sectors > 0);
+        }
+        // Regeneration is deterministic.
+        assert_eq!(rows, tenant_rows(&matrix));
+        // Under a literal seed every mix shares one stream seed, so tenant
+        // 0 (identical template across mixes) offers the identical stream
+        // in every mix — the tenant-count stability property, at row
+        // granularity.
+        let pinned = tenant_rows(&ScenarioMatrix::multi_tenant().with_literal_seed(9));
+        let t0: Vec<&TenantRow> = pinned.iter().filter(|r| r.tenant == 0).collect();
+        assert_eq!(t0.len(), 3);
+        assert!(t0.windows(2).all(|w| w[0].records == w[1].records
+            && w[0].read_records == w[1].read_records
+            && w[0].sectors == w[1].sectors));
+    }
+
+    #[test]
+    fn tenant_rows_are_empty_for_single_stream_matrices() {
+        assert!(tenant_rows(&ScenarioMatrix::smoke()).is_empty());
+        assert!(tenant_rows(&ScenarioMatrix::tiny()).is_empty());
+    }
+
+    #[test]
+    fn attaching_tenant_rows_is_independent_of_execution() {
+        let matrix = ScenarioMatrix::paper_mt();
+        let executed =
+            crate::executor::SweepExecutor::serial().aggregate(&matrix).with_tenant_rows(&matrix);
+        let unexecuted = Aggregator::new().summary().with_tenant_rows(&matrix);
+        assert_eq!(executed.by_tenant, unexecuted.by_tenant);
+        assert_eq!(executed.by_tenant.len(), 6);
     }
 }

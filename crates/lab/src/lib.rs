@@ -52,7 +52,9 @@ pub mod scenario;
 pub mod sink;
 pub mod telemetry;
 
-pub use aggregate::{Aggregator, CellSummary, GroupStats, SweepSummary, WorkloadDelta};
+pub use aggregate::{
+    tenant_rows, Aggregator, CellSummary, GroupStats, SweepSummary, TenantRow, WorkloadDelta,
+};
 pub use controller::ControllerKind;
 pub use executor::SweepExecutor;
 pub use matrix::{CellRange, ConfigAxis, ScenarioMatrix, SeedMode};

@@ -4,7 +4,7 @@ use lbica_cache::{ReplacementKind, WritePolicy};
 use lbica_sim::{DiskDeviceConfig, SimulationConfig};
 use lbica_tier::InclusionPolicy;
 use lbica_trace::io::BinaryTraceCodec;
-use lbica_trace::workload::{WorkloadScale, WorkloadSpec};
+use lbica_trace::workload::{DiurnalCurve, WorkloadScale, WorkloadSpec};
 
 use crate::controller::ControllerKind;
 use crate::scenario::{derive_seed, fnv1a, splitmix64, Scenario, FNV_OFFSET};
@@ -488,6 +488,74 @@ impl ScenarioMatrix {
             .push_config("inclusive", base.with_tier_inclusion(InclusionPolicy::Inclusive))
     }
 
+    /// The Zipfian-skew axis: one heavy-tail workload per skew value, from
+    /// uniform-random (0) to strongly concentrated (1200 permille), under
+    /// all three controllers — 12 cells. Cache hit rates rise monotonically
+    /// with skew (pinned by the generator property suite).
+    pub fn zipf() -> Self {
+        let scale = WorkloadScale::tiny();
+        let workloads = [0u32, 600, 900, 1200]
+            .iter()
+            .map(|&skew| WorkloadSpec::zipfian_scaled(format!("zipf-{skew}"), scale, skew))
+            .collect();
+        ScenarioMatrix::new()
+            .with_workloads(workloads)
+            .push_config("tiny", SimulationConfig::tiny())
+    }
+
+    /// The diurnal-modulation axis: the paper's workloads as-is and
+    /// reshaped by the canned day/night load curve — 18 cells. The curve
+    /// scales arrival rates only; record shapes and per-interval seeds are
+    /// untouched, so the flat and curved variants stay comparable.
+    pub fn diurnal() -> Self {
+        let scale = WorkloadScale::tiny();
+        let mut workloads = WorkloadSpec::paper_suite(scale);
+        for spec in WorkloadSpec::paper_suite(scale) {
+            let name = format!("{}-diurnal", spec.name());
+            workloads.push(spec.with_diurnal(DiurnalCurve::day_night()).with_name(name));
+        }
+        ScenarioMatrix::new()
+            .with_workloads(workloads)
+            .push_config("tiny", SimulationConfig::tiny())
+    }
+
+    /// The tenant-count axis: the same fixed per-tenant templates
+    /// interleaved as 1 / 2 / 4 tenants — 9 cells. The templates are
+    /// identical across the axis (not rescaled per tenant count), so under
+    /// a shared stream seed each tenant's private stream is byte-identical
+    /// in every cell and only the interleaving widens; with the default
+    /// derived seeds each mix draws its own streams (pin the comparison
+    /// with [`ScenarioMatrix::with_literal_seed`] when pairing mixes).
+    pub fn multi_tenant() -> Self {
+        let scale = WorkloadScale::tiny();
+        let workloads = [1u32, 2, 4]
+            .iter()
+            .map(|&count| {
+                WorkloadSpec::multi_tenant(
+                    format!("mt{count}"),
+                    count,
+                    scale.cache_blocks * 4,
+                    WorkloadSpec::paper_suite(scale),
+                )
+            })
+            .collect();
+        ScenarioMatrix::new()
+            .with_workloads(workloads)
+            .push_config("tiny", SimulationConfig::tiny())
+    }
+
+    /// The multi-tenant headline grid: the paper's three workloads
+    /// interleaved as six client streams, against the flat cache and a
+    /// two-level hierarchy, under all three controllers — 6 cells. The CI
+    /// workload-smoke matrix.
+    pub fn paper_mt() -> Self {
+        let scale = WorkloadScale::tiny();
+        ScenarioMatrix::new()
+            .push_workload(WorkloadSpec::paper_mt_scaled(scale, 6))
+            .push_config("flat", SimulationConfig::tiny())
+            .push_config("tier2", SimulationConfig::tiny_two_tier())
+    }
+
     /// Trace-replay cells: captured [`lbica_trace::record::TraceRecord`]
     /// streams fed through the matrix instead of synthetic generators.
     /// Each workload replays the same recorded arrivals for every
@@ -658,6 +726,60 @@ mod tests {
         assert_eq!(m.len(), 3 * 2 * 3);
         assert_eq!(m.configs()[0].config.tiers.unwrap().inclusion, InclusionPolicy::Exclusive);
         assert_eq!(m.configs()[1].config.tiers.unwrap().inclusion, InclusionPolicy::Inclusive);
+    }
+
+    #[test]
+    fn zipf_matrix_spans_the_skew_axis() {
+        let m = ScenarioMatrix::zipf();
+        // 4 workloads x 1 config x 3 controllers x 1 seed.
+        assert_eq!(m.len(), 12);
+        let names: Vec<&str> = m.workloads().iter().map(|w| w.name()).collect();
+        assert_eq!(names, vec!["zipf-0", "zipf-600", "zipf-900", "zipf-1200"]);
+    }
+
+    #[test]
+    fn diurnal_matrix_pairs_flat_and_curved_variants() {
+        let m = ScenarioMatrix::diurnal();
+        // 6 workloads x 1 config x 3 controllers x 1 seed.
+        assert_eq!(m.len(), 18);
+        let curved: Vec<&WorkloadSpec> =
+            m.workloads().iter().filter(|w| w.diurnal().is_some()).collect();
+        assert_eq!(curved.len(), 3);
+        assert!(curved.iter().all(|w| w.name().ends_with("-diurnal")));
+        // Curved variants keep the flat variants' interval structure.
+        for w in &curved {
+            let base = w.name().trim_end_matches("-diurnal");
+            let flat = m.workloads().iter().find(|f| f.name() == base).unwrap();
+            assert_eq!(w.total_intervals(), flat.total_intervals());
+        }
+    }
+
+    #[test]
+    fn multi_tenant_matrix_reuses_identical_templates_across_counts() {
+        let m = ScenarioMatrix::multi_tenant();
+        // 3 workloads x 1 config x 3 controllers x 1 seed.
+        assert_eq!(m.len(), 9);
+        let counts: Vec<u32> = m.workloads().iter().map(|w| w.tenant_count()).collect();
+        assert_eq!(counts, vec![1, 2, 4]);
+        // Fixed templates: the mt2 and mt4 mixes carry byte-identical
+        // template lists, which is what makes per-tenant streams stable
+        // under the tenant-count axis.
+        let t2 = m.workloads()[1].tenants().unwrap();
+        let t4 = m.workloads()[2].tenants().unwrap();
+        assert_eq!(t2.templates().len(), t4.templates().len());
+        for (a, b) in t2.templates().iter().zip(t4.templates()) {
+            assert_eq!(a.name(), b.name());
+        }
+    }
+
+    #[test]
+    fn paper_mt_matrix_is_the_six_tenant_smoke_grid() {
+        let m = ScenarioMatrix::paper_mt();
+        // 1 workload x 2 configs x 3 controllers x 1 seed.
+        assert_eq!(m.len(), 6);
+        assert_eq!(m.workloads()[0].tenant_count(), 6);
+        assert_eq!(m.configs()[0].config.tier_count(), 1);
+        assert_eq!(m.configs()[1].config.tier_count(), 2);
     }
 
     #[test]

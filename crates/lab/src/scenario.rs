@@ -136,6 +136,25 @@ impl Scenario {
             .run_in(controller.as_mut(), arena)
     }
 
+    /// Runs the cell split at interval `split_at`: the first segment runs
+    /// to a [`lbica_sim::ReplayCheckpoint`], the checkpoint round-trips
+    /// through its binary encoding (as it would when handed between sweep
+    /// shards), and a fresh simulation resumes the remainder. The report
+    /// is byte-identical to [`Scenario::run`]'s — the property the sweep
+    /// CLI's `--checkpoint-cell` smoke check pins in CI.
+    pub fn run_checkpointed(
+        &self,
+        split_at: u32,
+    ) -> Result<SimulationReport, lbica_sim::SnapError> {
+        let mut controller = self.controller.build();
+        let checkpoint = Simulation::new(self.config, self.workload.clone(), self.stream_seed)
+            .run_to_checkpoint(controller.as_mut(), split_at)?;
+        let checkpoint = lbica_sim::ReplayCheckpoint::from_bytes(&checkpoint.to_bytes())?;
+        let mut resumed = self.controller.build();
+        Simulation::new(self.config, self.workload.clone(), self.stream_seed)
+            .resume_from_checkpoint(resumed.as_mut(), &checkpoint)
+    }
+
     /// Runs the cell with `observer` attached and returns the report
     /// together with the observer, now holding the run's metrics and
     /// trace ring. The report is identical to [`Scenario::run`]'s — the
@@ -221,6 +240,20 @@ mod tests {
         let (observed, obs) = cell.run_observed(lbica_obs::SimObserver::new());
         assert_eq!(plain, observed);
         assert!(!obs.ring().is_empty());
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_under_lbica() {
+        // The runner's own tests split static-policy cells; this covers
+        // the stateful LBICA controller through the scenario-level API.
+        let spec = WorkloadSpec::tpcc_scaled(WorkloadScale::tiny());
+        let seed = derive_seed(spec.name(), "tiny", 1);
+        let cell =
+            Scenario::new(spec, "tiny", SimulationConfig::tiny(), ControllerKind::Lbica, 1, seed);
+        let direct = cell.run();
+        for split in [0, direct.total_intervals / 2, direct.total_intervals] {
+            assert_eq!(direct, cell.run_checkpointed(split).unwrap(), "split at {split}");
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use crate::aggregate::{GroupStats, SweepSummary};
+use crate::aggregate::{GroupStats, SweepSummary, TenantRow};
 
 /// Renders a [`SweepSummary`] as a single CSV table.
 ///
@@ -58,6 +58,9 @@ impl CsvSink {
         for group in &summary.by_config {
             Self::push_row(&mut out, "config", group, None);
         }
+        for row in &summary.by_tenant {
+            Self::push_tenant_row(&mut out, row);
+        }
         out
     }
 
@@ -96,6 +99,20 @@ impl CsvSink {
             }
         }
     }
+
+    /// Renders one per-tenant offered-load row in the shared 16-column
+    /// shape: `cells` carries the stream count and `app_completed` the
+    /// offered record count; the remaining measured columns are `n/a`
+    /// because tenant rows describe the workload definition, not an
+    /// executed cell. Full per-tenant fidelity (read/write split, sector
+    /// volume) lives in the JSON sink's `by_tenant` array.
+    fn push_tenant_row(out: &mut String, row: &TenantRow) {
+        let _ = writeln!(
+            out,
+            "tenant,{}/t{}/{},{},{},n/a,n/a,n/a,n/a,n/a,n/a,n/a,n/a,n/a,n/a,n/a,n/a",
+            row.workload, row.tenant, row.template, row.streams, row.records,
+        );
+    }
 }
 
 /// Renders a [`SweepSummary`] as a JSON document.
@@ -110,6 +127,27 @@ impl JsonSink {
         Self::group_array(&mut out, "by_workload", &summary.by_workload);
         Self::group_array(&mut out, "by_controller", &summary.by_controller);
         Self::group_array(&mut out, "by_config", &summary.by_config);
+        out.push_str("  \"by_tenant\": [");
+        for (i, t) in summary.by_tenant.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"workload\": {}, \"tenant\": {}, \"template\": {}, \
+                 \"streams\": {}, \"records\": {}, \"read_records\": {}, \
+                 \"write_records\": {}, \"sectors\": {}}}",
+                json_string(&t.workload),
+                t.tenant,
+                json_string(&t.template),
+                t.streams,
+                t.records,
+                t.read_records,
+                t.write_records,
+                t.sectors,
+            );
+        }
+        out.push_str("],\n");
         out.push_str("  \"lbica_vs_wb\": [");
         for (i, d) in summary.lbica_vs_wb.iter().enumerate() {
             if i > 0 {
@@ -254,6 +292,38 @@ mod tests {
         let summary = Aggregator::new().summary();
         assert!(CsvSink::render(&summary).contains("total"));
         assert!(JsonSink::render(&summary).contains("\"cells\": 0"));
+    }
+
+    #[test]
+    fn tenant_rows_render_in_both_sinks() {
+        let matrix = ScenarioMatrix::multi_tenant();
+        let summary = SweepExecutor::serial().aggregate(&matrix).with_tenant_rows(&matrix);
+        assert_eq!(summary.by_tenant.len(), 7); // mt1 + mt2 + mt4
+
+        let csv = CsvSink::render(&summary);
+        let tenant_rows: Vec<&str> = csv.lines().filter(|l| l.starts_with("tenant,")).collect();
+        assert_eq!(tenant_rows.len(), 7);
+        assert!(tenant_rows.iter().any(|l| l.starts_with("tenant,mt4/t3/")));
+        // Tenant rows keep the uniform column count of the table.
+        let columns = csv.lines().next().unwrap().split(',').count();
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), columns, "row {line}");
+        }
+
+        let json = JsonSink::render(&summary);
+        assert!(json.contains("\"by_tenant\""));
+        assert!(json.contains("\"read_records\""));
+        // `lbica_vs_wb` must stay the final key (no trailing comma after it).
+        assert!(json.rfind("\"by_tenant\"").unwrap() < json.rfind("\"lbica_vs_wb\"").unwrap());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn tenant_free_summaries_render_an_empty_tenant_section() {
+        let summary = smoke_summary();
+        assert!(!CsvSink::render(&summary).contains("\ntenant,"));
+        assert!(JsonSink::render(&summary).contains("\"by_tenant\": []"));
     }
 
     #[test]

@@ -161,6 +161,23 @@ pub trait CacheController {
     /// The default publishes nothing; never called without an observer
     /// attached, so un-observed runs pay zero cost.
     fn export_obs(&self, _obs: &mut lbica_obs::SimObserver, _interval_us: u64) {}
+
+    /// Serializes whatever internal state the controller's *decisions*
+    /// depend on, for a replay checkpoint. Stateless controllers (the
+    /// static baselines) keep the empty default; stateful ones (LBICA's
+    /// calm-streak hysteresis, SIB's bypass counter) must override both
+    /// this and [`CacheController::restore_state`] so a resumed run makes
+    /// the same decisions as the unsplit one. Purely diagnostic state (e.g.
+    /// decision logs) may be skipped — it never feeds back into decisions.
+    fn save_state(&self, _w: &mut lbica_storage::snap::SnapWriter) {}
+
+    /// Restores state written by [`CacheController::save_state`].
+    fn restore_state(
+        &mut self,
+        _r: &mut lbica_storage::snap::SnapReader<'_>,
+    ) -> Result<(), lbica_storage::snap::SnapError> {
+        Ok(())
+    }
 }
 
 /// The no-load-balancing baseline: a fixed write policy, never bypasses.

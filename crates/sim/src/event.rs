@@ -21,6 +21,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
 use lbica_storage::request::IoRequest;
+use lbica_storage::snap::{SnapError, SnapReader, SnapWriter};
 use lbica_storage::time::SimTime;
 
 use crate::system::TierId;
@@ -45,6 +46,51 @@ pub enum EventKind {
         /// The serviced request (dispatch timestamp already set).
         request: IoRequest,
     },
+}
+
+impl EventKind {
+    /// Serializes the event payload for a replay checkpoint.
+    fn snap_to(&self, w: &mut SnapWriter) {
+        match self {
+            EventKind::Arrival(request) => {
+                w.put_u8(0);
+                request.snap_to(w);
+            }
+            EventKind::Completion { tier, request } => {
+                w.put_u8(1);
+                w.put_u8(match tier {
+                    TierId::Ssd => 0,
+                    TierId::Disk => 1,
+                });
+                request.snap_to(w);
+            }
+            EventKind::LevelCompletion { level, request } => {
+                w.put_u8(2);
+                w.put_usize(*level);
+                request.snap_to(w);
+            }
+        }
+    }
+
+    /// Restores a payload written by [`EventKind::snap_to`].
+    fn snap_from(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(EventKind::Arrival(IoRequest::snap_from(r)?)),
+            1 => {
+                let tier = match r.get_u8()? {
+                    0 => TierId::Ssd,
+                    1 => TierId::Disk,
+                    _ => return Err(SnapError::Corrupt("tier id tag")),
+                };
+                Ok(EventKind::Completion { tier, request: IoRequest::snap_from(r)? })
+            }
+            2 => Ok(EventKind::LevelCompletion {
+                level: r.get_usize()?,
+                request: IoRequest::snap_from(r)?,
+            }),
+            _ => Err(SnapError::Corrupt("event kind tag")),
+        }
+    }
 }
 
 /// A timestamped event.
@@ -241,6 +287,59 @@ impl EventQueue {
         }
     }
 
+    /// Serializes every pending event — plus the sequence counter and peak
+    /// depth — in canonical `(time, seq)` order, for a replay checkpoint.
+    /// Which lane a pending event happens to sit in is *not* recorded: pop
+    /// order is globally `(time, seq)` regardless of lane, so the lane
+    /// split is unobservable and a restored queue may legally re-lane.
+    pub fn snap_to(&self, w: &mut SnapWriter) {
+        w.put_u64(self.next_seq);
+        w.put_usize(self.peak_len);
+        let mut entries: Vec<(SimTime, u64, &EventKind)> =
+            self.sorted.iter().map(|e| (e.time, e.seq, &e.kind)).collect();
+        for key in &self.heap {
+            let kind =
+                self.payloads[key.payload as usize].as_ref().expect("scheduled payload present");
+            entries.push((key.time, key.seq, kind));
+        }
+        entries.sort_by_key(|&(time, seq, _)| (time, seq));
+        w.put_usize(entries.len());
+        for (time, seq, kind) in entries {
+            w.put_u64(time.as_micros());
+            w.put_u64(seq);
+            kind.snap_to(w);
+        }
+    }
+
+    /// Restores the pending events written by [`EventQueue::snap_to`] into
+    /// this queue (whose own pending events are discarded). Every restored
+    /// event lands in the in-order lane — legal because the serialized
+    /// stream is `(time, seq)`-sorted, and unobservable (see
+    /// [`EventQueue::snap_to`]).
+    pub fn snap_state_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.reset();
+        let next_seq = r.get_u64()?;
+        let peak_len = r.get_usize()?;
+        let len = r.get_usize()?;
+        let mut last: Option<(SimTime, u64)> = None;
+        for _ in 0..len {
+            let time = SimTime::from_micros(r.get_u64()?);
+            let seq = r.get_u64()?;
+            if seq >= next_seq {
+                return Err(SnapError::Corrupt("event seq beyond counter"));
+            }
+            if last.is_some_and(|prev| (time, seq) <= prev) {
+                return Err(SnapError::Corrupt("pending events out of order"));
+            }
+            last = Some((time, seq));
+            let kind = EventKind::snap_from(r)?;
+            self.sorted.push_back(SortedEntry { time, seq, kind });
+        }
+        self.next_seq = next_seq;
+        self.peak_len = peak_len.max(self.sorted.len());
+        Ok(())
+    }
+
     /// Pops the earliest pending event unconditionally.
     pub fn pop(&mut self) -> Option<Event> {
         if self.pop_from_sorted()? {
@@ -370,6 +469,80 @@ mod tests {
         // Time order, seq-stable within equal times: 50, 100, 150,
         // 200(seq1), 200(seq5), 300(seq2), 300(seq6).
         assert_eq!(order, vec![4, 0, 3, 1, 5, 2, 6]);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_pop_order_across_both_lanes() {
+        let mut q = EventQueue::new();
+        // Sorted lane plus heap-lane stragglers, mixed kinds.
+        for (id, t) in [(0u64, 100u64), (1, 200), (2, 300)] {
+            let (time, kind) = arrival(id, t);
+            q.schedule(time, kind);
+        }
+        let req = |id| {
+            IoRequest::new(id, RequestKind::Write, RequestOrigin::Promote, 64, 8)
+                .with_arrival(SimTime::from_micros(10))
+        };
+        q.schedule(
+            SimTime::from_micros(150),
+            EventKind::Completion { tier: TierId::Disk, request: req(3) },
+        );
+        q.schedule(
+            SimTime::from_micros(50),
+            EventKind::LevelCompletion { level: 1, request: req(4) },
+        );
+        assert!(!q.heap.is_empty(), "the test must cover the out-of-order lane");
+
+        let mut w = SnapWriter::new();
+        q.snap_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = EventQueue::new();
+        let mut r = SnapReader::new(&bytes);
+        restored.snap_state_from(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(restored.len(), q.len());
+        assert_eq!(restored.peak_len(), q.peak_len());
+        let drain = |q: &mut EventQueue| -> Vec<Event> { std::iter::from_fn(|| q.pop()).collect() };
+        assert_eq!(drain(&mut restored), drain(&mut q));
+    }
+
+    #[test]
+    fn restored_queue_continues_the_seq_counter() {
+        let mut q = EventQueue::new();
+        let (time, kind) = arrival(1, 100);
+        q.schedule(time, kind);
+        let mut w = SnapWriter::new();
+        q.snap_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = EventQueue::new();
+        restored.snap_state_from(&mut SnapReader::new(&bytes)).unwrap();
+        // A post-restore event at the same time must fire *after* the
+        // restored one (larger seq), exactly as in the unsplit run.
+        let (time, kind) = arrival(2, 100);
+        restored.schedule(time, kind);
+        let ids: Vec<u64> = std::iter::from_fn(|| restored.pop())
+            .map(|e| match e.kind {
+                EventKind::Arrival(r) => r.id(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn corrupt_event_kind_tag_is_rejected() {
+        let mut q = EventQueue::new();
+        let (time, kind) = arrival(1, 100);
+        q.schedule(time, kind);
+        let mut w = SnapWriter::new();
+        q.snap_to(&mut w);
+        let mut bytes = w.into_bytes();
+        // next_seq (8) + peak_len (8) + count (8) + time (8) + seq (8),
+        // then the kind tag.
+        bytes[40] = 9;
+        let err = EventQueue::new().snap_state_from(&mut SnapReader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, SnapError::Corrupt("event kind tag")));
     }
 
     #[test]

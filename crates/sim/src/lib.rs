@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod checkpoint;
 pub mod config;
 pub mod controller;
 pub mod event;
@@ -46,12 +47,14 @@ pub mod tiered;
 pub mod tracker;
 
 pub use arena::SimArena;
+pub use checkpoint::ReplayCheckpoint;
 pub use config::{DiskDeviceConfig, SimulationConfig};
 pub use controller::{
     BypassDirective, CacheController, ControllerContext, ControllerDecision,
     StaticPolicyController, TierLoad,
 };
 pub use event::{Event, EventKind, EventQueue};
+pub use lbica_storage::snap::SnapError;
 pub use report::{PolicyChange, SimPerf, SimulationReport, TierLevelStats};
 pub use runner::Simulation;
 pub use system::{DeviceStation, StorageSystem};

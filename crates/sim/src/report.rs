@@ -15,6 +15,21 @@ pub struct PolicyChange {
     pub policy: String,
 }
 
+impl PolicyChange {
+    /// Serializes the change for a replay checkpoint.
+    pub fn snap_to(&self, w: &mut lbica_storage::snap::SnapWriter) {
+        w.put_u32(self.interval);
+        w.put_str(&self.policy);
+    }
+
+    /// Restores a change serialized by [`PolicyChange::snap_to`].
+    pub fn snap_from(
+        r: &mut lbica_storage::snap::SnapReader<'_>,
+    ) -> Result<Self, lbica_storage::snap::SnapError> {
+        Ok(PolicyChange { interval: r.get_u32()?, policy: r.get_str()? })
+    }
+}
+
 /// Deterministic simulator-performance counters gathered during a run —
 /// the denominator data for events-per-second throughput benchmarks.
 /// Everything here depends only on the workload/config/seed (never on

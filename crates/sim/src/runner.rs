@@ -4,13 +4,18 @@ use lbica_obs::{NoProf, Phase, PhaseProfiler, PhaseSink, QueueTier, SimObserver}
 use lbica_trace::workload::WorkloadSpec;
 
 use crate::arena::SimArena;
+use crate::checkpoint::ReplayCheckpoint;
 use crate::config::SimulationConfig;
 use crate::controller::{CacheController, ControllerContext, TierLoad};
 use crate::report::{PolicyChange, SimulationReport};
+use crate::system::StorageSystem;
+use crate::tiered::TieredStorageSystem;
 
+use lbica_storage::snap::{SnapError, SnapReader, SnapWriter};
 use lbica_storage::time::SimTime;
+use lbica_trace::monitor::IntervalReport;
 
-/// Drives one [`WorkloadSpec`] through a [`StorageSystem`](crate::system::StorageSystem) under a
+/// Drives one [`WorkloadSpec`] through a [`StorageSystem`] under a
 /// [`CacheController`], interval by interval, producing a
 /// [`SimulationReport`].
 ///
@@ -89,7 +94,7 @@ impl Simulation {
     /// Runs the full workload under `controller` and returns the report.
     ///
     /// Configurations describing two or more cache levels run on the
-    /// tiered datapath ([`TieredStorageSystem`](crate::tiered::TieredStorageSystem));
+    /// tiered datapath ([`TieredStorageSystem`]);
     /// everything else takes
     /// the paper's flat single-SSD path, which is untouched by the tier
     /// subsystem (single-tier results are bit-identical to the seed).
@@ -470,6 +475,328 @@ impl Simulation {
         arena.store_tiered(self.config, system);
         report
     }
+
+    /// Runs intervals `[0, split_at)` and pauses, returning a
+    /// [`ReplayCheckpoint`] that [`Simulation::resume_from_checkpoint`]
+    /// continues byte-identically to the unsplit run.
+    ///
+    /// Checkpoints are taken at monitoring-interval boundaries, where the
+    /// iostat/blktrace accumulators are freshly reset — the only points at
+    /// which the monitors carry no state that would have to be serialized.
+    /// `split_at` may equal the workload's interval count, in which case the
+    /// resume only drains and builds the report. Checkpointed runs execute
+    /// unobserved and unprofiled: attach neither, or this returns an error.
+    pub fn run_to_checkpoint(
+        &mut self,
+        controller: &mut dyn CacheController,
+        split_at: u32,
+    ) -> Result<ReplayCheckpoint, SnapError> {
+        if self.observer.is_some() || self.profiler.is_some() {
+            return Err(SnapError::Corrupt("checkpoint runs execute unobserved"));
+        }
+        let total_intervals = self.spec.total_intervals();
+        if split_at > total_intervals {
+            return Err(SnapError::Corrupt("checkpoint split beyond workload end"));
+        }
+        let tiered = self.config.is_tiered();
+        let mut arena = SimArena::new();
+        let mut intervals = Vec::with_capacity(split_at as usize);
+        let mut bypassed_total = 0u64;
+        let mut w = SnapWriter::new();
+        let policy_changes;
+        if tiered {
+            let mut system = arena.take_tiered(&self.config);
+            system.set_policy(controller.initial_policy());
+            let mut changes = vec![PolicyChange {
+                interval: 0,
+                policy: tier_policy_label(system.level_policies()),
+            }];
+            self.tiered_span(
+                &mut system,
+                controller,
+                0,
+                split_at,
+                &mut intervals,
+                &mut changes,
+                &mut bypassed_total,
+            );
+            policy_changes = changes;
+            system.snap_to(&mut w);
+        } else {
+            let mut system = arena.take_flat(&self.config);
+            system.set_policy(controller.initial_policy());
+            let mut changes = vec![PolicyChange {
+                interval: 0,
+                policy: controller.initial_policy().label().to_string(),
+            }];
+            self.flat_span(
+                &mut system,
+                controller,
+                0,
+                split_at,
+                &mut intervals,
+                &mut changes,
+                &mut bypassed_total,
+            );
+            policy_changes = changes;
+            system.snap_to(&mut w);
+        }
+        controller.save_state(&mut w);
+        Ok(ReplayCheckpoint {
+            workload: self.spec.name().to_string(),
+            controller: controller.name().to_string(),
+            seed: self.seed,
+            tiered,
+            next_interval: split_at,
+            total_intervals,
+            bypassed_total,
+            intervals,
+            policy_changes,
+            state: w.into_bytes(),
+        })
+    }
+
+    /// Continues a run paused by [`Simulation::run_to_checkpoint`], restoring
+    /// the storage system and the controller and executing the remaining
+    /// intervals. The returned report is byte-identical to the report the
+    /// unsplit run would have produced.
+    ///
+    /// The checkpoint's identity fields are validated against this
+    /// simulation and `controller`; any mismatch (different workload, seed,
+    /// controller, datapath, or interval count) is a typed error, never a
+    /// silently wrong replay.
+    pub fn resume_from_checkpoint(
+        &mut self,
+        controller: &mut dyn CacheController,
+        cp: &ReplayCheckpoint,
+    ) -> Result<SimulationReport, SnapError> {
+        if self.observer.is_some() || self.profiler.is_some() {
+            return Err(SnapError::Corrupt("checkpoint runs execute unobserved"));
+        }
+        if cp.tiered != self.config.is_tiered() {
+            return Err(SnapError::Corrupt("checkpoint datapath mismatch"));
+        }
+        if cp.workload != self.spec.name() {
+            return Err(SnapError::Corrupt("checkpoint workload mismatch"));
+        }
+        if cp.seed != self.seed {
+            return Err(SnapError::Corrupt("checkpoint seed mismatch"));
+        }
+        if cp.controller != controller.name() {
+            return Err(SnapError::Corrupt("checkpoint controller mismatch"));
+        }
+        if cp.total_intervals != self.spec.total_intervals() {
+            return Err(SnapError::Corrupt("checkpoint interval count mismatch"));
+        }
+        if cp.next_interval > cp.total_intervals {
+            return Err(SnapError::Corrupt("checkpoint interval beyond workload end"));
+        }
+        let mut arena = SimArena::new();
+        let mut intervals = cp.intervals.clone();
+        let mut policy_changes = cp.policy_changes.clone();
+        let mut bypassed_total = cp.bypassed_total;
+        let mut r = SnapReader::new(&cp.state);
+        if cp.tiered {
+            let mut system = arena.take_tiered(&self.config);
+            // The restored cache carries the checkpointed write policy;
+            // `set_policy(initial)` is deliberately *not* replayed.
+            system.snap_state_from(&mut r)?;
+            controller.restore_state(&mut r)?;
+            r.finish()?;
+            self.tiered_span(
+                &mut system,
+                controller,
+                cp.next_interval,
+                cp.total_intervals,
+                &mut intervals,
+                &mut policy_changes,
+                &mut bypassed_total,
+            );
+            if self.drain_at_end {
+                system.drain_with(600, &mut NoProf);
+            }
+            Ok(SimulationReport {
+                workload: self.spec.name().to_string(),
+                controller: controller.name().to_string(),
+                total_intervals: cp.total_intervals,
+                intervals,
+                policy_changes,
+                app_completed: system.app_completed(),
+                app_avg_latency_us: system.app_avg_latency_us(),
+                app_max_latency_us: system.app_max_latency_us(),
+                app_p50_latency_us: system.app_percentile_us(50.0),
+                app_p95_latency_us: system.app_percentile_us(95.0),
+                app_p99_latency_us: system.app_percentile_us(99.0),
+                bypassed_requests: bypassed_total,
+                cache_stats: *system.cache().stats(0),
+                perf: crate::report::SimPerf {
+                    events_processed: system.events_processed(),
+                    peak_event_queue_depth: system.peak_event_queue_depth(),
+                },
+                tier_stats: system.tier_level_stats(),
+            })
+        } else {
+            let mut system = arena.take_flat(&self.config);
+            system.snap_state_from(&mut r)?;
+            controller.restore_state(&mut r)?;
+            r.finish()?;
+            self.flat_span(
+                &mut system,
+                controller,
+                cp.next_interval,
+                cp.total_intervals,
+                &mut intervals,
+                &mut policy_changes,
+                &mut bypassed_total,
+            );
+            if self.drain_at_end {
+                system.drain_with(600, &mut NoProf);
+            }
+            Ok(SimulationReport {
+                workload: self.spec.name().to_string(),
+                controller: controller.name().to_string(),
+                total_intervals: cp.total_intervals,
+                intervals,
+                policy_changes,
+                app_completed: system.app_completed(),
+                app_avg_latency_us: system.app_avg_latency_us(),
+                app_max_latency_us: system.app_max_latency_us(),
+                app_p50_latency_us: system.app_percentile_us(50.0),
+                app_p95_latency_us: system.app_percentile_us(95.0),
+                app_p99_latency_us: system.app_percentile_us(99.0),
+                bypassed_requests: bypassed_total,
+                cache_stats: *system.cache().stats(),
+                perf: crate::report::SimPerf {
+                    events_processed: system.events_processed(),
+                    peak_event_queue_depth: system.peak_event_queue_depth(),
+                },
+                tier_stats: Vec::new(),
+            })
+        }
+    }
+
+    /// Intervals `[start, end)` of the flat loop, shared by the two
+    /// checkpoint paths. The body mirrors [`Simulation::run_flat`] step for
+    /// step (minus profiling and observability, which checkpointed runs do
+    /// not support) — the pinned `run_flat` datapath itself stays untouched.
+    #[allow(clippy::too_many_arguments)]
+    fn flat_span(
+        &mut self,
+        system: &mut StorageSystem,
+        controller: &mut dyn CacheController,
+        start: u32,
+        end: u32,
+        intervals: &mut Vec<IntervalReport>,
+        policy_changes: &mut Vec<PolicyChange>,
+        bypassed_total: &mut u64,
+    ) {
+        let interval_us = self.spec.interval_us();
+        for index in start..end {
+            for record in self.spec.generate_interval(index, self.seed) {
+                system.schedule_record(&record);
+            }
+            let boundary = SimTime::from_micros((index as u64 + 1) * interval_us);
+            system.run_until_with(boundary, &mut NoProf);
+
+            let mut report = system.end_interval(index);
+            let decision = {
+                let ctx = ControllerContext {
+                    interval_index: index,
+                    now: system.now(),
+                    cache_queue_depth: report.cache.queue_depth,
+                    disk_queue_depth: report.disk.queue_depth,
+                    cache_avg_latency: system.cache_avg_latency(),
+                    disk_avg_latency: system.disk_avg_latency(),
+                    cache_queue_mix: report.cache_queue_mix,
+                    current_policy: system.policy(),
+                    cache_queue: system.cache_queue(),
+                    tier_loads: &[],
+                    tier_policies: &[],
+                };
+                controller.on_interval(&ctx)
+            };
+
+            report.burst_detected = decision.burst_detected;
+            if decision.policy != system.policy() {
+                system.set_policy(decision.policy);
+                policy_changes.push(PolicyChange {
+                    interval: index + 1,
+                    policy: decision.policy.label().to_string(),
+                });
+            }
+            *bypassed_total += system.apply_bypass(&decision.bypass) as u64;
+            intervals.push(report);
+        }
+    }
+
+    /// Intervals `[start, end)` of the tiered loop, shared by the two
+    /// checkpoint paths (the twin of [`Simulation::flat_span`]; mirrors
+    /// [`Simulation::run_tiered`]).
+    #[allow(clippy::too_many_arguments)]
+    fn tiered_span(
+        &mut self,
+        system: &mut TieredStorageSystem,
+        controller: &mut dyn CacheController,
+        start: u32,
+        end: u32,
+        intervals: &mut Vec<IntervalReport>,
+        policy_changes: &mut Vec<PolicyChange>,
+        bypassed_total: &mut u64,
+    ) {
+        let interval_us = self.spec.interval_us();
+        let mut tier_loads: Vec<TierLoad> = Vec::with_capacity(system.tier_count());
+        for index in start..end {
+            for record in self.spec.generate_interval(index, self.seed) {
+                system.schedule_record(&record);
+            }
+            let boundary = SimTime::from_micros((index as u64 + 1) * interval_us);
+            system.run_until_with(boundary, &mut NoProf);
+
+            let mut report = system.end_interval_with(index, &mut NoProf);
+            system.tier_loads_into(&mut tier_loads);
+
+            let decision = {
+                let ctx = ControllerContext {
+                    interval_index: index,
+                    now: system.now(),
+                    cache_queue_depth: report.cache.queue_depth,
+                    disk_queue_depth: report.disk.queue_depth,
+                    cache_avg_latency: system.cache_avg_latency(),
+                    disk_avg_latency: system.disk_avg_latency(),
+                    cache_queue_mix: report.cache_queue_mix,
+                    current_policy: system.policy(),
+                    cache_queue: system.cache_queue(),
+                    tier_loads: &tier_loads,
+                    tier_policies: system.level_policies(),
+                };
+                controller.on_interval(&ctx)
+            };
+
+            report.burst_detected = decision.burst_detected;
+            if decision.tier_policies.is_empty() {
+                if decision.policy != system.policy() {
+                    system.set_policy(decision.policy);
+                    policy_changes.push(PolicyChange {
+                        interval: index + 1,
+                        policy: tier_policy_label(system.level_policies()),
+                    });
+                }
+            } else if system.level_policies() != decision.tier_policies.as_slice() {
+                system.set_level_policies(&decision.tier_policies);
+                policy_changes.push(PolicyChange {
+                    interval: index + 1,
+                    policy: tier_policy_label(&decision.tier_policies),
+                });
+            }
+            let spilled_writes_before = system.spilled_requests();
+            let spilled_reads_before = system.spilled_reads();
+            let moved = system.apply_bypass(&decision.bypass) as u64;
+            let spill_writes = system.spilled_requests() - spilled_writes_before;
+            let spill_reads = system.spilled_reads() - spilled_reads_before;
+            *bypassed_total += moved - (spill_writes + spill_reads);
+            intervals.push(report);
+        }
+    }
 }
 
 /// The Fig. 6-style label of a per-tier policy assignment: the plain policy
@@ -732,6 +1059,92 @@ mod tests {
         let reused = Simulation::new(SimulationConfig::tiny(), spec, 13)
             .run_in(&mut StaticPolicyController::write_back(), &mut arena);
         assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn checkpointed_flat_replay_equals_the_unsplit_run() {
+        let spec = WorkloadSpec::tpcc_scaled(WorkloadScale::tiny());
+        let total = spec.total_intervals();
+        let unsplit = Simulation::new(SimulationConfig::tiny(), spec.clone(), 7)
+            .run(&mut StaticPolicyController::write_back());
+        // Every boundary is a legal split point, including 0 (resume runs
+        // everything) and total (resume only drains and reports).
+        for split in [0, 1, total / 2, total - 1, total] {
+            let cp = Simulation::new(SimulationConfig::tiny(), spec.clone(), 7)
+                .run_to_checkpoint(&mut StaticPolicyController::write_back(), split)
+                .unwrap();
+            let cp = ReplayCheckpoint::from_bytes(&cp.to_bytes()).unwrap();
+            let resumed = Simulation::new(SimulationConfig::tiny(), spec.clone(), 7)
+                .resume_from_checkpoint(&mut StaticPolicyController::write_back(), &cp)
+                .unwrap();
+            assert_eq!(unsplit, resumed, "split at {split} diverged");
+        }
+    }
+
+    #[test]
+    fn checkpointed_tiered_replay_equals_the_unsplit_run() {
+        let spec = WorkloadSpec::mail_server_scaled(WorkloadScale::tiny());
+        let total = spec.total_intervals();
+        let unsplit = Simulation::new(SimulationConfig::tiny_two_tier(), spec.clone(), 7)
+            .run(&mut StaticPolicyController::write_back());
+        for split in [1, total / 2, total] {
+            let cp = Simulation::new(SimulationConfig::tiny_two_tier(), spec.clone(), 7)
+                .run_to_checkpoint(&mut StaticPolicyController::write_back(), split)
+                .unwrap();
+            let cp = ReplayCheckpoint::from_bytes(&cp.to_bytes()).unwrap();
+            let resumed = Simulation::new(SimulationConfig::tiny_two_tier(), spec.clone(), 7)
+                .resume_from_checkpoint(&mut StaticPolicyController::write_back(), &cp)
+                .unwrap();
+            assert_eq!(unsplit, resumed, "split at {split} diverged");
+        }
+    }
+
+    #[test]
+    fn checkpoints_refuse_to_resume_against_the_wrong_cell() {
+        use lbica_storage::snap::SnapError;
+        let spec = WorkloadSpec::tpcc_scaled(WorkloadScale::tiny());
+        let cp = Simulation::new(SimulationConfig::tiny(), spec.clone(), 7)
+            .run_to_checkpoint(&mut StaticPolicyController::write_back(), 2)
+            .unwrap();
+        // Wrong seed.
+        let err = Simulation::new(SimulationConfig::tiny(), spec.clone(), 8)
+            .resume_from_checkpoint(&mut StaticPolicyController::write_back(), &cp)
+            .unwrap_err();
+        assert_eq!(err, SnapError::Corrupt("checkpoint seed mismatch"));
+        // Wrong workload.
+        let other = WorkloadSpec::web_server_scaled(WorkloadScale::tiny());
+        let err = Simulation::new(SimulationConfig::tiny(), other, 7)
+            .resume_from_checkpoint(&mut StaticPolicyController::write_back(), &cp)
+            .unwrap_err();
+        assert_eq!(err, SnapError::Corrupt("checkpoint workload mismatch"));
+        // Wrong controller.
+        let err = Simulation::new(SimulationConfig::tiny(), spec.clone(), 7)
+            .resume_from_checkpoint(&mut StaticPolicyController::new(WritePolicy::ReadOnly), &cp)
+            .unwrap_err();
+        assert_eq!(err, SnapError::Corrupt("checkpoint controller mismatch"));
+        // Wrong datapath.
+        let err = Simulation::new(SimulationConfig::tiny_two_tier(), spec.clone(), 7)
+            .resume_from_checkpoint(&mut StaticPolicyController::write_back(), &cp)
+            .unwrap_err();
+        assert_eq!(err, SnapError::Corrupt("checkpoint datapath mismatch"));
+        // Split past the end of the workload.
+        let err = Simulation::new(SimulationConfig::tiny(), spec, 7)
+            .run_to_checkpoint(&mut StaticPolicyController::write_back(), cp.total_intervals + 1)
+            .unwrap_err();
+        assert_eq!(err, SnapError::Corrupt("checkpoint split beyond workload end"));
+    }
+
+    #[test]
+    fn checkpoint_paths_reject_observed_runs() {
+        let spec = WorkloadSpec::tpcc_scaled(WorkloadScale::tiny());
+        let err = Simulation::new(SimulationConfig::tiny(), spec, 7)
+            .with_observer(lbica_obs::SimObserver::new())
+            .run_to_checkpoint(&mut StaticPolicyController::write_back(), 1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            lbica_storage::snap::SnapError::Corrupt("checkpoint runs execute unobserved")
+        );
     }
 
     #[test]

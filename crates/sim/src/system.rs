@@ -5,6 +5,7 @@ use lbica_obs::{NoProf, Phase, PhaseSink};
 use lbica_storage::device::{AnyDeviceModel, DeviceModel, HddModel, SsdModel};
 use lbica_storage::queue::DeviceQueue;
 use lbica_storage::request::{IoRequest, RequestClass, RequestId, RequestOrigin};
+use lbica_storage::snap::{SnapError, SnapReader, SnapWriter};
 use lbica_storage::time::{SimDuration, SimTime};
 use lbica_trace::monitor::{BlktraceProbe, IostatCollector, Tier};
 use lbica_trace::record::TraceRecord;
@@ -102,6 +103,28 @@ impl DeviceStation {
         self.queue.reset();
         self.model.reset_history();
         self.in_service = 0;
+    }
+
+    /// Serializes the station for a replay checkpoint: the queue (pending
+    /// requests and statistics), the device model's service-relevant state
+    /// and the in-service slot count. Parallelism and the device config are
+    /// not stored — they are rebuilt from the simulation config.
+    pub(crate) fn snap_to(&self, w: &mut SnapWriter) {
+        self.queue.snap_to(w);
+        self.model.snap_state_to(w);
+        w.put_usize(self.in_service);
+    }
+
+    /// Restores state written by [`DeviceStation::snap_to`] into this
+    /// config-built station.
+    pub(crate) fn snap_state_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.queue = DeviceQueue::snap_from(r)?;
+        self.model.snap_state_from(r)?;
+        self.in_service = r.get_usize()?;
+        if self.in_service > self.parallelism {
+            return Err(SnapError::Corrupt("in-service count exceeds parallelism"));
+        }
+        Ok(())
     }
 }
 
@@ -471,6 +494,46 @@ impl StorageSystem {
         self.ssd.queue()
     }
 
+    /// Serializes the full mid-flight system state for a replay checkpoint.
+    ///
+    /// Meant to be called at a monitoring-interval boundary (after
+    /// [`StorageSystem::end_interval`]). The monitors' *in-progress*
+    /// accumulators are stored too: they are usually fresh at a boundary,
+    /// but a boundary-time controller action — a bypass moving queued
+    /// requests to the disk subsystem — has already fed the next interval's
+    /// counters by the time the snapshot is taken. The finished-interval
+    /// history is not stored; the runner's accumulated reports carry it.
+    pub fn snap_to(&self, w: &mut SnapWriter) {
+        self.cache.snap_to(w);
+        self.ssd.snap_to(w);
+        self.disk.snap_to(w);
+        self.events.snap_to(w);
+        w.put_u64(self.clock.as_micros());
+        self.app.snap_to(w);
+        w.put_u64(self.next_id);
+        w.put_u64(self.events_processed);
+        self.iostat.snap_to(w);
+        self.probe.snap_to(w);
+    }
+
+    /// Restores state written by [`StorageSystem::snap_to`] into this
+    /// config-built system. The config must match the one the snapshot was
+    /// taken under; geometry mismatches surface as typed
+    /// [`SnapError::Corrupt`] errors.
+    pub fn snap_state_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cache.snap_state_from(r)?;
+        self.ssd.snap_state_from(r)?;
+        self.disk.snap_state_from(r)?;
+        self.events.snap_state_from(r)?;
+        self.clock = SimTime::from_micros(r.get_u64()?);
+        self.app.snap_state_from(r)?;
+        self.next_id = r.get_u64()?;
+        self.events_processed = r.get_u64()?;
+        self.iostat.snap_state_from(r)?;
+        self.probe.snap_state_from(r)?;
+        Ok(())
+    }
+
     /// Number of events still pending (for drain loops at the end of a run).
     pub fn pending_events(&self) -> usize {
         self.events.len()
@@ -641,6 +704,48 @@ mod tests {
         assert!(sys.pending_events() > 0);
         // The clock advanced exactly max_steps × 100 ms.
         assert_eq!(sys.now(), SimTime::from_millis(300));
+    }
+
+    #[test]
+    fn mid_flight_snapshot_resumes_identically_to_the_unsplit_run() {
+        let config = SimulationConfig::tiny();
+        let schedule_first = |sys: &mut StorageSystem| {
+            for i in 0..200u64 {
+                let kind = if i % 3 == 0 { RequestKind::Write } else { RequestKind::Read };
+                sys.schedule_record(&record(i * 5, (i % 700) * 8, kind));
+            }
+        };
+        let mut sys = StorageSystem::new(&config);
+        schedule_first(&mut sys);
+        sys.run_until(SimTime::from_micros(500));
+        let _ = sys.end_interval(0);
+        assert!(sys.pending_events() > 0, "the snapshot must cover in-flight work");
+
+        let mut w = SnapWriter::new();
+        sys.snap_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = StorageSystem::new(&config);
+        let mut r = SnapReader::new(&bytes);
+        restored.snap_state_from(&mut r).unwrap();
+        r.finish().unwrap();
+
+        // Drive both through an identical second interval.
+        for s in [&mut sys, &mut restored] {
+            for i in 0..50u64 {
+                s.schedule_record(&record(520 + i * 3, (i % 900) * 8, RequestKind::Read));
+            }
+            s.run_until(SimTime::from_micros(1_000));
+        }
+        assert_eq!(restored.now(), sys.now());
+        assert_eq!(restored.end_interval(1), sys.end_interval(1));
+        assert_eq!(restored.events_processed(), sys.events_processed());
+        assert_eq!(restored.app_completed(), sys.app_completed());
+        assert_eq!(restored.app_avg_latency_us(), sys.app_avg_latency_us());
+        assert_eq!(restored.cache().stats(), sys.cache().stats());
+        assert_eq!(restored.pending_events(), sys.pending_events());
+        assert!(restored.drain(600) && sys.drain(600));
+        assert_eq!(restored.app_completed(), sys.app_completed());
+        assert_eq!(restored.app_max_latency_us(), sys.app_max_latency_us());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use lbica_obs::{NoProf, Phase, PhaseSink};
 use lbica_storage::device::{AnyDeviceModel, DeviceModel, HddModel, SsdModel};
 use lbica_storage::queue::DeviceQueue;
 use lbica_storage::request::{IoRequest, RequestClass, RequestId, RequestOrigin};
+use lbica_storage::snap::{SnapError, SnapReader, SnapWriter};
 use lbica_storage::time::{SimDuration, SimTime};
 use lbica_tier::{TierTarget, TieredCacheModule, TieredOutcome, MAX_TIERS};
 use lbica_trace::monitor::{BlktraceProbe, IostatCollector, Tier};
@@ -586,6 +587,61 @@ impl TieredStorageSystem {
         }
     }
 
+    /// Serializes the full mid-flight system state for a replay checkpoint
+    /// (the tiered twin of [`crate::StorageSystem::snap_to`]; same
+    /// interval-boundary contract — including the monitors' in-progress
+    /// accumulators, which boundary-time bypasses may already have fed).
+    pub fn snap_to(&self, w: &mut SnapWriter) {
+        self.cache.snap_to(w);
+        w.put_usize(self.levels.len());
+        for station in &self.levels {
+            station.snap_to(w);
+        }
+        self.disk.snap_to(w);
+        for c in &self.counters {
+            w.put_u64(c.completed);
+            w.put_u64(c.total_latency_us);
+            w.put_u64(c.max_latency_us);
+        }
+        self.events.snap_to(w);
+        w.put_u64(self.clock.as_micros());
+        self.app.snap_to(w);
+        w.put_u64(self.next_id);
+        w.put_u64(self.events_processed);
+        w.put_u64(self.spilled_requests);
+        w.put_u64(self.spilled_reads);
+        self.iostat.snap_to(w);
+        self.probe.snap_to(w);
+    }
+
+    /// Restores state written by [`TieredStorageSystem::snap_to`] into this
+    /// config-built system.
+    pub fn snap_state_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cache.snap_state_from(r)?;
+        if r.get_usize()? != self.levels.len() {
+            return Err(SnapError::Corrupt("station level count mismatch"));
+        }
+        for station in &mut self.levels {
+            station.snap_state_from(r)?;
+        }
+        self.disk.snap_state_from(r)?;
+        for c in &mut self.counters {
+            c.completed = r.get_u64()?;
+            c.total_latency_us = r.get_u64()?;
+            c.max_latency_us = r.get_u64()?;
+        }
+        self.events.snap_state_from(r)?;
+        self.clock = SimTime::from_micros(r.get_u64()?);
+        self.app.snap_state_from(r)?;
+        self.next_id = r.get_u64()?;
+        self.events_processed = r.get_u64()?;
+        self.spilled_requests = r.get_u64()?;
+        self.spilled_reads = r.get_u64()?;
+        self.iostat.snap_state_from(r)?;
+        self.probe.snap_state_from(r)?;
+        Ok(())
+    }
+
     /// Number of events still pending (for drain loops at the end of a run).
     pub fn pending_events(&self) -> usize {
         self.events.len()
@@ -793,6 +849,42 @@ mod tests {
         assert_eq!(loads.len(), 2);
         assert!(loads[0].queue_depth > 0);
         assert!(loads[0].avg_latency > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn mid_flight_snapshot_resumes_identically_to_the_unsplit_run() {
+        let config = SimulationConfig::tiny_two_tier();
+        let mut sys = TieredStorageSystem::new(&config);
+        for i in 0..200u64 {
+            let kind = if i % 3 == 0 { RequestKind::Write } else { RequestKind::Read };
+            sys.schedule_record(&record(i * 5, (i % 1_500) * 8, kind));
+        }
+        sys.run_until(SimTime::from_micros(500));
+        let _ = sys.end_interval(0);
+        assert!(sys.pending_events() > 0, "the snapshot must cover in-flight work");
+
+        let mut w = SnapWriter::new();
+        sys.snap_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = TieredStorageSystem::new(&config);
+        let mut r = SnapReader::new(&bytes);
+        restored.snap_state_from(&mut r).unwrap();
+        r.finish().unwrap();
+
+        for s in [&mut sys, &mut restored] {
+            for i in 0..50u64 {
+                s.schedule_record(&record(520 + i * 3, (i % 900) * 8, RequestKind::Read));
+            }
+            s.run_until(SimTime::from_micros(1_000));
+        }
+        assert_eq!(restored.now(), sys.now());
+        assert_eq!(restored.end_interval(1), sys.end_interval(1));
+        assert_eq!(restored.events_processed(), sys.events_processed());
+        assert_eq!(restored.app_completed(), sys.app_completed());
+        assert_eq!(restored.tier_level_stats(), sys.tier_level_stats());
+        assert!(restored.drain(600) && sys.drain(600));
+        assert_eq!(restored.app_completed(), sys.app_completed());
+        assert_eq!(restored.tier_level_stats(), sys.tier_level_stats());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use lbica_storage::histogram::LatencyHistogram;
 use lbica_storage::request::RequestId;
+use lbica_storage::snap::{SnapError, SnapReader, SnapWriter};
 use lbica_storage::time::SimTime;
 
 /// Sentinel for "no slot" in the id→slot index.
@@ -98,6 +99,50 @@ impl AppTracker {
         self.total_latency_us = 0;
         self.max_latency_us = 0;
         self.latency.reset();
+    }
+
+    /// Serializes the tracker for a replay checkpoint: the completed-side
+    /// aggregates plus every in-flight request as an `(id, arrival,
+    /// pending_ops)` triple in id order. Slab slot assignments are *not*
+    /// recorded — they are unobservable bookkeeping, rebuilt on restore.
+    pub fn snap_to(&self, w: &mut SnapWriter) {
+        w.put_u64(self.completed);
+        w.put_u64(self.total_latency_us);
+        w.put_u64(self.max_latency_us);
+        self.latency.snap_to(w);
+        w.put_usize(self.outstanding());
+        for (id, &slot) in self.index.iter().enumerate() {
+            if slot != NIL {
+                let entry = &self.slots[slot as usize];
+                w.put_u64(id as u64);
+                w.put_u64(entry.arrival.as_micros());
+                w.put_u32(entry.pending_ops);
+            }
+        }
+    }
+
+    /// Restores state written by [`AppTracker::snap_to`] into this tracker
+    /// (whose own accounting is discarded).
+    pub fn snap_state_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.reset();
+        self.completed = r.get_u64()?;
+        self.total_latency_us = r.get_u64()?;
+        self.max_latency_us = r.get_u64()?;
+        self.latency = LatencyHistogram::snap_from(r)?;
+        let live = r.get_usize()?;
+        for _ in 0..live {
+            let id = r.get_u64()?;
+            let arrival = SimTime::from_micros(r.get_u64()?);
+            let pending_ops = r.get_u32()?;
+            if pending_ops == 0 {
+                return Err(SnapError::Corrupt("live request with zero pending ops"));
+            }
+            if self.index.get(id as usize).is_some_and(|&s| s != NIL) {
+                return Err(SnapError::Corrupt("duplicate live request id"));
+            }
+            self.register(id, arrival, pending_ops);
+        }
+        Ok(())
     }
 
     /// Registers an application request that fans out into `pending_ops`
@@ -220,6 +265,54 @@ mod tests {
         assert_eq!(t.completed(), 2);
         assert_eq!(t.max_latency_us(), 120);
         assert_eq!(t.total_latency_us(), 150);
+    }
+
+    #[test]
+    fn snapshot_round_trip_restores_aggregates_and_in_flight_requests() {
+        let mut t = AppTracker::new();
+        for id in 1..=20u64 {
+            t.register(id, SimTime::from_micros(id), 1);
+            t.complete_op(id, SimTime::from_micros(id + 5));
+        }
+        t.register(21, SimTime::from_micros(100), 2);
+        t.register(22, SimTime::from_micros(110), 1);
+        t.complete_op(21, SimTime::from_micros(120));
+
+        let mut w = SnapWriter::new();
+        t.snap_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = AppTracker::new();
+        let mut r = SnapReader::new(&bytes);
+        restored.snap_state_from(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(restored.completed(), t.completed());
+        assert_eq!(restored.total_latency_us(), t.total_latency_us());
+        assert_eq!(restored.max_latency_us(), t.max_latency_us());
+        assert_eq!(restored.outstanding(), 2);
+        assert_eq!(restored.percentile_us(50.0), t.percentile_us(50.0));
+        // The restored tracker finishes the in-flight requests identically.
+        restored.complete_op(21, SimTime::from_micros(300));
+        t.complete_op(21, SimTime::from_micros(300));
+        restored.complete_op(22, SimTime::from_micros(310));
+        t.complete_op(22, SimTime::from_micros(310));
+        assert_eq!(restored.completed(), t.completed());
+        assert_eq!(restored.total_latency_us(), t.total_latency_us());
+        assert_eq!(restored.max_latency_us(), t.max_latency_us());
+    }
+
+    #[test]
+    fn zero_pending_ops_in_a_snapshot_is_rejected() {
+        let mut t = AppTracker::new();
+        t.register(7, SimTime::from_micros(5), 3);
+        let mut w = SnapWriter::new();
+        t.snap_to(&mut w);
+        let mut bytes = w.into_bytes();
+        // The trailing u32 is the live entry's pending_ops.
+        let n = bytes.len();
+        bytes[n - 4..].fill(0);
+        let err = AppTracker::new().snap_state_from(&mut SnapReader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, SnapError::Corrupt("live request with zero pending ops")));
     }
 
     #[test]

@@ -98,6 +98,23 @@ impl HddModel {
         &self.config
     }
 
+    /// Serializes the model's mutable state (the sequential-stream cursor)
+    /// for a replay checkpoint. The configuration itself is rebuilt from the
+    /// simulation config on resume, not stored.
+    pub fn snap_state_to(&self, w: &mut crate::snap::SnapWriter) {
+        w.put_opt_u64(self.last_end_sector);
+    }
+
+    /// Restores state serialized by [`HddModel::snap_state_to`] into a model
+    /// already built with the original configuration.
+    pub fn snap_state_from(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        self.last_end_sector = r.get_opt_u64()?;
+        Ok(())
+    }
+
     fn is_sequential(&self, start_sector: u64) -> bool {
         match self.last_end_sector {
             Some(end) => {

@@ -130,6 +130,23 @@ impl SsdModel {
         &self.config
     }
 
+    /// Serializes the model's mutable state (the write-pressure window) for
+    /// a replay checkpoint. The configuration itself is rebuilt from the
+    /// simulation config on resume, not stored.
+    pub fn snap_state_to(&self, w: &mut crate::snap::SnapWriter) {
+        w.put_u32(self.writes_since_idle);
+    }
+
+    /// Restores state serialized by [`SsdModel::snap_state_to`] into a model
+    /// already built with the original configuration.
+    pub fn snap_state_from(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        self.writes_since_idle = r.get_u32()?;
+        Ok(())
+    }
+
     fn transfer_time(&self, sectors: u64) -> SimDuration {
         // The first 4 KiB is covered by the base access latency; only the
         // remainder pays the streaming-bandwidth cost, spread over channels.

@@ -10,6 +10,7 @@ use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use crate::time::SimDuration;
 
 /// Growth factor between consecutive bucket boundaries.
@@ -207,6 +208,37 @@ impl LatencyHistogram {
         self.max_us = 0;
         self.min_us = u64::MAX;
     }
+
+    /// Serializes the histogram for a replay checkpoint.
+    pub fn snap_to(&self, w: &mut SnapWriter) {
+        w.put_usize(self.buckets.len());
+        for &b in &self.buckets {
+            w.put_u64(b);
+        }
+        w.put_u64(self.count);
+        w.put_u64(self.total_us);
+        w.put_u64(self.max_us);
+        w.put_u64(self.min_us);
+    }
+
+    /// Restores a histogram serialized by [`LatencyHistogram::snap_to`].
+    pub fn snap_from(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let len = r.get_usize()?;
+        if len != BUCKETS {
+            return Err(SnapError::Corrupt("histogram bucket count"));
+        }
+        let mut buckets = vec![0u64; BUCKETS];
+        for slot in &mut buckets {
+            *slot = r.get_u64()?;
+        }
+        Ok(LatencyHistogram {
+            buckets,
+            count: r.get_u64()?,
+            total_us: r.get_u64()?,
+            max_us: r.get_u64()?,
+            min_us: r.get_u64()?,
+        })
+    }
 }
 
 impl Default for LatencyHistogram {
@@ -331,6 +363,37 @@ mod tests {
         }
         assert_eq!(a, b);
         assert_eq!(a.total_us(), 7 + 80 + 900 + 12_000);
+    }
+
+    #[test]
+    fn snap_round_trip_is_exact() {
+        let h = filled(&[7, 80, 900, 12_000, u64::MAX / 3]);
+        let mut w = SnapWriter::new();
+        h.snap_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let restored = LatencyHistogram::snap_from(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored, h);
+
+        // Empty histograms round-trip too (min_us sentinel preserved).
+        let empty = LatencyHistogram::new();
+        let mut w = SnapWriter::new();
+        empty.snap_to(&mut w);
+        let bytes = w.into_bytes();
+        let restored = LatencyHistogram::snap_from(&mut SnapReader::new(&bytes)).unwrap();
+        assert_eq!(restored, empty);
+    }
+
+    #[test]
+    fn snap_from_rejects_wrong_bucket_count() {
+        let mut w = SnapWriter::new();
+        w.put_usize(7);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            LatencyHistogram::snap_from(&mut SnapReader::new(&bytes)),
+            Err(SnapError::Corrupt("histogram bucket count"))
+        );
     }
 
     #[test]

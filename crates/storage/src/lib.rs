@@ -15,6 +15,9 @@
 //! * [`queue`] — [`DeviceQueue`], a FIFO device queue with request merging,
 //!   wait-time accounting and snapshot support; this is the structure whose
 //!   depth (`ssdQSize` / `hddQSize`) drives LBICA's bottleneck detector.
+//! * [`snap`] — [`SnapWriter`] / [`SnapReader`], the hand-rolled
+//!   little-endian encoding replay checkpoints use to serialize mid-flight
+//!   simulation state across every crate in the workspace.
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@ pub mod error;
 pub mod histogram;
 pub mod queue;
 pub mod request;
+pub mod snap;
 pub mod time;
 
 pub use block::{BlockRange, Lba, BLOCK_SECTORS, SECTOR_SIZE};
@@ -50,4 +54,5 @@ pub use error::StorageError;
 pub use histogram::LatencyHistogram;
 pub use queue::{DeviceQueue, QueueSnapshot, QueueStats};
 pub use request::{IoRequest, RequestClass, RequestId, RequestKind, RequestOrigin};
+pub use snap::{SnapError, SnapReader, SnapWriter};
 pub use time::{SimDuration, SimTime};

@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 use serde::{Deserialize, Serialize};
 
 use crate::request::{IoRequest, RequestClass, RequestId};
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use crate::time::{SimDuration, SimTime};
 
 /// A point-in-time view of a [`DeviceQueue`], as a `blktrace`-style probe
@@ -71,6 +72,24 @@ impl QueueSnapshot {
         self.writes += other.writes;
         self.promotes += other.promotes;
         self.evicts += other.evicts;
+    }
+
+    /// Serializes the class counts for a replay checkpoint.
+    pub fn snap_to(&self, w: &mut SnapWriter) {
+        w.put_usize(self.reads);
+        w.put_usize(self.writes);
+        w.put_usize(self.promotes);
+        w.put_usize(self.evicts);
+    }
+
+    /// Restores counts serialized by [`QueueSnapshot::snap_to`].
+    pub fn snap_from(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(QueueSnapshot {
+            reads: r.get_usize()?,
+            writes: r.get_usize()?,
+            promotes: r.get_usize()?,
+            evicts: r.get_usize()?,
+        })
     }
 }
 
@@ -292,6 +311,47 @@ impl DeviceQueue {
         self.clear();
         self.stats = QueueStats::default();
     }
+
+    /// Serializes the queue — pending requests in order, cumulative stats —
+    /// for a replay checkpoint. The class mix is rebuilt from the pending
+    /// requests on restore rather than stored.
+    pub fn snap_to(&self, w: &mut SnapWriter) {
+        w.put_str(&self.name);
+        w.put_bool(self.merge_enabled);
+        w.put_u64(self.stats.enqueued);
+        w.put_u64(self.stats.dispatched);
+        w.put_u64(self.stats.merged);
+        w.put_u64(self.stats.bypassed);
+        w.put_u64(self.stats.total_wait_us);
+        w.put_usize(self.stats.peak_depth);
+        w.put_usize(self.pending.len());
+        for req in &self.pending {
+            req.snap_to(w);
+        }
+    }
+
+    /// Restores a queue serialized by [`DeviceQueue::snap_to`].
+    pub fn snap_from(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let name = r.get_str()?;
+        let merge_enabled = r.get_bool()?;
+        let stats = QueueStats {
+            enqueued: r.get_u64()?,
+            dispatched: r.get_u64()?,
+            merged: r.get_u64()?,
+            bypassed: r.get_u64()?,
+            total_wait_us: r.get_u64()?,
+            peak_depth: r.get_usize()?,
+        };
+        let len = r.get_usize()?;
+        let mut pending = VecDeque::with_capacity(len.min(1 << 20));
+        let mut mix = QueueSnapshot::default();
+        for _ in 0..len {
+            let req = IoRequest::snap_from(r)?;
+            mix.record(req.class());
+            pending.push_back(req);
+        }
+        Ok(DeviceQueue { name, pending, merge_enabled, stats, mix })
+    }
 }
 
 #[cfg(test)]
@@ -496,6 +556,47 @@ mod tests {
         q.enqueue(req(1, RequestKind::Read, RequestOrigin::Application, 0));
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn snap_round_trip_preserves_pending_order_mix_and_stats() {
+        let mut q = DeviceQueue::without_merging("ssd");
+        for i in 0..7u64 {
+            let origin = match i % 3 {
+                0 => RequestOrigin::Application,
+                1 => RequestOrigin::Promote,
+                _ => RequestOrigin::Evict,
+            };
+            q.enqueue(req(i, RequestKind::Write, origin, i * 1000));
+        }
+        q.dispatch(SimTime::from_micros(500));
+        q.drain_tail(1, |r| r.kind().is_write());
+
+        let mut w = SnapWriter::new();
+        q.snap_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let restored = DeviceQueue::snap_from(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(restored.name(), q.name());
+        assert_eq!(restored.depth(), q.depth());
+        assert_eq!(restored.stats(), q.stats());
+        assert_eq!(restored.snapshot(), q.snapshot());
+        let pending: Vec<u64> = restored.iter().map(|r| r.id()).collect();
+        let original: Vec<u64> = q.iter().map(|r| r.id()).collect();
+        assert_eq!(pending, original);
+    }
+
+    #[test]
+    fn snap_from_rejects_truncated_buffers() {
+        let mut q = DeviceQueue::new("hdd");
+        q.enqueue(req(1, RequestKind::Read, RequestOrigin::Application, 0));
+        let mut w = SnapWriter::new();
+        q.snap_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes[..bytes.len() - 3]);
+        assert!(matches!(DeviceQueue::snap_from(&mut r), Err(SnapError::UnexpectedEof { .. })));
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::block::{BlockRange, Lba};
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use crate::time::{SimDuration, SimTime};
 
 /// A monotonically increasing request identifier.
@@ -309,6 +310,65 @@ impl IoRequest {
     pub fn age(&self, now: SimTime) -> SimDuration {
         now.saturating_since(self.arrival)
     }
+
+    /// Serializes the full request lifecycle — including dispatch and
+    /// completion timestamps, so mid-flight requests inside a replay
+    /// checkpoint restore exactly.
+    pub fn snap_to(&self, w: &mut SnapWriter) {
+        w.put_u64(self.id);
+        w.put_u8(match self.kind {
+            RequestKind::Read => 0,
+            RequestKind::Write => 1,
+        });
+        w.put_u8(match self.origin {
+            RequestOrigin::Application => 0,
+            RequestOrigin::Promote => 1,
+            RequestOrigin::Evict => 2,
+            RequestOrigin::Flush => 3,
+        });
+        w.put_u64(self.range.start().sector());
+        w.put_u64(self.range.sectors());
+        w.put_opt_u64(self.parent);
+        w.put_u64(self.arrival.as_micros());
+        w.put_opt_u64(self.dispatch.map(SimTime::as_micros));
+        w.put_opt_u64(self.completion.map(SimTime::as_micros));
+    }
+
+    /// Restores a request serialized by [`IoRequest::snap_to`].
+    pub fn snap_from(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let id = r.get_u64()?;
+        let kind = match r.get_u8()? {
+            0 => RequestKind::Read,
+            1 => RequestKind::Write,
+            _ => return Err(SnapError::Corrupt("request kind tag")),
+        };
+        let origin = match r.get_u8()? {
+            0 => RequestOrigin::Application,
+            1 => RequestOrigin::Promote,
+            2 => RequestOrigin::Evict,
+            3 => RequestOrigin::Flush,
+            _ => return Err(SnapError::Corrupt("request origin tag")),
+        };
+        let start = r.get_u64()?;
+        let sectors = r.get_u64()?;
+        if sectors == 0 {
+            return Err(SnapError::Corrupt("zero-sector request"));
+        }
+        let parent = r.get_opt_u64()?;
+        let arrival = SimTime::from_micros(r.get_u64()?);
+        let dispatch = r.get_opt_u64()?.map(SimTime::from_micros);
+        let completion = r.get_opt_u64()?.map(SimTime::from_micros);
+        Ok(IoRequest {
+            id,
+            kind,
+            origin,
+            range: BlockRange::new(Lba::new(start), sectors),
+            parent,
+            arrival,
+            dispatch,
+            completion,
+        })
+    }
 }
 
 impl fmt::Display for IoRequest {
@@ -392,6 +452,35 @@ mod tests {
             IoRequest::new(3, RequestKind::Write, RequestOrigin::Promote, 0, 8).with_parent(42);
         assert_eq!(promote.parent(), Some(42));
         assert_eq!(promote.class(), RequestClass::Promote);
+    }
+
+    #[test]
+    fn snapshot_round_trips_mid_flight_requests() {
+        let mut inflight = IoRequest::new(11, RequestKind::Write, RequestOrigin::Evict, 512, 16)
+            .with_arrival(SimTime::from_micros(2_000))
+            .with_parent(7);
+        inflight.mark_dispatched(SimTime::from_micros(2_100));
+        inflight.mark_completed(SimTime::from_micros(2_450));
+
+        let mut w = SnapWriter::new();
+        inflight.snap_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let restored = IoRequest::snap_from(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored, inflight);
+    }
+
+    #[test]
+    fn snapshot_rejects_zero_sector_requests() {
+        let mut w = SnapWriter::new();
+        let req = IoRequest::new(1, RequestKind::Read, RequestOrigin::Application, 0, 8);
+        req.snap_to(&mut w);
+        let mut bytes = w.into_bytes();
+        // Overwrite the sector count (bytes 18..26) with zero.
+        bytes[18..26].copy_from_slice(&0u64.to_le_bytes());
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(IoRequest::snap_from(&mut r), Err(SnapError::Corrupt("zero-sector request")));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! IOPS). [`AccessPattern`] is the stateful generator built from a spec.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use lbica_storage::block::BLOCK_SECTORS;
@@ -60,6 +60,23 @@ pub enum PatternSpec {
         /// Probability that an access goes to the hot set, in `[0, 1]`.
         hot_probability: f64,
     },
+    /// Zipf-distributed block popularity: block `k` (rank 0 is the hottest)
+    /// is accessed with probability proportional to `1 / (k + 1)^s`, the
+    /// heavy-tailed popularity observed in content stores and block caches.
+    ///
+    /// The skew exponent `s` is carried as an integer in permille
+    /// (`skew_permille = 1000` means the classic `s = 1.0`) so specs stay
+    /// exactly comparable across platforms; the cumulative table is built
+    /// once per generator in a fixed fold order and the per-access draw is
+    /// integer-only.
+    Zipfian {
+        /// Fraction of requests that are reads, in `[0, 1]`.
+        read_fraction: f64,
+        /// Working-set size in blocks; rank-to-block mapping is the identity.
+        working_set_blocks: u64,
+        /// Skew exponent `s` in permille (e.g. 800 → s = 0.8, 1200 → s = 1.2).
+        skew_permille: u32,
+    },
 }
 
 impl PatternSpec {
@@ -69,7 +86,8 @@ impl PatternSpec {
             PatternSpec::RandomRead { working_set_blocks }
             | PatternSpec::RandomWrite { working_set_blocks }
             | PatternSpec::Mixed { working_set_blocks, .. }
-            | PatternSpec::Hotspot { working_set_blocks, .. } => working_set_blocks,
+            | PatternSpec::Hotspot { working_set_blocks, .. }
+            | PatternSpec::Zipfian { working_set_blocks, .. } => working_set_blocks,
             PatternSpec::SequentialRead { length_blocks }
             | PatternSpec::SequentialWrite { length_blocks } => length_blocks,
         }
@@ -81,7 +99,8 @@ impl PatternSpec {
             PatternSpec::RandomRead { .. } | PatternSpec::SequentialRead { .. } => 1.0,
             PatternSpec::RandomWrite { .. } | PatternSpec::SequentialWrite { .. } => 0.0,
             PatternSpec::Mixed { read_fraction, .. }
-            | PatternSpec::Hotspot { read_fraction, .. } => read_fraction.clamp(0.0, 1.0),
+            | PatternSpec::Hotspot { read_fraction, .. }
+            | PatternSpec::Zipfian { read_fraction, .. } => read_fraction.clamp(0.0, 1.0),
         }
     }
 }
@@ -108,6 +127,36 @@ pub struct AccessPattern {
     request_blocks: u64,
     cursor: u64,
     rng: StdRng,
+    /// Cumulative popularity thresholds for [`PatternSpec::Zipfian`], one
+    /// `u64` per rank; empty for every other spec. `zipf_cdf[k]` is the
+    /// largest draw that selects rank `k`, and the final entry is forced to
+    /// `u64::MAX`, so the per-access draw is a pure integer
+    /// `partition_point` with no float comparisons.
+    zipf_cdf: Vec<u64>,
+}
+
+/// Builds the cumulative Zipf table: entry `k` holds the (scaled) cumulative
+/// probability of ranks `0..=k`. Floats appear only here, in a fixed
+/// sequential fold order, so the table is a deterministic function of
+/// `(working_set_blocks, skew_permille)`.
+fn build_zipf_cdf(working_set_blocks: u64, skew_permille: u32) -> Vec<u64> {
+    let n = usize::try_from(working_set_blocks).expect("zipfian working set fits in memory");
+    let s = f64::from(skew_permille) / 1000.0;
+    let mut weights = Vec::with_capacity(n);
+    let mut total = 0.0_f64;
+    for rank in 0..n {
+        let w = (rank as f64 + 1.0).powf(-s);
+        total += w;
+        weights.push(total);
+    }
+    let mut cdf = Vec::with_capacity(n);
+    for cum in weights {
+        let scaled = (cum / total) * (u64::MAX as f64);
+        cdf.push(scaled as u64);
+    }
+    // Guarantee full coverage of the draw space regardless of rounding.
+    *cdf.last_mut().expect("non-empty footprint") = u64::MAX;
+    cdf
 }
 
 impl AccessPattern {
@@ -122,12 +171,19 @@ impl AccessPattern {
     pub fn new(spec: PatternSpec, base_block: u64, request_blocks: u64, seed: u64) -> Self {
         assert!(request_blocks > 0, "requests must span at least one block");
         assert!(spec.footprint_blocks() > 0, "pattern footprint must be non-empty");
+        let zipf_cdf = match spec {
+            PatternSpec::Zipfian { working_set_blocks, skew_permille, .. } => {
+                build_zipf_cdf(working_set_blocks, skew_permille)
+            }
+            _ => Vec::new(),
+        };
         AccessPattern {
             spec,
             base_block,
             request_blocks,
             cursor: 0,
             rng: StdRng::seed_from_u64(seed),
+            zipf_cdf,
         }
     }
 
@@ -183,6 +239,16 @@ impl AccessPattern {
                     self.rng.gen_range(0..working_set_blocks)
                 };
                 (block, kind)
+            }
+            PatternSpec::Zipfian { read_fraction, .. } => {
+                let kind = if self.rng.gen_bool(read_fraction.clamp(0.0, 1.0)) {
+                    RequestKind::Read
+                } else {
+                    RequestKind::Write
+                };
+                let draw: u64 = self.rng.next_u64();
+                let rank = self.zipf_cdf.partition_point(|&cum| cum < draw);
+                (rank as u64, kind)
             }
         }
     }
@@ -301,6 +367,68 @@ mod tests {
             as f64
             / 10_000.0;
         assert!(hot_hits > 0.85, "hot-set share {hot_hits}");
+    }
+
+    #[test]
+    fn zipfian_stays_in_working_set_and_rank_zero_dominates() {
+        let mut p = AccessPattern::new(
+            PatternSpec::Zipfian {
+                read_fraction: 1.0,
+                working_set_blocks: 1_000,
+                skew_permille: 1_000,
+            },
+            0,
+            1,
+            13,
+        );
+        let mut counts = vec![0u64; 1_000];
+        for _ in 0..50_000 {
+            let (sector, _, kind) = p.next_access();
+            assert!(kind.is_read());
+            let block = (sector / BLOCK_SECTORS) as usize;
+            assert!(block < 1_000);
+            counts[block] += 1;
+        }
+        // At s = 1 over 1000 ranks, rank 0 holds ~13% of the mass and each
+        // rank strictly dominates the next in expectation.
+        assert!(counts[0] > counts[1] && counts[1] > counts[4] && counts[4] > counts[99]);
+        assert!(counts[0] as f64 / 50_000.0 > 0.08, "rank-0 share {}", counts[0]);
+    }
+
+    #[test]
+    fn zipfian_skew_zero_is_roughly_uniform() {
+        let mut p = AccessPattern::new(
+            PatternSpec::Zipfian { read_fraction: 1.0, working_set_blocks: 10, skew_permille: 0 },
+            0,
+            1,
+            29,
+        );
+        let mut counts = vec![0u64; 10];
+        for _ in 0..20_000 {
+            counts[(p.next_access().0 / BLOCK_SECTORS) as usize] += 1;
+        }
+        for &c in &counts {
+            let share = c as f64 / 20_000.0;
+            assert!((share - 0.1).abs() < 0.02, "share {share}");
+        }
+    }
+
+    #[test]
+    fn zipfian_is_deterministic_per_seed() {
+        let make = || {
+            let mut p = AccessPattern::new(
+                PatternSpec::Zipfian {
+                    read_fraction: 0.6,
+                    working_set_blocks: 512,
+                    skew_permille: 1_200,
+                },
+                0,
+                1,
+                77,
+            );
+            (0..256).map(|_| p.next_access()).collect::<Vec<_>>()
+        };
+        assert_eq!(make(), make());
     }
 
     #[test]

@@ -49,6 +49,192 @@ pub fn read_text_trace<R: BufRead>(reader: R) -> io::Result<Vec<TraceRecord>> {
     Ok(out)
 }
 
+/// Why one line of an imported text trace was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImportLineError {
+    /// A required field is absent.
+    MissingField(&'static str),
+    /// A numeric field failed to parse as an unsigned integer.
+    InvalidNumber(&'static str),
+    /// The record covers zero sectors.
+    ZeroLength,
+    /// The record's length exceeds the binary format's 32-bit field, so it
+    /// could never be encoded by [`BinaryTraceCodec`].
+    LengthTooLarge,
+    /// `sector + sectors` overflows the 64-bit address space (e.g. a hostile
+    /// `u64::MAX` offset).
+    RangeOverflow,
+    /// The direction field is neither a read nor a write marker.
+    UnknownDirection,
+    /// The line carries extra fields after the direction.
+    TrailingFields,
+}
+
+impl std::fmt::Display for ImportLineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportLineError::MissingField(field) => write!(f, "missing field `{field}`"),
+            ImportLineError::InvalidNumber(field) => {
+                write!(f, "field `{field}` is not an unsigned integer")
+            }
+            ImportLineError::ZeroLength => write!(f, "record covers zero sectors"),
+            ImportLineError::LengthTooLarge => {
+                write!(f, "record length exceeds the binary format's 32-bit field")
+            }
+            ImportLineError::RangeOverflow => {
+                write!(f, "sector range overflows the 64-bit address space")
+            }
+            ImportLineError::UnknownDirection => {
+                write!(f, "direction is neither a read nor a write marker")
+            }
+            ImportLineError::TrailingFields => write!(f, "unexpected fields after the direction"),
+        }
+    }
+}
+
+/// Typed error from [`import_text_trace`]: either an underlying reader
+/// failure or a malformed line with its 1-based line number.
+#[derive(Debug)]
+pub enum ImportError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// A line was malformed.
+    Line {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What was wrong with it.
+        kind: ImportLineError,
+    },
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::Io(e) => write!(f, "trace import failed: {e}"),
+            ImportError::Line { line, kind } => write!(f, "line {line}: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImportError::Io(e) => Some(e),
+            ImportError::Line { .. } => None,
+        }
+    }
+}
+
+impl From<ImportError> for io::Error {
+    fn from(err: ImportError) -> Self {
+        match err {
+            ImportError::Io(e) => e,
+            line @ ImportError::Line { .. } => {
+                io::Error::new(io::ErrorKind::InvalidData, line.to_string())
+            }
+        }
+    }
+}
+
+fn parse_import_field(
+    fields: &[&str],
+    index: usize,
+    name: &'static str,
+) -> Result<u64, ImportLineError> {
+    let raw = fields.get(index).ok_or(ImportLineError::MissingField(name))?;
+    raw.parse::<u64>().map_err(|_| ImportLineError::InvalidNumber(name))
+}
+
+fn parse_import_line(fields: &[&str]) -> Result<TraceRecord, ImportLineError> {
+    let timestamp_us = parse_import_field(fields, 0, "timestamp_us")?;
+    let sector = parse_import_field(fields, 1, "sector")?;
+    let sectors = parse_import_field(fields, 2, "sectors")?;
+    let direction = fields.get(3).ok_or(ImportLineError::MissingField("direction"))?;
+    if fields.len() > 4 {
+        return Err(ImportLineError::TrailingFields);
+    }
+    if sectors == 0 {
+        return Err(ImportLineError::ZeroLength);
+    }
+    if sectors > u64::from(u32::MAX) {
+        return Err(ImportLineError::LengthTooLarge);
+    }
+    if sector.checked_add(sectors).is_none() {
+        return Err(ImportLineError::RangeOverflow);
+    }
+    let kind = match direction.to_ascii_lowercase().as_str() {
+        "r" | "read" | "0" => RequestKind::Read,
+        "w" | "write" | "1" => RequestKind::Write,
+        _ => return Err(ImportLineError::UnknownDirection),
+    };
+    Ok(TraceRecord::new(timestamp_us, sector, sectors, kind))
+}
+
+/// Imports an external text trace — the bridge from real-world captures into
+/// the scenario matrix.
+///
+/// Two line formats are accepted, with the same four columns
+/// `timestamp_us  sector  sectors  direction`:
+///
+/// * whitespace-separated (blktrace-style): `1200 4096 8 W`
+/// * comma-separated (CSV): `1200,4096,8,W`, with an optional header line
+///   (`timestamp_us,sector,sectors,direction`) that is skipped when it is
+///   the first data-bearing line.
+///
+/// Directions accept `R`/`W` (any case), `read`/`write`, and the binary
+/// codec's `0`/`1`. Blank lines and `#` comments are ignored. Records that
+/// could never survive the binary path — zero length, lengths above the
+/// codec's 32-bit field, sector ranges overflowing `u64` — are rejected up
+/// front with the offending line number, so `import → encode → replay`
+/// never panics on hostile input.
+///
+/// # Errors
+///
+/// Returns [`ImportError::Line`] for the first malformed line (1-based), or
+/// [`ImportError::Io`] if the reader itself fails.
+pub fn import_text_trace<R: BufRead>(reader: R) -> Result<Vec<TraceRecord>, ImportError> {
+    let mut out = Vec::new();
+    let mut seen_data_line = false;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(ImportError::Io)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let csv = trimmed.contains(',');
+        let fields: Vec<&str> = if csv {
+            trimmed.split(',').map(str::trim).collect()
+        } else {
+            trimmed.split_whitespace().collect()
+        };
+        // A leading CSV header (alphabetic first column) is tolerated once.
+        if !seen_data_line
+            && csv
+            && fields.first().is_some_and(|f| f.chars().next().is_some_and(char::is_alphabetic))
+        {
+            seen_data_line = true;
+            continue;
+        }
+        seen_data_line = true;
+        let record =
+            parse_import_line(&fields).map_err(|kind| ImportError::Line { line: idx + 1, kind })?;
+        out.push(record);
+    }
+    Ok(out)
+}
+
+/// [`import_text_trace`] straight into the binary format: the imported
+/// records, sorted by timestamp, encoded with [`BinaryTraceCodec`].
+///
+/// # Errors
+///
+/// Propagates [`import_text_trace`]'s errors.
+pub fn import_text_to_binary<R: BufRead>(reader: R) -> Result<Bytes, ImportError> {
+    let mut records = import_text_trace(reader)?;
+    records.sort_by_key(|r| r.timestamp_us);
+    Ok(BinaryTraceCodec.encode(&records))
+}
+
 /// Fixed-width binary codec: 8-byte timestamp, 8-byte sector, 4-byte length
 /// and 1-byte direction per record, little-endian.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -216,6 +402,71 @@ mod tests {
     fn binary_encoder_rejects_oversized_lengths() {
         let too_big = vec![TraceRecord::new(0, 0, u32::MAX as u64 + 1, RequestKind::Read)];
         let _ = BinaryTraceCodec.encode(&too_big);
+    }
+
+    #[test]
+    fn import_accepts_whitespace_and_csv_with_header() {
+        let text = "# capture\n0 0 8 R\n100 4096 16 w\n";
+        let ws = import_text_trace(text.as_bytes()).unwrap();
+        assert_eq!(ws.len(), 2);
+        assert!(ws[0].kind.is_read() && !ws[1].kind.is_read());
+        let csv = "timestamp_us,sector,sectors,direction\n0,0,8,R\n100,4096,16,WRITE\n";
+        assert_eq!(import_text_trace(csv.as_bytes()).unwrap(), ws);
+        // The binary codec's 0/1 markers work too.
+        let digits = import_text_trace("0 0 8 0\n100 4096 16 1\n".as_bytes()).unwrap();
+        assert_eq!(digits, ws);
+    }
+
+    #[test]
+    fn import_rejects_each_malformed_shape_with_line_numbers() {
+        let cases: &[(&str, ImportLineError)] = &[
+            ("0 0 8", ImportLineError::MissingField("direction")),
+            ("0 0", ImportLineError::MissingField("sectors")),
+            ("zero 0 8 R", ImportLineError::InvalidNumber("timestamp_us")),
+            ("0 -4 8 R", ImportLineError::InvalidNumber("sector")),
+            ("0 0 0 R", ImportLineError::ZeroLength),
+            ("0 0 4294967296 R", ImportLineError::LengthTooLarge),
+            ("0 18446744073709551615 8 R", ImportLineError::RangeOverflow),
+            ("0 0 8 X", ImportLineError::UnknownDirection),
+            ("0 0 8 R extra", ImportLineError::TrailingFields),
+        ];
+        for (line, expected) in cases {
+            let input = format!("0 0 8 R\n{line}\n");
+            match import_text_trace(input.as_bytes()) {
+                Err(ImportError::Line { line: 2, kind }) => {
+                    assert_eq!(kind, *expected, "for input {line:?}");
+                }
+                other => panic!("input {line:?} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn import_header_is_only_tolerated_first() {
+        let text = "0,0,8,R\ntimestamp_us,sector,sectors,direction\n";
+        let err = import_text_trace(text.as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            ImportError::Line { line: 2, kind: ImportLineError::InvalidNumber("timestamp_us") }
+        ));
+    }
+
+    #[test]
+    fn import_to_binary_sorts_and_round_trips() {
+        let text = "200 16 8 W\n100 0 8 R\n";
+        let encoded = import_text_to_binary(text.as_bytes()).unwrap();
+        let decoded = BinaryTraceCodec.decode(encoded).unwrap();
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0].timestamp_us, 100);
+        assert_eq!(decoded[1].timestamp_us, 200);
+    }
+
+    #[test]
+    fn import_error_converts_to_io_error() {
+        let err = import_text_trace("bogus\n".as_bytes()).unwrap_err();
+        let io_err: io::Error = err.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
+        assert!(io_err.to_string().contains("line 1"));
     }
 
     #[test]

@@ -42,7 +42,13 @@ pub mod workload;
 
 pub use analyze::{analyze_intervals, TraceAnalysis};
 pub use gen::{AccessPattern, ArrivalProcess, PatternSpec};
-pub use io::{read_text_trace, write_text_trace, BinaryTraceCodec};
+pub use io::{
+    import_text_to_binary, import_text_trace, read_text_trace, write_text_trace, BinaryTraceCodec,
+    ImportError, ImportLineError,
+};
 pub use monitor::{BlktraceProbe, IntervalReport, IostatCollector, TierReport};
 pub use record::TraceRecord;
-pub use workload::{BurstPhase, PhaseIntensity, WorkloadKind, WorkloadSpec};
+pub use workload::{
+    BurstPhase, DiurnalCurve, PhaseIntensity, TenantMix, TraceSpanError, WorkloadKind,
+    WorkloadScale, WorkloadSpec,
+};

@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use lbica_storage::histogram::LatencyHistogram;
 use lbica_storage::queue::{DeviceQueue, QueueSnapshot};
 use lbica_storage::request::RequestClass;
+use lbica_storage::snap::{SnapError, SnapReader, SnapWriter};
 use lbica_storage::time::SimDuration;
 
 /// The two tiers of the storage hierarchy, as the monitors see them.
@@ -60,6 +61,36 @@ impl TierReport {
     pub fn queue_time(&self, avg_device_latency: SimDuration) -> SimDuration {
         avg_device_latency.saturating_mul(self.queue_depth as u64)
     }
+
+    /// Serializes the report for a replay checkpoint.
+    pub fn snap_to(&self, w: &mut SnapWriter) {
+        w.put_usize(self.queue_depth);
+        w.put_usize(self.peak_queue_depth);
+        w.put_u64(self.enqueued);
+        w.put_u64(self.completed);
+        w.put_u64(self.max_latency_us);
+        w.put_u64(self.avg_latency_us);
+        w.put_u64(self.total_latency_us);
+        w.put_u64(self.p50_latency_us);
+        w.put_u64(self.p95_latency_us);
+        w.put_u64(self.p99_latency_us);
+    }
+
+    /// Restores a report serialized by [`TierReport::snap_to`].
+    pub fn snap_from(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(TierReport {
+            queue_depth: r.get_usize()?,
+            peak_queue_depth: r.get_usize()?,
+            enqueued: r.get_u64()?,
+            completed: r.get_u64()?,
+            max_latency_us: r.get_u64()?,
+            avg_latency_us: r.get_u64()?,
+            total_latency_us: r.get_u64()?,
+            p50_latency_us: r.get_u64()?,
+            p95_latency_us: r.get_u64()?,
+            p99_latency_us: r.get_u64()?,
+        })
+    }
 }
 
 /// Everything measured during one monitoring interval.
@@ -79,6 +110,30 @@ pub struct IntervalReport {
     pub policy_label: String,
     /// Whether the controller flagged this interval as a burst/bottleneck.
     pub burst_detected: bool,
+}
+
+impl IntervalReport {
+    /// Serializes the full interval measurement for a replay checkpoint.
+    pub fn snap_to(&self, w: &mut SnapWriter) {
+        w.put_u32(self.index);
+        self.cache.snap_to(w);
+        self.disk.snap_to(w);
+        self.cache_queue_mix.snap_to(w);
+        w.put_str(&self.policy_label);
+        w.put_bool(self.burst_detected);
+    }
+
+    /// Restores a report serialized by [`IntervalReport::snap_to`].
+    pub fn snap_from(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(IntervalReport {
+            index: r.get_u32()?,
+            cache: TierReport::snap_from(r)?,
+            disk: TierReport::snap_from(r)?,
+            cache_queue_mix: QueueSnapshot::snap_from(r)?,
+            policy_label: r.get_str()?,
+            burst_detected: r.get_bool()?,
+        })
+    }
 }
 
 /// Accumulates per-interval `iostat`-style statistics for both tiers.
@@ -111,6 +166,19 @@ struct TierAccumulator {
 }
 
 impl TierAccumulator {
+    fn snap_to(&self, w: &mut SnapWriter) {
+        w.put_u64(self.enqueued);
+        w.put_usize(self.peak_queue_depth);
+        self.latency.snap_to(w);
+    }
+
+    fn snap_state_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.enqueued = r.get_u64()?;
+        self.peak_queue_depth = r.get_usize()?;
+        self.latency = lbica_storage::histogram::LatencyHistogram::snap_from(r)?;
+        Ok(())
+    }
+
     fn finish(&mut self, queue_depth: usize) -> TierReport {
         let report = TierReport {
             queue_depth,
@@ -194,6 +262,30 @@ impl IostatCollector {
         self.history.clear();
     }
 
+    /// Serializes the *in-progress* interval accumulators for a replay
+    /// checkpoint — not the report history, which the checkpoint carries as
+    /// finished interval reports itself. The accumulators are usually empty
+    /// at an interval boundary, but a boundary-time controller action (e.g.
+    /// a bypass moving queued requests to the disk subsystem) may already
+    /// have fed the *next* interval's counters, so a checkpoint cannot
+    /// assume them fresh.
+    pub fn snap_to(&self, w: &mut SnapWriter) {
+        self.cache.snap_to(w);
+        self.disk.snap_to(w);
+    }
+
+    /// Restores accumulators written by [`IostatCollector::snap_to`]. The
+    /// history is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates truncation/corruption as [`SnapError`].
+    pub fn snap_state_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cache.snap_state_from(r)?;
+        self.disk.snap_state_from(r)?;
+        Ok(())
+    }
+
     /// All interval reports produced so far.
     pub fn history(&self) -> &[IntervalReport] {
         &self.history
@@ -249,6 +341,31 @@ impl BlktraceProbe {
     pub fn reset(&mut self) {
         self.accumulated = QueueSnapshot::default();
         self.samples = 0;
+    }
+
+    /// Serializes the in-progress observation state for a replay
+    /// checkpoint (same caveat as [`IostatCollector::snap_to`]: boundary
+    /// actions may have fed the next interval already).
+    pub fn snap_to(&self, w: &mut SnapWriter) {
+        w.put_usize(self.accumulated.reads);
+        w.put_usize(self.accumulated.writes);
+        w.put_usize(self.accumulated.promotes);
+        w.put_usize(self.accumulated.evicts);
+        w.put_u32(self.samples);
+    }
+
+    /// Restores state written by [`BlktraceProbe::snap_to`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates truncation/corruption as [`SnapError`].
+    pub fn snap_state_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.accumulated.reads = r.get_usize()?;
+        self.accumulated.writes = r.get_usize()?;
+        self.accumulated.promotes = r.get_usize()?;
+        self.accumulated.evicts = r.get_usize()?;
+        self.samples = r.get_u32()?;
+        Ok(())
     }
 
     /// Returns the accumulated mix and resets the probe for the next

@@ -1,0 +1,44 @@
+//! Pins the committed realistic-workload figure set (`figures/*.csv`):
+//! the Zipfian, diurnal and multi-tenant sweeps must regenerate
+//! byte-for-byte from the current code, on any worker count — tenant
+//! rows included. A diff here means workload-generation semantics
+//! changed — either fix the regression or consciously re-pin the CSVs
+//! (and say so in the PR).
+
+use lbica::lab::{CsvSink, ScenarioMatrix, SweepExecutor};
+
+fn figure_set() -> [(ScenarioMatrix, &'static str); 4] {
+    [
+        (ScenarioMatrix::zipf(), include_str!("../figures/sweep_zipf.csv")),
+        (ScenarioMatrix::diurnal(), include_str!("../figures/sweep_diurnal.csv")),
+        (ScenarioMatrix::multi_tenant(), include_str!("../figures/sweep_multi_tenant.csv")),
+        (ScenarioMatrix::paper_mt(), include_str!("../figures/sweep_paper_mt.csv")),
+    ]
+}
+
+fn regenerated(matrix: &ScenarioMatrix, jobs: usize) -> String {
+    let executor = if jobs <= 1 { SweepExecutor::serial() } else { SweepExecutor::new(jobs) };
+    CsvSink::render(&executor.aggregate(matrix).with_tenant_rows(matrix))
+}
+
+#[test]
+fn workload_figure_csvs_are_pinned() {
+    for (matrix, pinned) in figure_set() {
+        assert_eq!(
+            regenerated(&matrix, 1),
+            pinned,
+            "a committed workload figure CSV no longer matches its sweep"
+        );
+    }
+}
+
+#[test]
+fn workload_figures_are_worker_count_independent() {
+    for (matrix, pinned) in figure_set() {
+        assert_eq!(
+            regenerated(&matrix, 8),
+            pinned,
+            "jobs=8 must reproduce the pinned CSV byte-for-byte"
+        );
+    }
+}
